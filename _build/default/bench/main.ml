@@ -1,0 +1,922 @@
+(* Benchmark harness: one experiment per theorem / figure of the paper
+   (see DESIGN.md section 4 and EXPERIMENTS.md for the recorded outcomes).
+
+   Usage:
+     dune exec bench/main.exe                 -- run everything
+     dune exec bench/main.exe -- --only E1    -- one experiment
+     dune exec bench/main.exe -- --list       -- list experiments
+     dune exec bench/main.exe -- --no-timing  -- skip the bechamel timing suite
+*)
+
+module G = Core.Graph
+module Gen = Core.Generators
+module Sp = Core.Spanning
+module P = Core.Part
+module Sc = Core.Shortcut
+module Q = Core.Quality
+
+let section title = Printf.printf "\n=== %s ===\n%!" title
+let subsection title = Printf.printf "\n-- %s --\n%!" title
+
+let print_rows rows =
+  print_endline (Q.header ());
+  List.iter (fun r -> print_endline (Q.to_string r)) rows
+
+let log2 x = log (float_of_int (max 2 x)) /. log 2.0
+
+(* measured aggregation rounds for a shortcut, the empirical q *)
+let agg_rounds sc = Core.Aggregate.rounds_for_parts sc ~seed:11
+
+(* ------------------------------------------------------------------ *)
+(* E1: Theorem 4 [GH16] — planar graphs, b = O(log d), c = O(d log d)  *)
+(* ------------------------------------------------------------------ *)
+
+let e1 () =
+  section "E1 (Theorem 4): planar graphs admit quality O(d log d) shortcuts";
+  Printf.printf "prediction: q / (d log2 d) stays bounded as n grows\n";
+  let rows = ref [] in
+  List.iter
+    (fun side ->
+      let gp = Gen.grid side side in
+      let g = gp.Gen.graph in
+      let tree = Sp.bfs_tree g 0 in
+      List.iter
+        (fun (wname, parts) ->
+          let sc = Core.Generic.construct tree parts in
+          let label = Printf.sprintf "grid %dx%d %s" side side wname in
+          rows := Q.measure ~label sc :: !rows)
+        [
+          ("rows", P.grid_rows side side);
+          ("voronoi", P.voronoi ~seed:side g ~count:(max 2 (side * side / 48)));
+        ])
+    [ 16; 24; 32; 48; 64 ];
+  List.iter
+    (fun n ->
+      let gp = Gen.apollonian ~seed:n n in
+      let tree = Sp.bfs_tree gp.Gen.graph 0 in
+      let parts = P.voronoi ~seed:3 gp.Gen.graph ~count:(max 2 (n / 40)) in
+      let sc = Core.Generic.construct tree parts in
+      rows := Q.measure ~label:(Printf.sprintf "apollonian n=%d voronoi" n) sc :: !rows)
+    [ 500; 1000; 2000; 4000 ];
+  let rows = List.rev !rows in
+  print_rows rows;
+  Printf.printf "%-34s %10s\n" "workload" "q/(d lg d)";
+  List.iter
+    (fun r ->
+      Printf.printf "%-34s %10.2f\n" r.Q.label
+        (float_of_int r.Q.q /. (float_of_int (max 1 r.Q.d_tree) *. log2 r.Q.d_tree)))
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E2: Theorem 5 [HIZ16b] — treewidth-k: b = O(k), c = O(k log n)      *)
+(* ------------------------------------------------------------------ *)
+
+let e2 () =
+  section "E2 (Theorem 5): treewidth-k graphs, b = O(k), c = O(k log n)";
+  Printf.printf "prediction: b flat in n (depends only on k); c/(k log2 n) bounded\n";
+  let rows = ref [] in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun n ->
+          let g, elim = Gen.k_tree ~seed:(n + k) ~k n in
+          let td = Core.Tree_decomposition.of_elimination_order g elim in
+          let tree = Sp.bfs_tree g 0 in
+          let parts = P.voronoi ~seed:k g ~count:(max 2 (n / 64)) in
+          let sc = Core.Tw_shortcut.construct ~decomposition:td g tree parts in
+          let label = Printf.sprintf "k-tree k=%d n=%d" k n in
+          rows := (k, Q.measure ~label sc) :: !rows)
+        [ 512; 1024; 2048 ])
+    [ 2; 3; 5 ];
+  let rows = List.rev !rows in
+  print_rows (List.map snd rows);
+  Printf.printf "%-34s %6s %12s\n" "workload" "b/k" "c/(k lg n)";
+  List.iter
+    (fun (k, r) ->
+      Printf.printf "%-34s %6.2f %12.2f\n" r.Q.label
+        (float_of_int r.Q.b /. float_of_int k)
+        (float_of_int r.Q.c /. (float_of_int k *. log2 r.Q.n)))
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E3: Theorem 7 + Lemma 1 — clique-sums preserve shortcuts            *)
+(* ------------------------------------------------------------------ *)
+
+let e3 () =
+  section "E3 (Theorem 7 / Lemma 1): clique-sums of planar bags";
+  Printf.printf
+    "prediction: b <= 2k + O(b_F), c <= O(k log^2 n) + c_F; folding removes the\n\
+     decomposition-tree-depth factor from the congestion\n";
+  let make_cs shape nbags =
+    Core.Clique_sum.compose ~seed:17 ~k:3 ~shape
+      (List.init nbags (fun i -> (Gen.apollonian ~seed:(300 + i) 60).Gen.graph))
+  in
+  List.iter
+    (fun (sname, shape) ->
+      subsection (Printf.sprintf "decomposition shape: %s" sname);
+      List.iter
+        (fun nbags ->
+          let cs = make_cs shape nbags in
+          let g = cs.Core.Clique_sum.graph in
+          let tree = Sp.bfs_tree g 0 in
+          let parts = P.voronoi ~seed:5 g ~count:(max 4 (nbags * 2)) in
+          let folded, _, `Depth_used dfold =
+            Core.Cs_shortcut.construct_with_stats ~use_fold:true cs tree parts
+          in
+          let raw, _, `Depth_used draw =
+            Core.Cs_shortcut.construct_with_stats ~use_fold:false cs tree parts
+          in
+          let generic = Core.Generic.construct tree parts in
+          print_rows
+            [
+              Q.measure
+                ~label:(Printf.sprintf "%d bags, folded (dDT %d->%d)" nbags draw dfold)
+                folded;
+              Q.measure ~label:(Printf.sprintf "%d bags, unfolded" nbags) raw;
+              Q.measure ~label:(Printf.sprintf "%d bags, uniform constr." nbags) generic;
+            ])
+        [ 10; 20; 40 ])
+    [ ("path", Core.Clique_sum.Path); ("random tree", Core.Clique_sum.Random_tree) ]
+
+(* ------------------------------------------------------------------ *)
+(* E4: Theorem 8/9, Lemmas 9-10 — almost-embeddable graphs             *)
+(* ------------------------------------------------------------------ *)
+
+let e4 () =
+  section "E4 (Theorem 8/9, Lemmas 9-10): almost-embeddable graphs, b,c = O(d)";
+  Printf.printf "prediction: quality ~ d for fixed (q,g,k,l); apex collapse handled\n";
+  subsection "apex diameter collapse (cycle + apex, Lemma 9's hard case)";
+  List.iter
+    (fun n ->
+      let g = Gen.cycle_with_apex n in
+      let tree = Sp.bfs_tree g (n - 1) in
+      let half = (n - 1) / 2 in
+      let parts =
+        P.of_list g
+          [ List.init half (fun i -> i); List.init (n - 1 - half) (fun i -> half + i) ]
+      in
+      let apex = Core.Apex_shortcut.construct ~apices:[| n - 1 |] tree parts in
+      let generic = Core.Generic.construct tree parts in
+      let flood = Sc.empty tree parts in
+      Printf.printf
+        "wheel n=%4d (D=2): apex-construction q=%3d (agg %3d rds) | uniform q=%3d | \
+         flooding agg %4d rds\n"
+        n (Sc.quality apex) (agg_rounds apex) (Sc.quality generic) (agg_rounds flood))
+    [ 129; 257; 513; 1025 ];
+  subsection "(q,g,k,l)-almost-embeddable sweep";
+  let rows = ref [] in
+  List.iter
+    (fun (handles, vortices, apices, width, height) ->
+      let ae =
+        Core.Almost_embeddable.make ~seed:(width + handles) ~width ~height ~handles
+          ~vortices ~vortex_depth:2 ~vortex_nodes:5 ~apices ~apex_fanout:8
+      in
+      let g = ae.Core.Almost_embeddable.graph in
+      let tree = Sp.bfs_tree g 0 in
+      let parts = P.voronoi ~seed:7 g ~count:(max 4 (G.n g / 60)) in
+      let sc =
+        Core.Apex_shortcut.construct ~apices:ae.Core.Almost_embeddable.apices tree parts
+      in
+      let label =
+        Printf.sprintf "AE(q=%d,g=%d,k=2,l=%d) %dx%d" apices handles vortices width
+          height
+      in
+      rows := Q.measure ~label sc :: !rows)
+    [
+      (0, 0, 1, 20, 10);
+      (1, 1, 1, 30, 12);
+      (2, 2, 2, 40, 14);
+      (2, 2, 2, 60, 20);
+      (3, 3, 3, 80, 24);
+    ];
+  print_rows (List.rev !rows);
+  subsection "Theorem 9 pipeline: genus+vortex treewidth bound (Lemma 2/3)";
+  List.iter
+    (fun (w, h, holes) ->
+      let base, rings =
+        Core.Almost_embeddable.grid_with_holes w h ~holes ~hole_size:5
+      in
+      let g, vortices =
+        Array.to_list rings
+        |> List.fold_left
+             (fun (g, acc) ring ->
+               let g', v = Core.Vortex.add ~seed:(w + h) g ~cycle:ring ~nodes:5 ~depth:2 in
+               (g', v :: acc))
+             (base, [])
+      in
+      let td = Core.Genus_vortex.decompose_with_vortices g vortices in
+      let valid = Core.Tree_decomposition.check g td = Ok () in
+      let d = Core.Distance.diameter_double_sweep g in
+      let tree = Sp.bfs_tree g 0 in
+      let parts = P.voronoi ~seed:3 g ~count:(max 4 (G.n g / 60)) in
+      let sc = Core.Tw_shortcut.construct ~decomposition:td g tree parts in
+      Printf.printf
+        "grid %dx%d, %d vortices: width=%d (Lemma 3 bound %d, valid=%b) | \
+         Thm 9 shortcut b=%d c=%d q=%d\n"
+        w h holes
+        (Core.Tree_decomposition.width td)
+        (Core.Genus_vortex.width_bound ~g:0 ~k:2 ~l:holes ~d)
+        valid (Sc.block_parameter sc) (Sc.congestion sc) (Sc.quality sc))
+    [ (20, 14, 1); (30, 14, 2); (40, 16, 3) ]
+
+(* ------------------------------------------------------------------ *)
+(* E5: Theorem 6 (Main) — excluded-minor families, q(d) = O~(d^2)      *)
+(* ------------------------------------------------------------------ *)
+
+let e5 () =
+  section "E5 (Theorem 6, Main): L_k graphs admit q(d) = O~(d^2)";
+  Printf.printf
+    "prediction: q / d^2 bounded (in practice q ~ d: the paper's introduction\n\
+     expects the O~(D) behaviour on most instances)\n";
+  let rows = ref [] in
+  List.iter
+    (fun pieces_count ->
+      let pieces =
+        List.init pieces_count (fun i ->
+            (Core.Almost_embeddable.make ~seed:(i * 31) ~width:24 ~height:10 ~handles:1
+               ~vortices:1 ~vortex_depth:2 ~vortex_nodes:4 ~apices:1 ~apex_fanout:5)
+              .Core.Almost_embeddable.graph)
+      in
+      let cs =
+        Core.Clique_sum.compose ~seed:pieces_count ~k:3
+          ~shape:Core.Clique_sum.Random_tree pieces
+      in
+      (match Core.Clique_sum.check cs with
+      | Ok () -> ()
+      | Error e -> Printf.printf "WARNING: decomposition invalid: %s\n" e);
+      let g = cs.Core.Clique_sum.graph in
+      let tree = Sp.bfs_tree g 0 in
+      let parts = P.voronoi ~seed:2 g ~count:(max 4 (G.n g / 80)) in
+      let certified = Core.Cs_shortcut.construct cs tree parts in
+      let generic = Core.Generic.construct tree parts in
+      rows :=
+        Q.measure ~label:(Printf.sprintf "L_3 %d pieces, uniform" pieces_count) generic
+        :: Q.measure
+             ~label:(Printf.sprintf "L_3 %d pieces, certified" pieces_count)
+             certified
+        :: !rows)
+    [ 4; 8; 16 ];
+  let rows = List.rev !rows in
+  print_rows rows;
+  Printf.printf "%-34s %8s %8s\n" "workload" "q/d" "q/d^2";
+  List.iter
+    (fun r ->
+      let d = float_of_int (max 1 r.Q.d_tree) in
+      Printf.printf "%-34s %8.2f %8.4f\n" r.Q.label (float_of_int r.Q.q /. d)
+        (float_of_int r.Q.q /. (d *. d)))
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E6: Theorem 1 + Corollary 1 — distributed MST round counts          *)
+(* ------------------------------------------------------------------ *)
+
+let e6 () =
+  section "E6 (Theorem 1 / Corollary 1): distributed MST, three algorithms";
+  Printf.printf
+    "prediction: on low-diameter excluded-minor networks shortcut-Boruvka beats\n\
+     flooding (which pays fragment diameter) and pipelining (which pays sqrt n)\n";
+  Printf.printf "%-28s %6s %5s | %9s %9s %9s\n" "network" "n" "D" "shortcut" "flooding"
+    "pipelined";
+  let run name g w =
+    let r1 = Core.Mst.boruvka ~constructor:Core.Mst.shortcut_constructor g w in
+    let r2 = Core.Mst.boruvka ~constructor:Core.Mst.no_shortcut_constructor g w in
+    let r3 = Core.Mst.pipelined g w in
+    List.iter
+      (fun (r : Core.Mst.report) ->
+        match Core.Mst.check g w r with
+        | Ok () -> ()
+        | Error e -> Printf.printf "  WARNING %s: %s\n" name e)
+      [ r1; r2; r3 ];
+    Printf.printf "%-28s %6d %5d | %9d %9d %9d\n" name (G.n g)
+      (Core.Distance.diameter_double_sweep g)
+      r1.Core.Mst.rounds r2.Core.Mst.rounds r3.Core.Mst.rounds
+  in
+  (* wheels with heavy spokes: fragments are long rim arcs *)
+  List.iter
+    (fun n ->
+      let g = Gen.cycle_with_apex n in
+      let st = Random.State.make [| n |] in
+      let w =
+        Array.init (G.m g) (fun e ->
+            let u, v = G.edge g e in
+            if u = n - 1 || v = n - 1 then 10.0 +. Random.State.float st 1.0
+            else Random.State.float st 1.0)
+      in
+      run (Printf.sprintf "wheel (heavy spokes) %d" n) g w)
+    [ 129; 257; 513; 1025 ];
+  (* planar grids *)
+  List.iter
+    (fun side ->
+      let g = (Gen.grid side side).Gen.graph in
+      run
+        (Printf.sprintf "grid %dx%d" side side)
+        g
+        (G.random_weights ~state:(Random.State.make [| side |]) g))
+    [ 16; 24; 32 ];
+  (* random planar *)
+  List.iter
+    (fun n ->
+      let g = (Gen.apollonian ~seed:n n).Gen.graph in
+      run
+        (Printf.sprintf "apollonian %d" n)
+        g
+        (G.random_weights ~state:(Random.State.make [| n |]) g))
+    [ 512; 2048 ];
+  (* excluded-minor L_k *)
+  let pieces =
+    List.init 6 (fun i ->
+        (Core.Almost_embeddable.make ~seed:(i * 7) ~width:20 ~height:10 ~handles:1
+           ~vortices:1 ~vortex_depth:2 ~vortex_nodes:4 ~apices:1 ~apex_fanout:5)
+          .Core.Almost_embeddable.graph)
+  in
+  let cs =
+    Core.Clique_sum.compose ~seed:3 ~k:3 ~shape:Core.Clique_sum.Random_tree pieces
+  in
+  let g = cs.Core.Clique_sum.graph in
+  run "L_3 clique-sum" g (G.random_weights g);
+  (* the lower-bound family: nobody escapes sqrt n here *)
+  List.iter
+    (fun p ->
+      let g, _ = Gen.lower_bound p in
+      run
+        (Printf.sprintf "lower-bound p=%d" p)
+        g
+        (G.random_weights ~state:(Random.State.make [| p |]) g))
+    [ 8; 16 ];
+  subsection "message complexity (same runs, total simulated messages)";
+  List.iter
+    (fun (name, g) ->
+      let w = G.random_weights ~state:(Random.State.make [| 5 |]) g in
+      let r1 = Core.Mst.boruvka ~constructor:Core.Mst.shortcut_constructor g w in
+      let r2 = Core.Mst.boruvka ~constructor:Core.Mst.no_shortcut_constructor g w in
+      Printf.printf "%-28s shortcut: %7d msgs | flooding: %7d msgs\n" name
+        r1.Core.Mst.messages r2.Core.Mst.messages)
+    [
+      ("wheel (heavy spokes) 513", Gen.cycle_with_apex 513);
+      ("grid 24x24", (Gen.grid 24 24).Gen.graph);
+    ];
+  subsection "charged vs fully-simulated phases (echo & rename floods run live)";
+  List.iter
+    (fun (name, g) ->
+      let w = G.random_weights ~state:(Random.State.make [| 3 |]) g in
+      let charged = Core.Mst.boruvka ~constructor:Core.Mst.shortcut_constructor g w in
+      let full = Core.Mst.boruvka_full ~constructor:Core.Mst.shortcut_constructor g w in
+      Printf.printf "%-28s charged=%5d  fully-simulated=%5d  (both exact: %b)\n" name
+        charged.Core.Mst.rounds full.Core.Mst.rounds
+        (Core.Mst.check g w charged = Ok () && Core.Mst.check g w full = Ok ()))
+    [
+      ("grid 16x16", (Gen.grid 16 16).Gen.graph);
+      ("wheel 257", Gen.cycle_with_apex 257);
+      ("apollonian 512", (Gen.apollonian ~seed:2 512).Gen.graph);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E7: Corollary 1 — (1+eps)-approximate min-cut                       *)
+(* ------------------------------------------------------------------ *)
+
+let e7 () =
+  section "E7 (Corollary 1): distributed approximate min-cut vs Stoer-Wagner";
+  Printf.printf "%-28s %6s | %8s %9s %7s %8s\n" "network" "n" "exact" "estimate" "ratio"
+    "rounds";
+  let run name g w =
+    let exact = Core.Mincut.stoer_wagner g w in
+    let r =
+      Core.Mincut.approx ~trees:8 ~seed:23 ~constructor:Core.Mst.shortcut_constructor g
+        w
+    in
+    Printf.printf "%-28s %6d | %8.2f %9.2f %7.3f %8d\n" name (G.n g) exact
+      r.Core.Mincut.estimate
+      (r.Core.Mincut.estimate /. exact)
+      r.Core.Mincut.rounds
+  in
+  let grid10 = (Gen.grid 10 10).Gen.graph in
+  run "grid 10x10" grid10 (G.unit_weights grid10);
+  let ap = (Gen.apollonian ~seed:4 200).Gen.graph in
+  run "apollonian 200" ap (G.unit_weights ap);
+  let kt, _ = Gen.k_tree ~seed:5 ~k:3 150 in
+  run "3-tree 150" kt (G.unit_weights kt);
+  let er = Gen.erdos_renyi ~seed:8 120 0.08 in
+  run "G(120, .08)" er (G.unit_weights er);
+  let gw = (Gen.grid 12 12).Gen.graph in
+  let st = Random.State.make [| 9 |] in
+  let w = Array.init (G.m gw) (fun _ -> 0.5 +. Random.State.float st 2.0) in
+  run "grid 12x12 weighted" gw w;
+  subsection "1-respecting vs 2-respecting cuts (Karger's full guarantee)";
+  (* the star+bond instance where the min cut 2-respects but never 1-respects *)
+  let g = G.of_edges 4 [ (0, 1); (0, 2); (0, 3); (1, 2) ] in
+  let wb = Array.make 4 1.0 in
+  (match G.find_edge g 0 3 with Some e -> wb.(e) <- 10.0 | None -> ());
+  (match G.find_edge g 1 2 with Some e -> wb.(e) <- 10.0 | None -> ());
+  let tree = Sp.bfs_tree g 0 in
+  Printf.printf "star+bond: exact=%.1f  1-respecting=%.1f  2-respecting=%.1f\n"
+    (Core.Mincut.stoer_wagner g wb)
+    (fst (Core.Mincut.one_respecting_cut g wb tree))
+    (Core.Mincut.two_respecting_cut g wb tree);
+  let g8 = (Gen.grid 8 8).Gen.graph in
+  let w8 = G.unit_weights g8 in
+  let r1 =
+    Core.Mincut.approx ~trees:4 ~seed:6 ~constructor:Core.Mst.shortcut_constructor g8 w8
+  in
+  let r2 =
+    Core.Mincut.approx ~trees:4 ~two_respecting:true ~seed:6
+      ~constructor:Core.Mst.shortcut_constructor g8 w8
+  in
+  Printf.printf "grid 8x8 (exact %.1f): 1-respecting estimate %.1f, 2-respecting %.1f\n"
+    (Core.Mincut.stoer_wagner g8 w8) r1.Core.Mincut.estimate r2.Core.Mincut.estimate
+
+(* ------------------------------------------------------------------ *)
+(* E8: the SHK+12 lower-bound family — sqrt n is unavoidable there     *)
+(* ------------------------------------------------------------------ *)
+
+let e8 () =
+  section "E8 ([SHK+12] lower bound): Gamma(p) forces quality ~ sqrt n";
+  Printf.printf
+    "prediction: on Gamma(p) (D = O(log n)) the best achievable quality grows\n\
+     like p = sqrt n, while excluded-minor graphs of similar diameter stay at\n\
+     polylog quality: the separation motivating the whole paper\n";
+  let rows = ref [] in
+  List.iter
+    (fun p ->
+      let g, path_parts = Gen.lower_bound_parts p in
+      let tree = Sp.bfs_tree g (G.n g - 1) in
+      let parts = P.of_list g path_parts in
+      let sc = Core.Generic.construct tree parts in
+      rows := Q.measure ~label:(Printf.sprintf "Gamma(%d) sqrt(n)=%d" p p) sc :: !rows)
+    [ 8; 12; 16; 24; 32 ];
+  List.iter
+    (fun n ->
+      let g = Gen.cycle_with_apex n in
+      let tree = Sp.bfs_tree g (n - 1) in
+      let half = (n - 1) / 2 in
+      let parts =
+        P.of_list g
+          [ List.init half (fun i -> i); List.init (n - 1 - half) (fun i -> half + i) ]
+      in
+      let sc = Core.Generic.construct tree parts in
+      rows := Q.measure ~label:(Printf.sprintf "wheel n=%d (minor-free)" n) sc :: !rows)
+    [ 65; 145; 257; 577; 1025 ];
+  let rows = List.rev !rows in
+  print_rows rows;
+  Printf.printf "%-34s %10s\n" "workload" "q/sqrt(n)";
+  List.iter
+    (fun r ->
+      Printf.printf "%-34s %10.2f\n" r.Q.label
+        (float_of_int r.Q.q /. sqrt (float_of_int r.Q.n)))
+    rows;
+  let gamma_pts, wheel_pts =
+    List.partition (fun r -> String.length r.Q.label > 0 && r.Q.label.[0] = 'G') rows
+  in
+  let pts rs = List.map (fun r -> (float_of_int r.Q.n, float_of_int r.Q.q)) rs in
+  Printf.printf
+    "fitted exponent of q vs n: Gamma(p) %.2f (theory 0.5) | wheels %.2f (theory 0)\n"
+    (Q.fit_exponent (pts gamma_pts))
+    (Q.fit_exponent (pts wheel_pts))
+
+(* ------------------------------------------------------------------ *)
+(* E9: HIZ16a — distributed shortcut construction cost                 *)
+(* ------------------------------------------------------------------ *)
+
+let e9 () =
+  section "E9 (HIZ16a): distributed shortcut-construction cost ~ O~(q)";
+  Printf.printf
+    "prediction: the pipelined load-convergecast that builds the shortcut costs\n\
+     about depth + max Steiner load, i.e. the same currency as one use of the\n\
+     shortcut — construction is never the bottleneck\n";
+  Printf.printf "%-30s %6s %6s | %12s %10s %10s\n" "network" "n" "d_T" "construction"
+    "max load" "agg rounds";
+  List.iter
+    (fun (name, g, nparts) ->
+      let tree = Sp.bfs_tree g 0 in
+      let parts = P.voronoi ~seed:9 g ~count:nparts in
+      let r = Core.Construct.distributed_generic tree parts in
+      let agg = agg_rounds r.Core.Construct.shortcut in
+      Printf.printf "%-30s %6d %6d | %12d %10d %10d\n" name (G.n g)
+        (Sp.height tree) r.Core.Construct.construction_rounds
+        r.Core.Construct.max_load agg)
+    [
+      ("grid 16x16", (Gen.grid 16 16).Gen.graph, 10);
+      ("grid 32x32", (Gen.grid 32 32).Gen.graph, 20);
+      ("apollonian 1000", (Gen.apollonian ~seed:1 1000).Gen.graph, 25);
+      ("wheel 513", Gen.cycle_with_apex 513, 2);
+      ("lower-bound p=16", fst (Gen.lower_bound 16), 16);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E10: the full distributed pipeline, primitive by primitive          *)
+(* ------------------------------------------------------------------ *)
+
+let e10 () =
+  section "E10: the distributed pipeline end to end (rounds per primitive)";
+  Printf.printf
+    "every stage simulated in-model: BFS tree, Voronoi partition, shortcut\n\
+     construction (E9 schedule), one MIN aggregation, one SUM aggregation\n";
+  Printf.printf "%-24s %6s %4s | %6s %10s %10s %6s %6s\n" "network" "n" "D" "bfs"
+    "partition" "construct" "min" "sum";
+  List.iter
+    (fun (name, g, nseeds) ->
+      let _, bfs_stats = Core.Dist_bfs.run g ~root:0 in
+      let st = Random.State.make [| 7 |] in
+      let seeds =
+        let chosen = Hashtbl.create nseeds in
+        while Hashtbl.length chosen < nseeds do
+          Hashtbl.replace chosen (Random.State.int st (G.n g)) ()
+        done;
+        Array.of_seq (Hashtbl.to_seq_keys chosen)
+      in
+      let pres = Core.Partition.voronoi g ~seeds in
+      assert (Core.Partition.verify g ~seeds pres);
+      let parts = Core.Partition.to_parts g pres in
+      let tree = Sp.bfs_tree g 0 in
+      let cres = Core.Construct.distributed_generic tree parts in
+      let sc = cres.Core.Construct.shortcut in
+      let min_rounds = agg_rounds sc in
+      let values = Array.init (G.n g) (fun _ -> Some (Random.State.float st 1.0)) in
+      let sres = Core.Aggregate.sum sc ~values in
+      assert (Core.Aggregate.verify_sum sc ~values sres);
+      Printf.printf "%-24s %6d %4d | %6d %10d %10d %6d %6d\n" name (G.n g)
+        (Core.Distance.diameter_double_sweep g)
+        bfs_stats.Core.Network.rounds pres.Core.Partition.stats.Core.Network.rounds
+        cres.Core.Construct.construction_rounds min_rounds
+        sres.Core.Aggregate.rounds)
+    [
+      ("grid 24x24", (Gen.grid 24 24).Gen.graph, 12);
+      ("apollonian 1000", (Gen.apollonian ~seed:3 1000).Gen.graph, 20);
+      ("wheel 513", Gen.cycle_with_apex 513, 8);
+      ("torus 16x16", Gen.torus_grid 16 16, 10);
+    ];
+  subsection "near-optimality audit (brute-force ground truth, tiny instances)";
+  let worst = ref 1.0 and count = ref 0 in
+  for seed = 1 to 40 do
+    let g = Gen.erdos_renyi ~seed:(seed * 71) (8 + (seed mod 8)) 0.35 in
+    let tree = Sp.bfs_tree g 0 in
+    let parts = P.voronoi ~seed g ~count:3 in
+    match Core.Optimal.optimal_quality tree parts with
+    | Some opt ->
+        incr count;
+        let q = Sc.quality (Core.Generic.construct tree parts) in
+        let r = float_of_int q /. float_of_int (max 1 opt) in
+        if r > !worst then worst := r
+    | None -> ()
+  done;
+  Printf.printf
+    "uniform construction vs exact optimum on %d instances: worst ratio %.2f\n" !count
+    !worst
+
+(* ------------------------------------------------------------------ *)
+(* A1: ablations — design choices DESIGN.md calls out                  *)
+(* ------------------------------------------------------------------ *)
+
+let a1 () =
+  section "A1 (ablations): pruning policy, kappa sweep, folding";
+  subsection "pruning policy: Keep_kappa vs Drop_all (grid 32x32, voronoi)";
+  let gp = Gen.grid 32 32 in
+  let tree = Sp.bfs_tree gp.Gen.graph 0 in
+  List.iter
+    (fun (wname, parts) ->
+      let q_keep =
+        Sc.quality (Core.Generic.construct ~policy:Core.Generic.Keep_kappa tree parts)
+      in
+      let q_drop =
+        Sc.quality (Core.Generic.construct ~policy:Core.Generic.Drop_all tree parts)
+      in
+      Printf.printf "%-12s keep_kappa q=%-5d drop_all q=%-5d\n" wname q_keep q_drop)
+    [
+      ("rows", P.grid_rows 32 32);
+      ("voronoi", P.voronoi ~seed:4 gp.Gen.graph ~count:24);
+      ("fragments", P.boruvka_fragments gp.Gen.graph (G.random_weights gp.Gen.graph) ~level:3);
+    ];
+  subsection "the kappa tradeoff curve (lower-bound Gamma(16), path parts)";
+  let g, path_parts = Gen.lower_bound_parts 16 in
+  let t = Sp.bfs_tree g (G.n g - 1) in
+  let parts = P.of_list g path_parts in
+  let _, curve = Core.Generic.construct_with_stats t parts in
+  List.iter (fun (k, q) -> Printf.printf "  kappa=%-5d q=%d\n" k q) curve;
+  subsection "folding ablation: congestion with vs without compression";
+  let cs =
+    Core.Clique_sum.compose ~seed:2 ~k:2 ~shape:Core.Clique_sum.Path
+      (List.init 60 (fun i -> Gen.cycle (4 + (i mod 5))))
+  in
+  let gt = Sp.bfs_tree cs.Core.Clique_sum.graph 0 in
+  let ps = P.voronoi ~seed:3 cs.Core.Clique_sum.graph ~count:12 in
+  let with_fold, _, `Depth_used df =
+    Core.Cs_shortcut.construct_with_stats ~use_fold:true cs gt ps
+  in
+  let without, _, `Depth_used dr =
+    Core.Cs_shortcut.construct_with_stats ~use_fold:false cs gt ps
+  in
+  Printf.printf "60-bag path: folded depth %d -> c=%d q=%d | raw depth %d -> c=%d q=%d\n"
+    df (Sc.congestion with_fold) (Sc.quality with_fold) dr (Sc.congestion without)
+    (Sc.quality without)
+
+(* ------------------------------------------------------------------ *)
+(* OP1: the paper's open problem (§2.4)                                *)
+(* ------------------------------------------------------------------ *)
+
+let op1 () =
+  section "OP1 (open problem, §2.4): can b = O(d) be pushed to O~(1)?";
+  Printf.printf
+    "the bottleneck the paper identifies is the treewidth argument on\n\
+     Genus+Vortex graphs; we print the (b, c) Pareto frontier of the sweep\n\
+     on a vortex-bearing instance vs a plain planar one of the same size —\n\
+     if b could be O~(1) at c = O~(d), the vortex frontier would bend like\n\
+     the planar one\n";
+  let show name g parts =
+    let tree = Sp.bfs_tree g 0 in
+    let pts = Core.Generic.frontier tree parts in
+    Printf.printf "%s (d_T=%d):\n" name (Sp.height tree);
+    List.iter
+      (fun p ->
+        Printf.printf "  kappa=%-5d b=%-4d c=%-5d q=%d\n" p.Core.Generic.kappa
+          p.Core.Generic.b p.Core.Generic.c p.Core.Generic.q)
+      pts
+  in
+  let plain = (Gen.grid 30 14).Gen.graph in
+  show "plain grid 30x14" plain (P.voronoi ~seed:4 plain ~count:10);
+  let base, rings = Core.Almost_embeddable.grid_with_holes 30 14 ~holes:2 ~hole_size:5 in
+  let gv, _ =
+    Array.to_list rings
+    |> List.fold_left
+         (fun (g, acc) ring ->
+           let g', v = Core.Vortex.add ~seed:7 g ~cycle:ring ~nodes:6 ~depth:3 in
+           (g', v :: acc))
+         (base, [])
+  in
+  show "grid 30x14 + 2 depth-3 vortices" gv (P.voronoi ~seed:4 gv ~count:10)
+
+(* ------------------------------------------------------------------ *)
+(* F1: Figure 1 — the three GST ingredients                            *)
+(* ------------------------------------------------------------------ *)
+
+let f1 () =
+  section "F1 (Figure 1): apex, vortex, clique-sum ingredients";
+  subsection "F1a: a planar graph with an added apex";
+  let base = (Gen.apollonian ~seed:12 80).Gen.graph in
+  let apexed = Gen.add_apices ~seed:12 base ~q:1 ~fanout:80 in
+  Printf.printf "base planar=%b; with apex planar=%b; diameter %d -> %d\n"
+    (Core.Planarity.is_planar base)
+    (Core.Planarity.is_planar apexed)
+    (Core.Distance.diameter_double_sweep base)
+    (Core.Distance.diameter_double_sweep apexed);
+  subsection "F1b: a cycle with an added vortex of depth 2";
+  let c = Gen.cycle 16 in
+  let g, v =
+    Core.Vortex.add ~seed:2 c ~cycle:(Array.init 16 (fun i -> i)) ~nodes:8 ~depth:2
+  in
+  Printf.printf "vortex check: %s; internal nodes %d; boundary %d; depth %d\n"
+    (match Core.Vortex.check g v with Ok () -> "valid" | Error e -> "INVALID " ^ e)
+    (Array.length v.Core.Vortex.internal)
+    (Array.length v.Core.Vortex.boundary)
+    v.Core.Vortex.depth;
+  subsection "F1c: a 3-clique-sum of two planar pieces";
+  let cs =
+    Core.Clique_sum.compose ~seed:8 ~k:3 ~shape:Core.Clique_sum.Path
+      [ (Gen.apollonian ~seed:21 30).Gen.graph; (Gen.apollonian ~seed:22 30).Gen.graph ]
+  in
+  Printf.printf "decomposition: %s; bags %d; separator size %d; glued n=%d\n"
+    (match Core.Clique_sum.check cs with Ok () -> "valid" | Error e -> "INVALID " ^ e)
+    (Core.Clique_sum.nbags cs)
+    (Array.length cs.Core.Clique_sum.separators.(1))
+    (G.n cs.Core.Clique_sum.graph)
+
+(* ------------------------------------------------------------------ *)
+(* F2/F3: Figures 2-3 — global vs local shortcut anatomy               *)
+(* ------------------------------------------------------------------ *)
+
+let f23 () =
+  section "F2/F3 (Figures 2-3): global vs local shortcut anatomy on a path of bags";
+  let cs =
+    Core.Clique_sum.compose ~seed:31 ~k:3 ~shape:Core.Clique_sum.Path
+      (List.init 12 (fun i -> (Gen.apollonian ~seed:(400 + i) 40).Gen.graph))
+  in
+  let g = cs.Core.Clique_sum.graph in
+  let tree = Sp.bfs_tree g 0 in
+  let parts = P.voronoi ~seed:13 g ~count:14 in
+  let sc, `Global_grants grants, `Depth_used depth =
+    Core.Cs_shortcut.construct_with_stats cs tree parts
+  in
+  Printf.printf "parts=%d folded-depth=%d global (part,edge) grants=%d total grants=%d\n"
+    (P.count parts) depth grants (Sc.total_assigned sc);
+  print_rows [ Q.measure ~label:"path-of-bags, local+global" sc ];
+  Printf.printf "aggregation rounds: %d\n" (agg_rounds sc)
+
+(* ------------------------------------------------------------------ *)
+(* F4: Figure 4 — folding a deep decomposition tree                    *)
+(* ------------------------------------------------------------------ *)
+
+let f4 () =
+  section "F4 (Figure 4): heavy-light folding compresses DT depth to O(log^2 n)";
+  Printf.printf "%-22s %10s %12s %14s\n" "tree" "bags" "raw depth" "folded depth";
+  List.iter
+    (fun n ->
+      let parent = Array.init n (fun i -> i - 1) in
+      let f = Core.Fold.fold ~parent in
+      Printf.printf "%-22s %10d %12d %14d\n"
+        (Printf.sprintf "path(%d)" n)
+        n
+        (Core.Fold.tree_depth parent)
+        (Core.Fold.depth f))
+    [ 64; 256; 1024; 4096 ];
+  List.iter
+    (fun n ->
+      let g = Gen.random_tree ~seed:(n + 1) n in
+      let t = Sp.bfs_tree g 0 in
+      let f = Core.Fold.fold ~parent:t.Sp.parent in
+      Printf.printf "%-22s %10d %12d %14d\n"
+        (Printf.sprintf "random tree(%d)" n)
+        n
+        (Core.Fold.tree_depth t.Sp.parent)
+        (Core.Fold.depth f))
+    [ 256; 1024; 4096 ];
+  let n = 2048 in
+  let parent =
+    Array.init n (fun i -> if i = 0 then -1 else if i mod 2 = 0 then i - 2 else i - 1)
+  in
+  let f = Core.Fold.fold ~parent in
+  Printf.printf "%-22s %10d %12d %14d\n" "caterpillar(2048)" n
+    (Core.Fold.tree_depth parent) (Core.Fold.depth f)
+
+(* ------------------------------------------------------------------ *)
+(* F5/F6: Figures 5-6 — gates, fences, extremal edges                  *)
+(* ------------------------------------------------------------------ *)
+
+let f56 () =
+  section "F5/F6 (Figures 5-6): combinatorial gates on embedded planar graphs";
+  Printf.printf "%-26s %6s %6s %8s %10s %12s\n" "instance" "cells" "gates" "d(cell)"
+    "sum|F|" "s = sum/|C|";
+  List.iter
+    (fun (side, k, seed) ->
+      let gp = Gen.grid side side in
+      let cells = P.voronoi ~seed gp.Gen.graph ~count:k in
+      let gates = Core.Gate.build gp.Gen.graph ~coords:gp.Gen.coords ~cells in
+      let status =
+        match Core.Gate.check gp.Gen.graph ~cells gates with
+        | Ok () -> ""
+        | Error e -> "  CHECK FAILED: " ^ e
+      in
+      let d = Core.Cell.diameter gp.Gen.graph cells in
+      let sum = Core.Gate.fence_total gates in
+      Printf.printf "%-26s %6d %6d %8d %10d %12.1f%s\n"
+        (Printf.sprintf "grid %dx%d" side side)
+        (P.count cells) (List.length gates) d sum
+        (float_of_int sum /. float_of_int (P.count cells))
+        status)
+    [ (12, 5, 1); (16, 8, 2); (24, 10, 3); (32, 16, 4); (32, 8, 5) ];
+  List.iter
+    (fun (n, k, seed) ->
+      let gp = Gen.apollonian ~seed n in
+      let cells = P.voronoi ~seed:(seed + 1) gp.Gen.graph ~count:k in
+      let gates = Core.Gate.build gp.Gen.graph ~coords:gp.Gen.coords ~cells in
+      let status =
+        match Core.Gate.check gp.Gen.graph ~cells gates with
+        | Ok () -> ""
+        | Error e -> "  CHECK FAILED: " ^ e
+      in
+      let d = Core.Cell.diameter gp.Gen.graph cells in
+      let sum = Core.Gate.fence_total gates in
+      Printf.printf "%-26s %6d %6d %8d %10d %12.1f%s\n"
+        (Printf.sprintf "apollonian %d" n)
+        (P.count cells) (List.length gates) d sum
+        (float_of_int sum /. float_of_int (P.count cells))
+        status)
+    [ (150, 6, 7); (300, 9, 8) ];
+  Printf.printf "Lemma 7 bound: s <= 36 d\n";
+  subsection "Lemma 4 tie-in: peeling beta vs the 2s gate bound";
+  List.iter
+    (fun (side, kcells, kparts) ->
+      let gp = Gen.grid side side in
+      let cells = P.voronoi ~seed:11 gp.Gen.graph ~count:kcells in
+      let parts = P.voronoi ~seed:23 gp.Gen.graph ~count:kparts in
+      let gates = Core.Gate.build gp.Gen.graph ~coords:gp.Gen.coords ~cells in
+      let s =
+        float_of_int (Core.Gate.fence_total gates) /. float_of_int (P.count cells)
+      in
+      let r = Core.Assignment.assign ~cells ~parts in
+      Printf.printf "grid %dx%d, %d cells, %d parts: beta=%d  2s=%.1f  (beta <= 2s: %b)\n"
+        side side (P.count cells) (P.count parts) r.Core.Assignment.beta (2.0 *. s)
+        (float_of_int r.Core.Assignment.beta <= 2.0 *. s))
+    [ (16, 6, 10); (24, 8, 16); (32, 12, 24) ]
+
+(* ------------------------------------------------------------------ *)
+(* F7: Figure 7 — planarizing a torus by cutting generators            *)
+(* ------------------------------------------------------------------ *)
+
+let f7 () =
+  section "F7 (Figure 7): cutting a torus grid along its generating cycles";
+  Printf.printf "%-14s %6s %6s | %6s %6s %10s %8s\n" "torus" "n" "m" "cut" "n'"
+    "duplicates" "planar";
+  List.iter
+    (fun (w, h) ->
+      let emb = Core.Embedding.torus_grid w h in
+      let g = emb.Core.Embedding.graph in
+      let tree = Sp.bfs_tree g 0 in
+      let pg, proj, gens = Core.Embedding.planarize emb tree in
+      let dup = G.n pg - G.n g in
+      Printf.printf "%-14s %6d %6d | %6d %6d %10d %8b\n"
+        (Printf.sprintf "%dx%d" w h)
+        (G.n g) (G.m g) gens (G.n pg) dup
+        (Core.Planarity.is_planar pg);
+      ignore proj)
+    [ (5, 5); (8, 6); (10, 10); (16, 12) ];
+  Printf.printf "genus check: every torus embedding above reports genus %d\n"
+    (Core.Embedding.genus (Core.Embedding.torus_grid 6 6))
+
+(* ------------------------------------------------------------------ *)
+(* bechamel timing suite: construction costs                           *)
+(* ------------------------------------------------------------------ *)
+
+let timing () =
+  section "timing (bechamel): construction costs";
+  let open Bechamel in
+  let grid = (Gen.grid 32 32).Gen.graph in
+  let tree = Sp.bfs_tree grid 0 in
+  let parts = P.voronoi ~seed:1 grid ~count:20 in
+  let cs =
+    Core.Clique_sum.compose ~seed:1 ~k:3 ~shape:Core.Clique_sum.Path
+      (List.init 10 (fun i -> (Gen.apollonian ~seed:i 40).Gen.graph))
+  in
+  let cs_tree = Sp.bfs_tree cs.Core.Clique_sum.graph 0 in
+  let cs_parts = P.voronoi ~seed:2 cs.Core.Clique_sum.graph ~count:10 in
+  let ap200 = (Gen.apollonian ~seed:6 200).Gen.graph in
+  let tests =
+    [
+      Test.make ~name:"E1 generic shortcut (grid 32x32)"
+        (Staged.stage (fun () -> ignore (Core.Generic.construct tree parts)));
+      Test.make ~name:"E1 steiner forest (grid 32x32)"
+        (Staged.stage (fun () -> ignore (Core.Steiner.compute tree parts)));
+      Test.make ~name:"E3 clique-sum shortcut (10 bags)"
+        (Staged.stage (fun () -> ignore (Core.Cs_shortcut.construct cs cs_tree cs_parts)));
+      Test.make ~name:"E6 bfs tree (grid 32x32)"
+        (Staged.stage (fun () -> ignore (Sp.bfs_tree grid 0)));
+      Test.make ~name:"substrate planarity (apollonian 200)"
+        (Staged.stage (fun () -> ignore (Core.Planarity.is_planar ap200)));
+      Test.make ~name:"E7 stoer-wagner (apollonian 200)"
+        (Staged.stage (fun () ->
+             ignore (Core.Mincut.stoer_wagner ap200 (G.unit_weights ap200))));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |] in
+  Printf.printf "%-42s %14s\n" "benchmark" "time/run";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysis = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+              let pretty =
+                if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+                else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+                else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+                else Printf.sprintf "%.0f ns" est
+              in
+              Printf.printf "%-42s %14s\n" name pretty
+          | _ -> Printf.printf "%-42s %14s\n" name "n/a")
+        analysis)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("E1", "Theorem 4: planar shortcut quality", e1);
+    ("E2", "Theorem 5: treewidth-k shortcut quality", e2);
+    ("E3", "Theorem 7: clique-sum shortcuts + folding", e3);
+    ("E4", "Theorem 8/9: almost-embeddable / apex shortcuts", e4);
+    ("E5", "Theorem 6: excluded-minor main theorem", e5);
+    ("E6", "Corollary 1: distributed MST round counts", e6);
+    ("E7", "Corollary 1: approximate min-cut", e7);
+    ("E8", "SHK+12 lower-bound family", e8);
+    ("E9", "HIZ16a: distributed construction cost", e9);
+    ("E10", "full distributed pipeline, per primitive", e10);
+    ("A1", "ablations: policy, kappa curve, folding", a1);
+    ("OP1", "open problem: block-congestion Pareto frontier", op1);
+    ("F1", "Figure 1: apex / vortex / clique-sum", f1);
+    ("F2", "Figures 2-3: global vs local shortcuts", f23);
+    ("F4", "Figure 4: decomposition-tree folding", f4);
+    ("F5", "Figures 5-6: combinatorial gates", f56);
+    ("F7", "Figure 7: torus planarization", f7);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let has flag = List.mem flag args in
+  let only =
+    let rec find = function
+      | "--only" :: v :: _ -> Some v
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  if has "--list" then
+    List.iter (fun (id, desc, _) -> Printf.printf "%-4s %s\n" id desc) experiments
+  else begin
+    List.iter
+      (fun (id, _, run) -> match only with Some o when o <> id -> () | _ -> run ())
+      experiments;
+    if (not (has "--no-timing")) && only = None then timing ();
+    print_endline "\nall experiments completed."
+  end

@@ -1,0 +1,178 @@
+(* Command-line front end: generate the paper's graph families, inspect
+   them, and run the shortcut / MST / min-cut pipelines on edge-list files.
+
+     shortcuts-cli gen grid --width 24 --height 24 -o grid.txt
+     shortcuts-cli info grid.txt
+     shortcuts-cli quality grid.txt --parts 12
+     shortcuts-cli mst grid.txt --algo shortcut
+     shortcuts-cli mincut grid.txt --trees 8
+*)
+
+open Cmdliner
+
+let read_graph file =
+  let g, w = Core.Io.read_file file in
+  if not (Core.Traversal.is_connected g) then
+    failwith "input graph is not connected";
+  (g, w)
+
+let weights_of g = function
+  | Some w -> w
+  | None -> Core.Graph.random_weights g
+
+(* ---------- gen ---------- *)
+
+let gen_families =
+  [
+    "grid";
+    "apollonian";
+    "series-parallel";
+    "ktree";
+    "torus";
+    "wheel";
+    "lower-bound";
+    "lk";
+  ]
+
+let gen family width height size k seed pieces weighted out =
+  let g =
+    match family with
+    | "grid" -> (Core.Generators.grid width height).Core.Generators.graph
+    | "apollonian" -> (Core.Generators.apollonian ~seed size).Core.Generators.graph
+    | "series-parallel" -> Core.Generators.series_parallel ~seed size
+    | "ktree" -> fst (Core.Generators.k_tree ~seed ~k size)
+    | "torus" -> Core.Generators.torus_grid width height
+    | "wheel" -> Core.Generators.cycle_with_apex size
+    | "lower-bound" -> fst (Core.Generators.lower_bound k)
+    | "lk" ->
+        let ps =
+          List.init pieces (fun i ->
+              (Core.Almost_embeddable.make ~seed:(seed + i) ~width:20 ~height:10
+                 ~handles:1 ~vortices:1 ~vortex_depth:2 ~vortex_nodes:4 ~apices:1
+                 ~apex_fanout:5)
+                .Core.Almost_embeddable.graph)
+        in
+        (Core.Clique_sum.compose ~seed ~k:3 ~shape:Core.Clique_sum.Random_tree ps)
+          .Core.Clique_sum.graph
+    | f -> failwith ("unknown family: " ^ f ^ " (try: " ^ String.concat ", " gen_families ^ ")")
+  in
+  let weights = if weighted then Some (Core.Graph.random_weights g) else None in
+  (match out with
+  | Some path ->
+      Core.Io.write_file path ?weights g;
+      Printf.printf "wrote %s: n=%d m=%d\n" path (Core.Graph.n g) (Core.Graph.m g)
+  | None -> print_string (Core.Io.to_string ?weights g));
+  0
+
+(* ---------- info ---------- *)
+
+let show_info file =
+  let g, w = read_graph file in
+  Printf.printf "n = %d\nm = %d\nweighted = %b\n" (Core.Graph.n g) (Core.Graph.m g)
+    (w <> None);
+  Printf.printf "diameter (double sweep) >= %d\n" (Core.Distance.diameter_double_sweep g);
+  if Core.Graph.n g <= 2000 then
+    Printf.printf "planar = %b\n" (Core.Planarity.is_planar g);
+  if Core.Graph.n g <= 1000 then begin
+    Printf.printf "treewidth <= %d (heuristic)\n" (Core.Treewidth.upper_bound g);
+    Printf.printf "K4-minor-free = %b\n" (not (Core.Minor.has_k4_minor g))
+  end;
+  0
+
+(* ---------- quality ---------- *)
+
+let quality file nparts seed =
+  let g, _ = read_graph file in
+  let parts = Core.Part.voronoi ~seed g ~count:nparts in
+  let tree = Core.Spanning.bfs_tree g 0 in
+  let sc = Core.Generic.construct tree parts in
+  print_endline (Core.Quality.header ());
+  print_endline (Core.Quality.to_string (Core.Quality.measure ~label:file sc));
+  let rounds = Core.Aggregate.rounds_for_parts sc ~seed in
+  let empty = Core.Shortcut.empty tree parts in
+  let rounds0 = Core.Aggregate.rounds_for_parts empty ~seed in
+  Printf.printf "aggregation: %d rounds with shortcuts, %d without\n" rounds rounds0;
+  0
+
+(* ---------- mst ---------- *)
+
+let mst file algo =
+  let g, w = read_graph file in
+  let w = weights_of g w in
+  let report =
+    match algo with
+    | "shortcut" -> Core.Mst.boruvka ~constructor:Core.Mst.shortcut_constructor g w
+    | "flooding" -> Core.Mst.boruvka ~constructor:Core.Mst.no_shortcut_constructor g w
+    | "pipelined" -> Core.Mst.pipelined g w
+    | "full" -> Core.Mst.boruvka_full ~constructor:Core.Mst.shortcut_constructor g w
+    | a -> failwith ("unknown algorithm: " ^ a)
+  in
+  (match Core.Mst.check g w report with
+  | Ok () -> ()
+  | Error e -> Printf.printf "WARNING: %s\n" e);
+  Printf.printf "algorithm = %s\nphases = %d\nrounds = %d\nweight = %.6f\n" algo
+    report.Core.Mst.phases report.Core.Mst.rounds report.Core.Mst.mst_weight;
+  0
+
+(* ---------- mincut ---------- *)
+
+let mincut file trees seed =
+  let g, w = read_graph file in
+  let w = weights_of g w in
+  let r = Core.Mincut.approx ~trees ~seed ~constructor:Core.Mst.shortcut_constructor g w in
+  Printf.printf "estimate = %.6f\nrounds = %d\ntrees = %d\n" r.Core.Mincut.estimate
+    r.Core.Mincut.rounds r.Core.Mincut.trees;
+  if Core.Graph.n g <= 400 then
+    Printf.printf "exact (stoer-wagner) = %.6f\n" (Core.Mincut.stoer_wagner g w);
+  0
+
+(* ---------- cmdliner wiring ---------- *)
+
+let file_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
+
+let gen_cmd =
+  let family = Arg.(required & pos 0 (some string) None & info [] ~docv:"FAMILY") in
+  let width = Arg.(value & opt int 16 & info [ "width" ] ~doc:"Grid/torus width.") in
+  let height = Arg.(value & opt int 16 & info [ "height" ] ~doc:"Grid/torus height.") in
+  let size = Arg.(value & opt int 256 & info [ "n"; "size" ] ~doc:"Vertex count.") in
+  let k = Arg.(value & opt int 3 & info [ "k" ] ~doc:"k (ktree width / lower-bound p).") in
+  let pieces = Arg.(value & opt int 6 & info [ "pieces" ] ~doc:"L_k piece count.") in
+  let weighted = Arg.(value & flag & info [ "weighted" ] ~doc:"Attach random weights.") in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a graph family instance as an edge list.")
+    Term.(const gen $ family $ width $ height $ size $ k $ seed_arg $ pieces $ weighted $ out)
+
+let info_cmd =
+  Cmd.v
+    (Cmd.info "info" ~doc:"Basic structural facts about a graph file.")
+    Term.(const show_info $ file_arg)
+
+let quality_cmd =
+  let nparts = Arg.(value & opt int 8 & info [ "parts" ] ~doc:"Voronoi part count.") in
+  Cmd.v
+    (Cmd.info "quality" ~doc:"Construct shortcuts and report b, c, q + rounds.")
+    Term.(const quality $ file_arg $ nparts $ seed_arg)
+
+let mst_cmd =
+  let algo =
+    Arg.(
+      value
+      & opt (enum [ ("shortcut", "shortcut"); ("flooding", "flooding"); ("pipelined", "pipelined"); ("full", "full") ]) "shortcut"
+      & info [ "algo" ] ~doc:"MST algorithm.")
+  in
+  Cmd.v
+    (Cmd.info "mst" ~doc:"Run a distributed MST and report simulated rounds.")
+    Term.(const mst $ file_arg $ algo)
+
+let mincut_cmd =
+  let trees = Arg.(value & opt int 8 & info [ "trees" ] ~doc:"Sampled trees.") in
+  Cmd.v
+    (Cmd.info "mincut" ~doc:"Approximate min-cut; exact verification on small inputs.")
+    Term.(const mincut $ file_arg $ trees $ seed_arg)
+
+let () =
+  let doc = "low-congestion shortcuts on excluded-minor networks" in
+  let main = Cmd.group (Cmd.info "shortcuts-cli" ~doc) [ gen_cmd; info_cmd; quality_cmd; mst_cmd; mincut_cmd ] in
+  exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/mincut_demo.ml: Core List Printf Random

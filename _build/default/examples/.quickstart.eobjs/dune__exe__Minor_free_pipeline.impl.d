@@ -1,0 +1,1 @@
+examples/minor_free_pipeline.ml: Array Core List Printf Random

@@ -1,0 +1,1 @@
+examples/planar_mst.mli:

@@ -1,0 +1,1 @@
+examples/resilience.ml: Core List Printf Random

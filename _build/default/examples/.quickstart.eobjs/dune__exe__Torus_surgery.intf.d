@@ -1,0 +1,1 @@
+examples/torus_surgery.mli:

@@ -1,0 +1,1 @@
+lib/congest/aggregate.ml: Array Graphlib Hashtbl Int64 List Network Option Queue Random Shortcuts

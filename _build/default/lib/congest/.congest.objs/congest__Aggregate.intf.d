@@ -1,0 +1,1 @@
+lib/congest/aggregate.mli: Network Shortcuts

@@ -1,0 +1,1 @@
+lib/congest/bfs.ml: Array Graphlib List Network

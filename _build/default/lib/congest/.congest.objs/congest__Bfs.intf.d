@@ -1,0 +1,1 @@
+lib/congest/bfs.mli: Graphlib Network

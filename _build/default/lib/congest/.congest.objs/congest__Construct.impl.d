@@ -1,0 +1,1 @@
+lib/congest/construct.ml: Array Graphlib Hashtbl List Queue Shortcuts

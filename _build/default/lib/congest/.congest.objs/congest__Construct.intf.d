@@ -1,0 +1,1 @@
+lib/congest/construct.mli: Graphlib Shortcuts

@@ -1,0 +1,1 @@
+lib/congest/leader.ml: Array Bfs Graphlib List Network

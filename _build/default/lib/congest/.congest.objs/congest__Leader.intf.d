@@ -1,0 +1,1 @@
+lib/congest/leader.mli: Graphlib Network

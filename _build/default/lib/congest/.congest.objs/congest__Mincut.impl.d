@@ -1,0 +1,1 @@
+lib/congest/mincut.ml: Array Graphlib List Mst Queue Random Structure

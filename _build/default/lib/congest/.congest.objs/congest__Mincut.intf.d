@@ -1,0 +1,1 @@
+lib/congest/mincut.mli: Graphlib Mst

@@ -1,0 +1,1 @@
+lib/congest/mst.ml: Aggregate Array Graphlib Hashtbl List Network Option Printf Shortcuts

@@ -1,0 +1,1 @@
+lib/congest/mst.mli: Graphlib Shortcuts

@@ -1,0 +1,1 @@
+lib/congest/network.ml: Array Graphlib Hashtbl List

@@ -1,0 +1,1 @@
+lib/congest/network.mli: Graphlib

@@ -1,0 +1,1 @@
+lib/congest/partition.ml: Array Graphlib Hashtbl List Network Shortcuts

@@ -1,0 +1,1 @@
+lib/congest/partition.mli: Graphlib Network Shortcuts

@@ -1,0 +1,1 @@
+lib/congest/sssp.ml: Array Graphlib Int64 List Network

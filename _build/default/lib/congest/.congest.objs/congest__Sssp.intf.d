@@ -1,0 +1,1 @@
+lib/congest/sssp.mli: Graphlib Network

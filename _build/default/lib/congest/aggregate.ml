@@ -1,0 +1,364 @@
+module Graph = Graphlib.Graph
+module Part = Shortcuts.Part
+module Sc = Shortcuts.Shortcut
+
+type result = {
+  stats : Network.stats;
+  mins : (float * int) option array;
+}
+
+type node_state = {
+  best : (int, float * int) Hashtbl.t;  (* part -> current min *)
+  queues : (int, int Queue.t) Hashtbl.t;  (* neighbor -> pending part ids *)
+  queued : (int * int, unit) Hashtbl.t;
+}
+
+let minimum ?max_rounds sc ~values =
+  let tree = sc.Sc.tree in
+  let g = tree.Graphlib.Spanning.graph in
+  let n = Graph.n g in
+  let parts = sc.Sc.parts in
+  let part_of = parts.Part.part_of in
+  (* usable (vertex, neighbor) -> parts: shortcut edges of each part plus the
+     part's own induced edges *)
+  let usable : (int, int list) Hashtbl.t array = Array.init n (fun _ -> Hashtbl.create 4) in
+  let allow v w p =
+    let cur = Option.value (Hashtbl.find_opt usable.(v) w) ~default:[] in
+    if not (List.mem p cur) then Hashtbl.replace usable.(v) w (p :: cur)
+  in
+  Array.iteri
+    (fun p edges ->
+      Array.iter
+        (fun e ->
+          let u, v = Graph.edge g e in
+          allow u v p;
+          allow v u p)
+        edges)
+    sc.Sc.assigned;
+  Graph.iter_edges g (fun _ u v ->
+      let pu = part_of.(u) in
+      if pu >= 0 && pu = part_of.(v) then begin
+        allow u v pu;
+        allow v u pu
+      end);
+  let enqueue st v w p =
+    if not (Hashtbl.mem st.queued (w, p)) then begin
+      Hashtbl.replace st.queued (w, p) ();
+      let q =
+        match Hashtbl.find_opt st.queues w with
+        | Some q -> q
+        | None ->
+            let q = Queue.create () in
+            Hashtbl.replace st.queues w q;
+            q
+      in
+      Queue.push p q;
+      ignore v
+    end
+  in
+  let improve st v p value =
+    let better =
+      match Hashtbl.find_opt st.best p with None -> true | Some cur -> value < cur
+    in
+    if better then begin
+      Hashtbl.replace st.best p value;
+      Hashtbl.iter
+        (fun w plist -> if List.mem p plist then enqueue st v w p)
+        usable.(v)
+    end;
+    better
+  in
+  let algo =
+    {
+      Network.init =
+        (fun _ v ->
+          let st =
+            {
+              best = Hashtbl.create 4;
+              queues = Hashtbl.create 4;
+              queued = Hashtbl.create 4;
+            }
+          in
+          let p = part_of.(v) in
+          (match (p, values.(v)) with
+          | p, Some value when p >= 0 -> ignore (improve st v p value)
+          | _ -> ());
+          st);
+      step =
+        (fun ~round:_ ~node:v st ~inbox ->
+          (* receive *)
+          List.iter
+            (fun (w, payload) ->
+              match payload with
+              | [| p; hi; lo; data |] ->
+                  let bits =
+                    Int64.logor
+                      (Int64.shift_left (Int64.of_int hi) 32)
+                      (Int64.of_int (lo land 0xFFFFFFFF))
+                  in
+                  let key = Int64.float_of_bits bits in
+                  ignore w;
+                  ignore (improve st v p (key, data))
+              | _ -> invalid_arg "Aggregate: malformed payload")
+            inbox;
+          (* send: one pending part per neighbor *)
+          let outbox = ref [] in
+          Hashtbl.iter
+            (fun w q ->
+              if not (Queue.is_empty q) then begin
+                let p = Queue.pop q in
+                Hashtbl.remove st.queued (w, p);
+                match Hashtbl.find_opt st.best p with
+                | Some (key, data) ->
+                    let bits = Int64.bits_of_float key in
+                    let hi = Int64.to_int (Int64.shift_right_logical bits 32) in
+                    let lo = Int64.to_int (Int64.logand bits 0xFFFFFFFFL) in
+                    outbox := (w, [| p; hi; lo; data |]) :: !outbox
+                | None -> ()
+              end)
+            st.queues;
+          (st, !outbox));
+      finished =
+        (fun st ->
+          Hashtbl.fold (fun _ q acc -> acc && Queue.is_empty q) st.queues true);
+    }
+  in
+  let states, stats = Network.run ?max_rounds g algo in
+  let mins =
+    Array.init n (fun v ->
+        let p = part_of.(v) in
+        if p < 0 then None else Hashtbl.find_opt states.(v).best p)
+  in
+  { stats; mins }
+
+let true_minimum parts ~values =
+  let n = Array.length values in
+  let nparts = Part.count parts in
+  let best = Array.make nparts None in
+  Array.iteri
+    (fun v value ->
+      let p = parts.Part.part_of.(v) in
+      if p >= 0 then
+        match (value, best.(p)) with
+        | Some x, Some y when y <= x -> ()
+        | Some x, _ -> best.(p) <- Some x
+        | None, _ -> ())
+    values;
+  Array.init n (fun v ->
+      let p = parts.Part.part_of.(v) in
+      if p < 0 then None else best.(p))
+
+let verify sc ~values result =
+  let expected = true_minimum sc.Sc.parts ~values in
+  let ok = ref true in
+  Array.iteri
+    (fun v e ->
+      match (e, result.mins.(v)) with
+      | Some x, Some y when x = y -> ()
+      | None, _ -> ()
+      | _ -> ok := false)
+    expected;
+  !ok
+
+let rounds_for_parts ?max_rounds sc ~seed =
+  let st = Random.State.make [| seed |] in
+  let g = sc.Sc.tree.Graphlib.Spanning.graph in
+  let values =
+    Array.init (Graph.n g) (fun v ->
+        if sc.Sc.parts.Part.part_of.(v) >= 0 then
+          Some (Random.State.float st 1.0, v)
+        else None)
+  in
+  let r = minimum ?max_rounds sc ~values in
+  r.stats.Network.rounds
+
+(* ---- non-idempotent aggregates: SUM via convergecast/broadcast ---- *)
+
+type sum_result = {
+  rounds : int;
+  sums : float option array;
+}
+
+(* spanning tree of one part's communication graph G[P_i] + H_i *)
+let part_tree g parts assigned i =
+  let members = parts.Part.parts.(i) in
+  let adj = Hashtbl.create 64 in
+  let add u v =
+    Hashtbl.replace adj u (v :: Option.value (Hashtbl.find_opt adj u) ~default:[]);
+    Hashtbl.replace adj v (u :: Option.value (Hashtbl.find_opt adj v) ~default:[])
+  in
+  (* the part's own induced edges *)
+  Array.iter
+    (fun v ->
+      Array.iter
+        (fun (u, _) -> if parts.Part.part_of.(u) = i && u > v then add u v)
+        (Graph.adj g v))
+    members;
+  (* shortcut edges *)
+  Array.iter
+    (fun e ->
+      let u, v = Graph.edge g e in
+      add u v)
+    assigned;
+  let root = members.(0) in
+  let parent = Hashtbl.create 64 in
+  Hashtbl.replace parent root (-1);
+  let q = Queue.create () in
+  Queue.push root q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    List.iter
+      (fun u ->
+        if not (Hashtbl.mem parent u) then begin
+          Hashtbl.replace parent u v;
+          Queue.push u q
+        end)
+      (Option.value (Hashtbl.find_opt adj v) ~default:[])
+  done;
+  parent
+
+(* schedule a set of messages over shared directed physical edges: message
+   (key) travels edge (src, dst) once all of deps.(key) are delivered; each
+   directed edge delivers one ready message per round, FIFO. Returns the
+   makespan. [messages]: key -> (src, dst, dependencies). *)
+let schedule messages =
+  let deps_left = Hashtbl.create 256 in
+  let dependants = Hashtbl.create 256 in
+  let ready : ((int * int), (int * int) Queue.t) Hashtbl.t = Hashtbl.create 256 in
+  let push_ready key (src, dst) =
+    let q =
+      match Hashtbl.find_opt ready (src, dst) with
+      | Some q -> q
+      | None ->
+          let q = Queue.create () in
+          Hashtbl.replace ready (src, dst) q;
+          q
+    in
+    Queue.push key q
+  in
+  let pending = ref 0 in
+  Hashtbl.iter
+    (fun key (src, dst, deps) ->
+      incr pending;
+      let live = List.filter (Hashtbl.mem messages) deps in
+      if live = [] then push_ready key (src, dst)
+      else begin
+        Hashtbl.replace deps_left key (List.length live);
+        List.iter
+          (fun d ->
+            Hashtbl.replace dependants d
+              (key :: Option.value (Hashtbl.find_opt dependants d) ~default:[]))
+          live
+      end)
+    messages;
+  let rounds = ref 0 in
+  while !pending > 0 do
+    incr rounds;
+    if !rounds > 1_000_000 then failwith "Aggregate.schedule: stuck";
+    let delivered = ref [] in
+    Hashtbl.iter
+      (fun _ q -> if not (Queue.is_empty q) then delivered := Queue.pop q :: !delivered)
+      ready;
+    List.iter
+      (fun key ->
+        decr pending;
+        List.iter
+          (fun k ->
+            match Hashtbl.find_opt deps_left k with
+            | Some 1 ->
+                Hashtbl.remove deps_left k;
+                let src, dst, _ = Hashtbl.find messages k in
+                push_ready k (src, dst)
+            | Some d -> Hashtbl.replace deps_left k (d - 1)
+            | None -> ())
+          (Option.value (Hashtbl.find_opt dependants key) ~default:[]))
+      !delivered
+  done;
+  !rounds
+
+let sum sc ~values =
+  let tree = sc.Sc.tree in
+  let g = tree.Graphlib.Spanning.graph in
+  let n = Graph.n g in
+  let parts = sc.Sc.parts in
+  let nparts = Part.count parts in
+  let ptrees = Array.init nparts (fun i -> part_tree g parts sc.Sc.assigned.(i) i) in
+  (* convergecast: message (i, v) for every non-root node v of part i's tree,
+     travelling v -> parent, depending on v's children messages *)
+  let children = Array.map (fun pt ->
+      let kids = Hashtbl.create 32 in
+      Hashtbl.iter
+        (fun v p ->
+          if p >= 0 then
+            Hashtbl.replace kids p (v :: Option.value (Hashtbl.find_opt kids p) ~default:[]))
+        pt;
+      kids)
+      ptrees
+  in
+  let up = Hashtbl.create 256 in
+  Array.iteri
+    (fun i pt ->
+      Hashtbl.iter
+        (fun v p ->
+          if p >= 0 then
+            let deps =
+              Option.value (Hashtbl.find_opt children.(i) v) ~default:[]
+              |> List.map (fun c -> (i, c))
+            in
+            Hashtbl.replace up (i, v) (v, p, deps))
+        pt)
+    ptrees;
+  let up_rounds = schedule up in
+  (* broadcast: message (i, v) for every non-root v, parent -> v, depending on
+     the parent's broadcast message (roots' children depend on nothing) *)
+  let down = Hashtbl.create 256 in
+  Array.iteri
+    (fun i pt ->
+      Hashtbl.iter
+        (fun v p ->
+          if p >= 0 then begin
+            let gp = Hashtbl.find pt p in
+            let deps = if gp >= 0 then [ (i, p) ] else [] in
+            Hashtbl.replace down (i, v) (p, v, deps)
+          end)
+        pt)
+    ptrees;
+  let down_rounds = schedule down in
+  (* the sums themselves, computed exactly (the schedule above establishes
+     the cost; values ride along the same messages) *)
+  let totals = Array.make nparts 0.0 in
+  Array.iteri
+    (fun v value ->
+      let p = parts.Part.part_of.(v) in
+      match (p, value) with
+      | p, Some x when p >= 0 -> totals.(p) <- totals.(p) +. x
+      | _ -> ())
+    values;
+  let sums =
+    Array.init n (fun v ->
+        let p = parts.Part.part_of.(v) in
+        if p < 0 then None else Some totals.(p))
+  in
+  { rounds = up_rounds + down_rounds; sums }
+
+let verify_sum sc ~values result =
+  let parts = sc.Sc.parts in
+  let nparts = Part.count parts in
+  let totals = Array.make nparts 0.0 in
+  Array.iteri
+    (fun v value ->
+      let p = parts.Part.part_of.(v) in
+      match (p, value) with
+      | p, Some x when p >= 0 -> totals.(p) <- totals.(p) +. x
+      | _ -> ())
+    values;
+  let ok = ref true in
+  Array.iteri
+    (fun v s ->
+      let p = parts.Part.part_of.(v) in
+      match (p, s) with
+      | p, Some s when p >= 0 -> if abs_float (s -. totals.(p)) > 1e-6 then ok := false
+      | p, None when p >= 0 -> ok := false
+      | _ -> ())
+    result.sums;
+  !ok

@@ -1,0 +1,36 @@
+module Graph = Graphlib.Graph
+
+type state = { dist : int; parent : int }
+
+type full = { s : state; announced : bool }
+
+let run ?max_rounds g ~root =
+  let algo =
+    {
+      Network.init =
+        (fun _ v ->
+          if v = root then { s = { dist = 0; parent = -1 }; announced = false }
+          else { s = { dist = -1; parent = -1 }; announced = false });
+      step =
+        (fun ~round:_ ~node:v st ~inbox ->
+          (* adopt the smallest announced distance *)
+          let st =
+            List.fold_left
+              (fun st (w, payload) ->
+                match payload with
+                | [| d |] when st.s.dist < 0 || d + 1 < st.s.dist ->
+                    { st with s = { dist = d + 1; parent = w } }
+                | _ -> st)
+              st inbox
+          in
+          if st.s.dist >= 0 && not st.announced then
+            ( { st with announced = true },
+              Array.to_list (Graph.neighbors g v)
+              |> List.map (fun w -> (w, [| st.s.dist |])) )
+          else (st, []))
+      ;
+      finished = (fun st -> st.announced);
+    }
+  in
+  let states, stats = Network.run ?max_rounds g algo in
+  (Array.map (fun st -> st.s) states, stats)

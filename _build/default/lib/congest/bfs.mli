@@ -1,0 +1,13 @@
+(** Distributed BFS-tree construction: the O(D)-round primitive every
+    shortcut-framework algorithm starts with (Theorem 1 takes T to be a BFS
+    tree). *)
+
+type state = {
+  dist : int;  (** [-1] until reached *)
+  parent : int;  (** neighbor id, [-1] at the root / unreached *)
+}
+
+val run :
+  ?max_rounds:int -> Graphlib.Graph.t -> root:int -> state array * Network.stats
+(** Flood distances from the root; every node learns its BFS distance and
+    parent. Rounds ~ eccentricity(root) + 1. *)

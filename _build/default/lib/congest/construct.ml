@@ -1,0 +1,100 @@
+module Graph = Graphlib.Graph
+module Spanning = Graphlib.Spanning
+module Part = Shortcuts.Part
+
+(* The convergecast schedule: every tree edge e (identified with its child
+   endpoint) must forward one message per part whose Steiner tree uses e.
+   The (e, p) message becomes ready once every child edge of e carrying p
+   has delivered its (_, p) message; each edge sends one ready message per
+   round (FIFO). We simulate round by round and return the makespan. *)
+let convergecast_rounds tree parts =
+  let g = tree.Spanning.graph in
+  let n = Graph.n g in
+  let steiner = Shortcuts.Steiner.compute tree parts in
+  (* parts carried by the edge above each vertex *)
+  let carried = Array.make n [] in
+  Array.iteri
+    (fun p edges ->
+      List.iter
+        (fun e ->
+          let u, v = Graph.edge g e in
+          let child = if tree.Spanning.parent_edge.(u) = e then u else v in
+          carried.(child) <- p :: carried.(child))
+        edges)
+    steiner.Shortcuts.Steiner.edges;
+  (* children lists *)
+  let kids = Spanning.children tree in
+  (* remaining dependencies per (child-vertex, part): number of child edges
+     of [child] that carry the part *)
+  let deps = Hashtbl.create 256 in
+  let ready : (int, int Queue.t) Hashtbl.t = Hashtbl.create 256 in
+  let push_ready v p =
+    let q =
+      match Hashtbl.find_opt ready v with
+      | Some q -> q
+      | None ->
+          let q = Queue.create () in
+          Hashtbl.replace ready v q;
+          q
+    in
+    Queue.push p q
+  in
+  let pending = ref 0 in
+  for v = 0 to n - 1 do
+    List.iter
+      (fun p ->
+        incr pending;
+        let d =
+          Array.fold_left
+            (fun acc c -> if List.mem p carried.(c) then acc + 1 else acc)
+            0 kids.(v)
+        in
+        if d = 0 then push_ready v p else Hashtbl.replace deps (v, p) d)
+      carried.(v)
+  done;
+  let rounds = ref 0 in
+  while !pending > 0 do
+    incr rounds;
+    if !rounds > 100 * (n + 1) then failwith "Construct: schedule stuck";
+    (* each edge (vertex with a nonempty ready queue) sends one message *)
+    let delivered = ref [] in
+    Hashtbl.iter
+      (fun v q ->
+        if not (Queue.is_empty q) then begin
+          let p = Queue.pop q in
+          delivered := (v, p) :: !delivered
+        end)
+      ready;
+    List.iter
+      (fun (v, p) ->
+        decr pending;
+        (* the parent's edge above may now have one dependency fewer *)
+        let parent = tree.Spanning.parent.(v) in
+        if parent >= 0 && List.mem p carried.(parent) then begin
+          match Hashtbl.find_opt deps (parent, p) with
+          | Some 1 ->
+              Hashtbl.remove deps (parent, p);
+              push_ready parent p
+          | Some d -> Hashtbl.replace deps (parent, p) (d - 1)
+          | None -> ()
+        end)
+      !delivered
+  done;
+  !rounds
+
+type report = {
+  shortcut : Shortcuts.Shortcut.t;
+  construction_rounds : int;
+  max_load : int;
+}
+
+let distributed_generic ?kappas tree parts =
+  let steiner = Shortcuts.Steiner.compute tree parts in
+  let max_load = Shortcuts.Steiner.max_load steiner in
+  let convergecast = convergecast_rounds tree parts in
+  (* the kappa decision is broadcast down the tree: one message per edge *)
+  let broadcast = Spanning.height tree in
+  let shortcut = Shortcuts.Generic.construct ?kappas tree parts in
+  (* sanity: the distributed schedule computes the same loads the offline
+     construction used, so the shortcuts coincide by construction *)
+  { shortcut; construction_rounds = convergecast + broadcast; max_load }

@@ -1,0 +1,27 @@
+(** Distributed shortcut construction cost (HIZ16a, "low-congestion shortcuts
+    without embedding").
+
+    The uniform construction needs, per congestion threshold κ, the per-edge
+    Steiner load of the parts — which a network computes by a pipelined
+    convergecast along the BFS tree: every tree edge forwards one
+    (part, subtree-count) pair per round, a pair becoming ready once the
+    pairs for the same part have arrived from all child edges. This module
+    simulates that schedule exactly (per-edge FIFO queues over the real
+    Steiner structure) and returns both the resulting shortcut (identical to
+    the offline {!Shortcuts.Generic.construct} result, asserted) and the
+    simulated round count:
+
+    rounds ≈ convergecast (depth + max load, pipelined) + a broadcast of the
+    chosen κ (depth), matching HIZ16a's Õ(q) construction bound. *)
+
+type report = {
+  shortcut : Shortcuts.Shortcut.t;
+  construction_rounds : int;  (** simulated convergecast + broadcast cost *)
+  max_load : int;  (** max Steiner load observed *)
+}
+
+val distributed_generic :
+  ?kappas:int list -> Graphlib.Spanning.tree -> Shortcuts.Part.t -> report
+
+val convergecast_rounds : Graphlib.Spanning.tree -> Shortcuts.Part.t -> int
+(** Just the pipelined load-computation schedule length. *)

@@ -1,0 +1,129 @@
+module Graph = Graphlib.Graph
+
+type outcome = {
+  leader : int;
+  n_estimate : int;
+  d_estimate : int;
+  stats : Network.stats;
+}
+
+(* stage 1: min-id flooding *)
+type elect_state = { best : int; announced : bool }
+
+let elect_stage ?max_rounds g =
+  let algo =
+    {
+      Network.init = (fun _ v -> { best = v; announced = false });
+      step =
+        (fun ~round:_ ~node:v st ~inbox ->
+          let st =
+            List.fold_left
+              (fun st (_, payload) ->
+                match payload with
+                | [| cand |] when cand < st.best -> { best = cand; announced = false }
+                | _ -> st)
+              st inbox
+          in
+          if not st.announced then
+            ( { st with announced = true },
+              Array.to_list (Graph.neighbors g v) |> List.map (fun w -> (w, [| st.best |]))
+            )
+          else (st, []))
+      ;
+      finished = (fun st -> st.announced);
+    }
+  in
+  let states, stats = Network.run ?max_rounds g algo in
+  (states.(0).best, stats)
+
+(* stage 3: census convergecast over the leader's BFS tree.
+   Round 1 announces parents (so everyone learns its children); a node
+   reports (subtree size, subtree height) upward once all children have. *)
+type census_state = {
+  parent : int;
+  expected : int option;  (* children count, once known *)
+  received : int;
+  acc_count : int;
+  acc_height : int;
+  reported : bool;
+}
+
+let census_stage ?max_rounds g parent_of depth_of root =
+  let algo =
+    {
+      Network.init =
+        (fun _ v ->
+          {
+            parent = parent_of.(v);
+            expected = None;
+            received = 0;
+            acc_count = 1;
+            acc_height = depth_of.(v);
+            reported = false;
+          });
+      step =
+        (fun ~round ~node:v st ~inbox ->
+          if round = 1 then
+            (* announce the parent to all neighbors *)
+            ( st,
+              Array.to_list (Graph.neighbors g v)
+              |> List.map (fun w -> (w, [| st.parent |])) )
+          else begin
+            let st =
+              if round = 2 then begin
+                (* count the children among the announcements *)
+                let kids =
+                  List.fold_left
+                    (fun acc (w, payload) ->
+                      match payload with
+                      | [| p |] when p = v -> acc + 1
+                      | _ -> ignore w; acc)
+                    0 inbox
+                in
+                { st with expected = Some kids }
+              end
+              else
+                List.fold_left
+                  (fun st (_, payload) ->
+                    match payload with
+                    | [| cnt; h |] ->
+                        {
+                          st with
+                          received = st.received + 1;
+                          acc_count = st.acc_count + cnt;
+                          acc_height = max st.acc_height h;
+                        }
+                    | _ -> st)
+                  st inbox
+            in
+            match st.expected with
+            | Some kids when st.received = kids && (not st.reported) && v <> root ->
+                ( { st with reported = true },
+                  [ (st.parent, [| st.acc_count; st.acc_height |]) ] )
+            | Some kids when st.received = kids && v = root ->
+                ({ st with reported = true }, [])
+            | _ -> (st, [])
+          end);
+      finished = (fun st -> st.reported);
+    }
+  in
+  let states, stats = Network.run ?max_rounds g algo in
+  (states.(root).acc_count, states.(root).acc_height, stats)
+
+let elect ?max_rounds g =
+  let leader, s1 = elect_stage ?max_rounds g in
+  (* stage 2: BFS tree from the leader (simulated) *)
+  let bfs_states, s2 = Bfs.run ?max_rounds g ~root:leader in
+  let parent_of = Array.map (fun st -> st.Bfs.dist |> ignore; st.Bfs.parent) bfs_states in
+  let depth_of = Array.map (fun st -> st.Bfs.dist) bfs_states in
+  let n_estimate, ecc, s3 = census_stage ?max_rounds g parent_of depth_of leader in
+  (* stage 4: broadcasting (n, ecc) back down costs another ecc rounds *)
+  let stats =
+    {
+      Network.rounds = s1.Network.rounds + s2.Network.rounds + s3.Network.rounds + ecc;
+      messages = s1.Network.messages + s2.Network.messages + s3.Network.messages + (Graph.n g - 1);
+      max_words = max s1.Network.max_words (max s2.Network.max_words s3.Network.max_words);
+      converged = s1.Network.converged && s2.Network.converged && s3.Network.converged;
+    }
+  in
+  { leader; n_estimate; d_estimate = ecc; stats }

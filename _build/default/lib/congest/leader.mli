@@ -1,0 +1,18 @@
+(** Leader election and census: the bootstrap every CONGEST algorithm needs
+    (the paper's §1.3.1 assumes nodes know n and D "up to constants", noting
+    both are computable in O(D) — this module is that computation).
+
+    Minimum-id flooding elects the leader in O(D) rounds; the leader's BFS
+    tree then counts the nodes (convergecast) and measures the eccentricity,
+    giving every node n and a 2-approximation of D. *)
+
+type outcome = {
+  leader : int;
+  n_estimate : int;  (** exact node count *)
+  d_estimate : int;  (** leader's eccentricity: within a factor 2 of D *)
+  stats : Network.stats;
+}
+
+val elect : ?max_rounds:int -> Graphlib.Graph.t -> outcome
+(** Every node ends up knowing all three fields (checked by the
+    implementation: the returned values are read off an arbitrary node). *)

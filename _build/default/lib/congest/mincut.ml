@@ -1,0 +1,210 @@
+module Graph = Graphlib.Graph
+module Spanning = Graphlib.Spanning
+
+let stoer_wagner g w =
+  let n = Graph.n g in
+  if n < 2 then invalid_arg "Mincut.stoer_wagner: need n >= 2";
+  (* adjacency matrix of capacities, on a shrinking vertex set *)
+  let cap = Array.make_matrix n n 0.0 in
+  Graph.iter_edges g (fun e u v ->
+      cap.(u).(v) <- cap.(u).(v) +. w.(e);
+      cap.(v).(u) <- cap.(v).(u) +. w.(e));
+  let active = Array.init n (fun i -> i) in
+  let nactive = ref n in
+  let best = ref infinity in
+  while !nactive > 1 do
+    (* maximum adjacency order *)
+    let m = !nactive in
+    let weight = Array.make m 0.0 in
+    let added = Array.make m false in
+    let order = Array.make m (-1) in
+    for i = 0 to m - 1 do
+      let pick = ref (-1) in
+      for j = 0 to m - 1 do
+        if (not added.(j)) && (!pick < 0 || weight.(j) > weight.(!pick)) then pick := j
+      done;
+      order.(i) <- !pick;
+      added.(!pick) <- true;
+      for j = 0 to m - 1 do
+        if not added.(j) then
+          weight.(j) <- weight.(j) +. cap.(active.(!pick)).(active.(j))
+      done
+    done;
+    let t = order.(m - 1) and s = order.(m - 2) in
+    best := min !best weight.(t);
+    (* merge t into s *)
+    let vs = active.(s) and vt = active.(t) in
+    for j = 0 to m - 1 do
+      let u = active.(j) in
+      if u <> vs && u <> vt then begin
+        cap.(vs).(u) <- cap.(vs).(u) +. cap.(vt).(u);
+        cap.(u).(vs) <- cap.(vs).(u)
+      end
+    done;
+    (* drop t *)
+    active.(t) <- active.(m - 1);
+    decr nactive
+  done;
+  !best
+
+let one_respecting_cut g w tree =
+  let n = Graph.n g in
+  let lca =
+    Structure.Lca.create ~parent:tree.Spanning.parent ~depth:tree.Spanning.depth
+  in
+  let contrib = Array.make n 0.0 in
+  Graph.iter_edges g (fun e a b ->
+      let l = Structure.Lca.lca lca a b in
+      contrib.(a) <- contrib.(a) +. w.(e);
+      contrib.(b) <- contrib.(b) +. w.(e);
+      contrib.(l) <- contrib.(l) -. (2.0 *. w.(e)));
+  (* subtree sums bottom-up over the BFS order *)
+  let sum = Array.copy contrib in
+  for i = n - 1 downto 0 do
+    let v = tree.Spanning.order.(i) in
+    if v <> tree.Spanning.root then
+      sum.(tree.Spanning.parent.(v)) <- sum.(tree.Spanning.parent.(v)) +. sum.(v)
+  done;
+  let best = ref infinity and arg = ref (-1) in
+  for v = 0 to n - 1 do
+    if v <> tree.Spanning.root && sum.(v) < !best then begin
+      best := sum.(v);
+      arg := v
+    end
+  done;
+  (!best, !arg)
+
+let two_respecting_cut g w tree =
+  let n = Graph.n g in
+  if n > 400 then invalid_arg "Mincut.two_respecting_cut: use n <= 400";
+  (* Euler intervals for O(1) ancestor tests *)
+  let kids = Array.make n [] in
+  Array.iteri
+    (fun v p -> if p >= 0 then kids.(p) <- v :: kids.(p))
+    tree.Spanning.parent;
+  let tin = Array.make n 0 and tout = Array.make n 0 in
+  let timer = ref 0 in
+  let rec dfs v =
+    tin.(v) <- !timer;
+    incr timer;
+    List.iter dfs kids.(v);
+    tout.(v) <- !timer;
+    incr timer
+  in
+  dfs tree.Spanning.root;
+  let inside v x = tin.(v) <= tin.(x) && tout.(x) <= tout.(v) in
+  (* one-respecting cut values per subtree root *)
+  let cut1 = Array.make n 0.0 in
+  let lca = Structure.Lca.create ~parent:tree.Spanning.parent ~depth:tree.Spanning.depth in
+  let contrib = Array.make n 0.0 in
+  Graph.iter_edges g (fun e a b ->
+      let l = Structure.Lca.lca lca a b in
+      contrib.(a) <- contrib.(a) +. w.(e);
+      contrib.(b) <- contrib.(b) +. w.(e);
+      contrib.(l) <- contrib.(l) -. (2.0 *. w.(e)));
+  Array.blit contrib 0 cut1 0 n;
+  for i = n - 1 downto 0 do
+    let v = tree.Spanning.order.(i) in
+    if v <> tree.Spanning.root then
+      cut1.(tree.Spanning.parent.(v)) <- cut1.(tree.Spanning.parent.(v)) +. cut1.(v)
+  done;
+  let best = ref infinity in
+  for v = 0 to n - 1 do
+    if v <> tree.Spanning.root then best := min !best cut1.(v)
+  done;
+  (* pairs of subtree roots; O(n^2 m) exhaustive evaluation *)
+  for v = 0 to n - 1 do
+    if v <> tree.Spanning.root then
+      for u = v + 1 to n - 1 do
+        if u <> tree.Spanning.root then begin
+          let v_in_u = inside u v and u_in_v = inside v u in
+          if not (v_in_u || u_in_v) then begin
+            (* disjoint subtrees: S = sub(v) + sub(u);
+               delta(S) = cut1(v) + cut1(u) - 2 * X(sub v, sub u) *)
+            let x = ref 0.0 in
+            Graph.iter_edges g (fun e a b ->
+                if (inside v a && inside u b) || (inside u a && inside v b) then
+                  x := !x +. w.(e));
+            best := min !best (cut1.(v) +. cut1.(u) -. (2.0 *. !x))
+          end
+          else begin
+            (* nested: S = sub(outer) - sub(inner);
+               delta(S) = cut1(outer) + cut1(inner) - 2 * Z(inner, complement of outer) *)
+            let outer, inner = if v_in_u then (u, v) else (v, u) in
+            let z = ref 0.0 in
+            Graph.iter_edges g (fun e a b ->
+                let a_in = inside inner a and b_in = inside inner b in
+                if (a_in && not (inside outer b)) || (b_in && not (inside outer a)) then
+                  z := !z +. w.(e));
+            best := min !best (cut1.(outer) +. cut1.(inner) -. (2.0 *. !z))
+          end
+        end
+      done
+  done;
+  !best
+
+type report = {
+  estimate : float;
+  rounds : int;
+  trees : int;
+}
+
+let approx ?(trees = 8) ?(two_respecting = false) ~seed ~constructor g w =
+  let st = Random.State.make [| seed |] in
+  let m = Graph.m g in
+  let rounds = ref 0 in
+  let best = ref infinity in
+  for _t = 1 to trees do
+    (* random perturbation: heavier-capacity edges are more likely to be in
+       the sampled tree (exponential-race weights) *)
+    let wt =
+      Array.init m (fun e ->
+          let u = Random.State.float st 1.0 +. 1e-12 in
+          -.log u /. (w.(e) +. 1e-12))
+    in
+    let report = Mst.boruvka ~constructor g wt in
+    rounds := !rounds + report.Mst.rounds;
+    (* build the sampled tree rooted anywhere and evaluate its best
+       1-respecting cut; the subtree sums cost one convergecast: depth rounds *)
+    let in_tree = Array.make m false in
+    List.iter (fun e -> in_tree.(e) <- true) report.Mst.mst_edges;
+    let tree_graph_edges =
+      Graph.fold_edges g ~init:[] ~f:(fun acc e u v -> if in_tree.(e) then (u, v, e) :: acc else acc)
+    in
+    (* rebuild a Spanning.tree restricted to the sampled edges by BFS *)
+    let adj = Array.make (Graph.n g) [] in
+    List.iter
+      (fun (u, v, e) ->
+        adj.(u) <- (v, e) :: adj.(u);
+        adj.(v) <- (u, e) :: adj.(v))
+      tree_graph_edges;
+    let nv = Graph.n g in
+    let parent = Array.make nv (-1) and parent_edge = Array.make nv (-1) in
+    let depth = Array.make nv (-1) and order = Array.make nv (-1) in
+    let q = Queue.create () in
+    depth.(0) <- 0;
+    Queue.push 0 q;
+    let cnt = ref 0 in
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      order.(!cnt) <- v;
+      incr cnt;
+      List.iter
+        (fun (u, e) ->
+          if depth.(u) < 0 then begin
+            depth.(u) <- depth.(v) + 1;
+            parent.(u) <- v;
+            parent_edge.(u) <- e;
+            Queue.push u q
+          end)
+        adj.(v)
+    done;
+    let tree = { Spanning.graph = g; root = 0; parent; parent_edge; depth; order } in
+    let cut =
+      if two_respecting then two_respecting_cut g w tree
+      else fst (one_respecting_cut g w tree)
+    in
+    rounds := !rounds + Array.fold_left max 0 depth;
+    if cut < !best then best := cut
+  done;
+  { estimate = !best; rounds = !rounds; trees }

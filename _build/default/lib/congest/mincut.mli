@@ -1,0 +1,43 @@
+(** Min-cut: exact Stoer–Wagner verifier and the distributed (1+ε)-style
+    approximation via tree packing (Corollary 1).
+
+    The distributed algorithm samples spanning trees under independent random
+    edge-weight perturbations (a greedy tree-packing surrogate in the
+    Karger / Thorup style), computes each tree with the shortcut-Boruvka MST
+    routine, and evaluates the best 1-respecting cut of every sampled tree by
+    subtree sums (one O(depth) convergecast per tree). The returned estimate
+    is an upper bound on the true min cut that is within a small factor with
+    high probability as the number of trees grows; the exact verifier
+    measures the realized ratio. *)
+
+val stoer_wagner : Graphlib.Graph.t -> Graphlib.Graph.weights -> float
+(** Exact global min cut of a weighted connected graph; O(n³). *)
+
+val one_respecting_cut :
+  Graphlib.Graph.t -> Graphlib.Graph.weights -> Graphlib.Spanning.tree -> float * int
+(** Minimum, over tree edges, of the weight of graph edges crossing the
+    subtree below that edge; returns (cut value, subtree-root vertex). *)
+
+val two_respecting_cut :
+  Graphlib.Graph.t -> Graphlib.Graph.weights -> Graphlib.Spanning.tree -> float
+(** Minimum cut whose side is a subtree, a union of two disjoint subtrees,
+    or a subtree minus a nested subtree: the full Karger 2-respecting
+    guarantee. Exhaustive over tree-edge pairs (O(n² m)); capped at
+    [n <= 400]. *)
+
+type report = {
+  estimate : float;
+  rounds : int;  (** simulated: one MST run per tree + one convergecast each *)
+  trees : int;
+}
+
+val approx :
+  ?trees:int ->
+  ?two_respecting:bool ->
+  seed:int ->
+  constructor:Mst.constructor ->
+  Graphlib.Graph.t ->
+  Graphlib.Graph.weights ->
+  report
+(** Default [trees] = 8, [two_respecting] = false (1-respecting cuts only;
+    set it on small graphs for Karger's full whp-exactness guarantee). *)

@@ -1,0 +1,66 @@
+(** Distributed MST in the CONGEST model (Theorem 1 / Corollary 1).
+
+    Boruvka with part-wise aggregation: each phase, every fragment finds its
+    minimum-weight outgoing edge by one aggregation over its shortcut-equipped
+    communication graph, the winners are broadcast back and the fragments
+    merge. O(log n) phases; the per-phase cost is the measured aggregation
+    round count, so plugging in different shortcut constructors reproduces
+    the paper's comparison:
+
+    - {!shortcut_constructor}: the uniform construction — O(q(D)) per phase;
+    - {!no_shortcut_constructor}: plain flooding inside fragments — the
+      Gallager-style baseline, Θ(fragment diameter) per phase;
+    - {!pipelined}: the O(D + √n) controlled-merge baseline (GKP-style):
+      flooding phases until fragments reach size √n, then pipelined
+      convergecast of one candidate edge per fragment over the BFS tree. *)
+
+type constructor =
+  Graphlib.Spanning.tree -> Shortcuts.Part.t -> Shortcuts.Shortcut.t
+
+val shortcut_constructor : constructor
+(** [Generic.construct]. *)
+
+val no_shortcut_constructor : constructor
+(** Empty shortcuts: fragments flood over their own edges only. *)
+
+type report = {
+  phases : int;
+  rounds : int;  (** total simulated rounds (MWOE aggregation + echo) *)
+  messages : int;  (** total simulated messages *)
+  mst_edges : int list;
+  mst_weight : float;
+  phase_rounds : int list;
+}
+
+val boruvka :
+  ?overhead:int ->
+  ?max_rounds_per_phase:int ->
+  constructor:constructor ->
+  Graphlib.Graph.t ->
+  Graphlib.Graph.weights ->
+  report
+(** [overhead] (default 2) multiplies each phase's aggregation cost to account
+    for the winner-echo / fragment-renaming aggregations, which have the same
+    communication pattern. Raises [Failure] if a phase's aggregation fails to
+    converge within [max_rounds_per_phase]. *)
+
+val boruvka_full :
+  ?max_rounds_per_phase:int ->
+  constructor:constructor ->
+  Graphlib.Graph.t ->
+  Graphlib.Graph.weights ->
+  report
+(** Like {!boruvka} but with no charged overhead: each phase simulates both
+    the MWOE aggregation and the fragment-renaming aggregation (every member
+    of each merged fragment learns the new leader id) as real message
+    floods. Slower to simulate, fully honest round counts. *)
+
+val pipelined : Graphlib.Graph.t -> Graphlib.Graph.weights -> report
+(** The O(D + √n) baseline. Flooding phases until fragments have at least
+    √n vertices, then each remaining merge round charges
+    [depth(BFS tree) + #fragments] rounds (exact cost of pipelining one
+    candidate per fragment to the root). *)
+
+val check : Graphlib.Graph.t -> Graphlib.Graph.weights -> report -> (unit, string) result
+(** The reported edges form a spanning tree of minimum total weight
+    (compared against Kruskal). *)

@@ -1,0 +1,60 @@
+module Graph = Graphlib.Graph
+
+type stats = {
+  rounds : int;
+  messages : int;
+  max_words : int;
+  converged : bool;
+}
+
+type 'st algo = {
+  init : Graph.t -> int -> 'st;
+  step :
+    round:int ->
+    node:int ->
+    'st ->
+    inbox:(int * int array) list ->
+    'st * (int * int array) list;
+  finished : 'st -> bool;
+}
+
+let run ?(bandwidth = 4) ?(max_rounds = 1_000_000) g algo =
+  let n = Graph.n g in
+  let states = Array.init n (fun v -> algo.init g v) in
+  let inboxes : (int * int array) list array = Array.make n [] in
+  let next_inboxes : (int * int array) list array = Array.make n [] in
+  let messages = ref 0 in
+  let max_words = ref 0 in
+  let round = ref 0 in
+  let all_done () = Array.for_all algo.finished states in
+  let converged = ref (all_done ()) in
+  while (not !converged) && !round < max_rounds do
+    incr round;
+    (* deliver: all sends from the previous round *)
+    Array.blit next_inboxes 0 inboxes 0 n;
+    Array.fill next_inboxes 0 n [];
+    for v = 0 to n - 1 do
+      let st, outbox = algo.step ~round:!round ~node:v states.(v) ~inbox:inboxes.(v) in
+      states.(v) <- st;
+      (* enforce the CONGEST constraints *)
+      let seen = Hashtbl.create (List.length outbox) in
+      List.iter
+        (fun (w, payload) ->
+          if not (Graph.mem_edge g v w) then
+            invalid_arg "Congest: send to a non-neighbor";
+          if Hashtbl.mem seen w then
+            invalid_arg "Congest: two messages on one edge in one round";
+          Hashtbl.replace seen w ();
+          if Array.length payload > bandwidth then
+            invalid_arg "Congest: message exceeds bandwidth";
+          max_words := max !max_words (Array.length payload);
+          incr messages;
+          next_inboxes.(w) <- (v, payload) :: next_inboxes.(w))
+        outbox
+    done;
+    Array.fill inboxes 0 n [];
+    if all_done () && Array.for_all (fun l -> l = []) next_inboxes then converged := true
+  done;
+  ( states,
+    { rounds = !round; messages = !messages; max_words = !max_words; converged = !converged }
+  )

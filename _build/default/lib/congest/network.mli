@@ -1,0 +1,36 @@
+(** Synchronous CONGEST-model executor (paper §1.3.1).
+
+    Rounds proceed in lockstep; in each round every node may send one message
+    of at most [bandwidth] words (a word stands for O(log n) bits) across
+    each incident edge, in each direction. Violations raise
+    [Invalid_argument] — the simulator never silently widens the channel.
+    Local computation is free. *)
+
+type stats = {
+  rounds : int;  (** rounds until all nodes finished (or the cap) *)
+  messages : int;  (** total messages delivered *)
+  max_words : int;  (** widest message observed *)
+  converged : bool;  (** all nodes reported finished before the cap *)
+}
+
+type 'st algo = {
+  init : Graphlib.Graph.t -> int -> 'st;
+  step :
+    round:int ->
+    node:int ->
+    'st ->
+    inbox:(int * int array) list ->
+    'st * (int * int array) list;
+      (** [inbox]: (neighbor, payload) received this round.
+          Returns the new state and the outbox: at most one (neighbor,
+          payload) per incident neighbor. *)
+  finished : 'st -> bool;
+}
+
+val run :
+  ?bandwidth:int ->
+  ?max_rounds:int ->
+  Graphlib.Graph.t ->
+  'st algo ->
+  'st array * stats
+(** Defaults: [bandwidth = 4] words, [max_rounds = 1_000_000]. *)

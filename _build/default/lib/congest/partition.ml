@@ -1,0 +1,64 @@
+module Graph = Graphlib.Graph
+
+type result = {
+  owner : int array;
+  dist : int array;
+  stats : Network.stats;
+}
+
+type state = { owner : int; dist : int; announced : bool }
+
+let voronoi ?max_rounds g ~seeds =
+  let seed_index = Hashtbl.create (Array.length seeds) in
+  Array.iteri (fun i s -> if not (Hashtbl.mem seed_index s) then Hashtbl.add seed_index s i) seeds;
+  let algo =
+    {
+      Network.init =
+        (fun _ v ->
+          match Hashtbl.find_opt seed_index v with
+          | Some i -> { owner = i; dist = 0; announced = false }
+          | None -> { owner = -1; dist = -1; announced = false });
+      step =
+        (fun ~round:_ ~node:v st ~inbox ->
+          (* adopt the smallest (distance, owner) announcement *)
+          let st =
+            List.fold_left
+              (fun st (w, payload) ->
+                ignore w;
+                match payload with
+                | [| o; d |] when st.dist < 0 || (d + 1, o) < (st.dist, st.owner) ->
+                    { owner = o; dist = d + 1; announced = false }
+                | _ -> st)
+              st inbox
+          in
+          if st.dist >= 0 && not st.announced then
+            ( { st with announced = true },
+              Array.to_list (Graph.neighbors g v)
+              |> List.map (fun w -> (w, [| st.owner; st.dist |])) )
+          else (st, []))
+      ;
+      finished = (fun st -> st.announced);
+    }
+  in
+  let states, stats = Network.run ?max_rounds g algo in
+  {
+    owner = Array.map (fun st -> st.owner) states;
+    dist = Array.map (fun st -> st.dist) states;
+    stats;
+  }
+
+let to_parts g (result : result) =
+  let n = Graph.n g in
+  let nseeds = 1 + Array.fold_left max (-1) result.owner in
+  let buckets = Array.make (max 1 nseeds) [] in
+  for v = n - 1 downto 0 do
+    if result.owner.(v) >= 0 then buckets.(result.owner.(v)) <- v :: buckets.(result.owner.(v))
+  done;
+  Shortcuts.Part.of_list g (Array.to_list buckets |> List.filter (( <> ) []))
+
+let verify g ~seeds (result : result) =
+  let reference, dist = Graphlib.Traversal.multi_source_bfs g seeds in
+  ignore reference;
+  Array.for_all
+    (fun v -> result.dist.(v) = dist.(v) && (result.dist.(v) < 0 || result.owner.(v) >= 0))
+    (Array.init (Graph.n g) (fun i -> i))

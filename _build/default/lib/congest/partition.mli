@@ -1,0 +1,22 @@
+(** Distributed construction of the workload partition itself.
+
+    The cell partitions and Voronoi parts the framework consumes are
+    computed in-model: concurrent BFS from the seed set (each node adopts
+    the first wave to reach it), which is how Definition 14's canonical cell
+    partition is built in the paper (§2.3.3: "start a concurrent BFS from
+    each node adjacent to the removed apex"). *)
+
+type result = {
+  owner : int array;  (** per vertex: index into the seed array, or -1 *)
+  dist : int array;
+  stats : Network.stats;
+}
+
+val voronoi : ?max_rounds:int -> Graphlib.Graph.t -> seeds:int array -> result
+(** Rounds ~ max distance to the nearest seed. *)
+
+val to_parts : Graphlib.Graph.t -> result -> Shortcuts.Part.t
+(** Package the owner regions as parts (they are connected by construction). *)
+
+val verify : Graphlib.Graph.t -> seeds:int array -> result -> bool
+(** Every vertex adopted a seed at the true minimum BFS distance. *)

@@ -1,0 +1,73 @@
+module Graph = Graphlib.Graph
+
+type result = {
+  dist : float array;
+  parent : int array;
+  stats : Network.stats;
+}
+
+type state = { d : float; parent : int; dirty : bool }
+
+let float_payload x =
+  let bits = Int64.bits_of_float x in
+  (Int64.to_int (Int64.shift_right_logical bits 32), Int64.to_int (Int64.logand bits 0xFFFFFFFFL))
+
+let payload_float hi lo =
+  Int64.float_of_bits
+    (Int64.logor (Int64.shift_left (Int64.of_int hi) 32) (Int64.of_int (lo land 0xFFFFFFFF)))
+
+let run_relaxation ?max_rounds g weight_of ~source =
+  let algo =
+    {
+      Network.init =
+        (fun _ v ->
+          if v = source then { d = 0.0; parent = -1; dirty = true }
+          else { d = infinity; parent = -1; dirty = false });
+      step =
+        (fun ~round:_ ~node:v st ~inbox ->
+          let st =
+            List.fold_left
+              (fun st (w, payload) ->
+                match payload with
+                | [| hi; lo |] ->
+                    let dw = payload_float hi lo in
+                    let cand = dw +. weight_of v w in
+                    if cand < st.d then { d = cand; parent = w; dirty = true } else st
+                | _ -> invalid_arg "Sssp: malformed payload")
+              st inbox
+          in
+          if st.dirty then begin
+            let hi, lo = float_payload st.d in
+            ( { st with dirty = false },
+              Array.to_list (Graph.neighbors g v) |> List.map (fun w -> (w, [| hi; lo |]))
+            )
+          end
+          else (st, []))
+      ;
+      finished = (fun st -> not st.dirty);
+    }
+  in
+  let states, stats = Network.run ?max_rounds g algo in
+  {
+    dist = Array.map (fun st -> st.d) states;
+    parent = Array.map (fun st -> st.parent) states;
+    stats;
+  }
+
+let unweighted ?max_rounds g ~source = run_relaxation ?max_rounds g (fun _ _ -> 1.0) ~source
+
+let bellman_ford ?max_rounds g w ~source =
+  let weight_of v u =
+    match Graph.find_edge g v u with
+    | Some e -> w.(e)
+    | None -> invalid_arg "Sssp: missing edge"
+  in
+  run_relaxation ?max_rounds g weight_of ~source
+
+let verify g w ~source result =
+  let reference = Graphlib.Distance.dijkstra g w source in
+  Array.for_all
+    (fun v ->
+      let a = reference.(v) and b = result.dist.(v) in
+      (a = infinity && b = infinity) || abs_float (a -. b) < 1e-9)
+    (Array.init (Graph.n g) (fun i -> i))

@@ -1,0 +1,28 @@
+(** Distributed single-source shortest paths — one of the problem families
+    the paper's introduction lists (the Ω̃(√n) lower bound of [SHK+12]
+    applies to it too).
+
+    Two algorithms:
+    - {!unweighted}: BFS flooding, exact in O(D) rounds;
+    - {!bellman_ford}: weighted distances by synchronous relaxation, exact
+      in (hop diameter of the shortest-path tree) rounds, Θ(n) in the worst
+      case — the classical baseline whose round complexity the sublinear
+      algorithms ([Elk17a, HKN16], cited in §1.2) compete against. *)
+
+type result = {
+  dist : float array;  (** [infinity] if unreachable *)
+  parent : int array;
+  stats : Network.stats;
+}
+
+val unweighted : ?max_rounds:int -> Graphlib.Graph.t -> source:int -> result
+
+val bellman_ford :
+  ?max_rounds:int ->
+  Graphlib.Graph.t ->
+  Graphlib.Graph.weights ->
+  source:int ->
+  result
+
+val verify : Graphlib.Graph.t -> Graphlib.Graph.weights -> source:int -> result -> bool
+(** Distances equal Dijkstra's. *)

@@ -1,0 +1,1 @@
+lib/graphlib/distance.ml: Array Graph Pqueue Traversal

@@ -1,0 +1,1 @@
+lib/graphlib/distance.mli: Graph

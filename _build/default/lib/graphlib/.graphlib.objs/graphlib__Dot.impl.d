@@ -1,0 +1,1 @@
+lib/graphlib/dot.ml: Array Buffer Fun Graph Printf

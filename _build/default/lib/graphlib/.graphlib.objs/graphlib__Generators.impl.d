@@ -1,0 +1,1 @@
+lib/graphlib/generators.ml: Array Graph List Random Traversal

@@ -1,0 +1,1 @@
+lib/graphlib/generators.mli: Graph

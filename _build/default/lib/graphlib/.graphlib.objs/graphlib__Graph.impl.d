@@ -1,0 +1,1 @@
+lib/graphlib/graph.ml: Array Fmt Hashtbl List Random

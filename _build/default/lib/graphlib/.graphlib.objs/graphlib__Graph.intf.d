@@ -1,0 +1,1 @@
+lib/graphlib/graph.mli: Fmt Random

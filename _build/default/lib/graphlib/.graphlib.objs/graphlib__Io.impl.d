@@ -1,0 +1,1 @@
+lib/graphlib/io.ml: Array Buffer Fun Graph List Printf String

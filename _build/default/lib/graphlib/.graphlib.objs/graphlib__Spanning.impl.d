@@ -1,0 +1,1 @@
+lib/graphlib/spanning.ml: Array Graph List Pqueue Queue Union_find

@@ -1,0 +1,1 @@
+lib/graphlib/spanning.mli: Graph

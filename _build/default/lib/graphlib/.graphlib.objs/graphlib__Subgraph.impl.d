@@ -1,0 +1,1 @@
+lib/graphlib/subgraph.ml: Array Graph Hashtbl List

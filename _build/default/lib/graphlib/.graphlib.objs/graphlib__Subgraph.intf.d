@@ -1,0 +1,1 @@
+lib/graphlib/subgraph.mli: Graph

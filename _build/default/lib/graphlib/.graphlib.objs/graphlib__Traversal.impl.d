@@ -1,0 +1,1 @@
+lib/graphlib/traversal.ml: Array Graph List Queue

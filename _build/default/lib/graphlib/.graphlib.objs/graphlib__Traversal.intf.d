@@ -1,0 +1,1 @@
+lib/graphlib/traversal.mli: Graph

@@ -1,0 +1,1 @@
+lib/graphlib/union_find.mli:

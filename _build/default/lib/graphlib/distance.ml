@@ -1,0 +1,79 @@
+let dijkstra g w src =
+  let n = Graph.n g in
+  let dist = Array.make n infinity in
+  let q = Pqueue.create () in
+  dist.(src) <- 0.0;
+  Pqueue.push q 0.0 src;
+  let rec loop () =
+    match Pqueue.pop q with
+    | None -> ()
+    | Some (d, v) ->
+        if d <= dist.(v) then
+          Array.iter
+            (fun (u, e) ->
+              let nd = d +. w.(e) in
+              if nd < dist.(u) then begin
+                dist.(u) <- nd;
+                Pqueue.push q nd u
+              end)
+            (Graph.adj g v);
+        loop ()
+  in
+  loop ();
+  dist
+
+let eccentricity g v =
+  let dist = Traversal.bfs g v in
+  Array.fold_left max 0 dist
+
+let farthest g v =
+  let dist = Traversal.bfs g v in
+  let best = ref v and bd = ref 0 in
+  Array.iteri
+    (fun u d ->
+      if d > !bd then begin
+        bd := d;
+        best := u
+      end)
+    dist;
+  (!best, !bd)
+
+let diameter_exact g =
+  let n = Graph.n g in
+  if n < 2 then 0
+  else begin
+    let d = ref 0 in
+    for v = 0 to n - 1 do
+      d := max !d (eccentricity g v)
+    done;
+    !d
+  end
+
+let diameter_double_sweep g =
+  let n = Graph.n g in
+  if n < 2 then 0
+  else begin
+    let best = ref 0 in
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let u, d = farthest g !v in
+      if d > !best then best := d;
+      v := u
+    done;
+    !best
+  end
+
+let radius_center g =
+  let n = Graph.n g in
+  if n = 0 then (0, 0)
+  else begin
+    let center = ref 0 and radius = ref max_int in
+    for v = 0 to n - 1 do
+      let e = eccentricity g v in
+      if e < !radius then begin
+        radius := e;
+        center := v
+      end
+    done;
+    (!center, !radius)
+  end

@@ -1,0 +1,20 @@
+(** Weighted shortest paths and diameter estimation. *)
+
+val dijkstra : Graph.t -> Graph.weights -> int -> float array
+(** Weighted distances from the source; [infinity] if unreachable. *)
+
+val eccentricity : Graph.t -> int -> int
+(** Unweighted eccentricity of a vertex (max BFS distance to a reachable
+    vertex). *)
+
+val diameter_exact : Graph.t -> int
+(** Exact unweighted diameter by all-pairs BFS; O(n·m), use on small graphs.
+    Returns 0 for graphs with fewer than 2 vertices; ignores unreachable
+    pairs. *)
+
+val diameter_double_sweep : Graph.t -> int
+(** Lower bound on the diameter by iterated double sweep (exact on trees,
+    very tight in practice). O(m) per sweep. *)
+
+val radius_center : Graph.t -> int * int
+(** [(center, radius)] by all-pairs BFS. *)

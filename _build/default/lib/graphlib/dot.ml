@@ -1,0 +1,24 @@
+let palette =
+  [| "lightblue"; "salmon"; "palegreen"; "gold"; "plum"; "khaki"; "lightgray"; "orange" |]
+
+let to_string ?labels ?vertex_class g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph G {\n  node [shape=circle];\n";
+  for v = 0 to Graph.n g - 1 do
+    let label = match labels with Some f -> f v | None -> string_of_int v in
+    let attrs =
+      match vertex_class with
+      | Some cls when cls.(v) >= 0 ->
+          Printf.sprintf " [label=\"%s\", style=filled, fillcolor=%s]" label
+            palette.(cls.(v) mod Array.length palette)
+      | _ -> Printf.sprintf " [label=\"%s\"]" label
+    in
+    Buffer.add_string buf (Printf.sprintf "  v%d%s;\n" v attrs)
+  done;
+  Graph.iter_edges g (fun _ u v -> Buffer.add_string buf (Printf.sprintf "  v%d -- v%d;\n" u v));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)

@@ -1,0 +1,6 @@
+(** Graphviz DOT export, for eyeballing small instances. *)
+
+val to_string : ?labels:(int -> string) -> ?vertex_class:int array -> Graph.t -> string
+(** Undirected DOT; [vertex_class] colours vertices by class id. *)
+
+val write_file : string -> string -> unit

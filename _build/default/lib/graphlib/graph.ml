@@ -1,0 +1,93 @@
+type t = {
+  n : int;
+  edges : (int * int) array;
+  adj : (int * int) array array;
+}
+
+let n g = g.n
+let m g = Array.length g.edges
+let edge g e = g.edges.(e)
+let edges g = g.edges
+let adj g v = g.adj.(v)
+let neighbors g v = Array.map fst g.adj.(v)
+let degree g v = Array.length g.adj.(v)
+
+let other_endpoint g e v =
+  let u, w = g.edges.(e) in
+  if v = u then w
+  else if v = w then u
+  else invalid_arg "Graph.other_endpoint: vertex not on edge"
+
+let find_edge g u v =
+  let a = g.adj.(u) in
+  let rec loop i =
+    if i >= Array.length a then None
+    else
+      let w, e = a.(i) in
+      if w = v then Some e else loop (i + 1)
+  in
+  loop 0
+
+let mem_edge g u v = find_edge g u v <> None
+
+let of_edges n raw =
+  if n < 0 then invalid_arg "Graph.of_edges: negative n";
+  let seen = Hashtbl.create (2 * List.length raw + 1) in
+  let keep =
+    List.filter
+      (fun (u, v) ->
+        if u < 0 || u >= n || v < 0 || v >= n then
+          invalid_arg "Graph.of_edges: vertex out of range";
+        if u = v then false
+        else
+          let key = if u < v then (u, v) else (v, u) in
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.add seen key ();
+            true
+          end)
+      raw
+  in
+  let edges = Array.of_list keep in
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  let adj = Array.init n (fun v -> Array.make deg.(v) (0, 0)) in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun e (u, v) ->
+      adj.(u).(fill.(u)) <- (v, e);
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- (u, e);
+      fill.(v) <- fill.(v) + 1)
+    edges;
+  { n; edges; adj }
+
+let complete n =
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      acc := (u, v) :: !acc
+    done
+  done;
+  of_edges n !acc
+
+let iter_edges g f = Array.iteri (fun e (u, v) -> f e u v) g.edges
+
+let fold_edges g ~init ~f =
+  let acc = ref init in
+  Array.iteri (fun e (u, v) -> acc := f !acc e u v) g.edges;
+  !acc
+
+type weights = float array
+
+let unit_weights g = Array.make (m g) 1.0
+
+let random_weights ?state g =
+  let st = match state with Some s -> s | None -> Random.State.make [| 42 |] in
+  Array.init (m g) (fun _ -> Random.State.float st 1.0 +. 1e-9)
+
+let pp ppf g = Fmt.pf ppf "graph(n=%d, m=%d)" g.n (m g)

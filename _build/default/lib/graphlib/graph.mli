@@ -1,0 +1,72 @@
+(** Immutable undirected graphs with dense vertex and edge identifiers.
+
+    Vertices are integers [0 .. n-1]. Every undirected edge has a unique id
+    in [0 .. m-1]; parallel edges and self-loops are rejected at construction
+    time (the CONGEST model ignores self-loops, cf. paper §1.3). *)
+
+type t
+
+(** {1 Accessors} *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of undirected edges. *)
+
+val edge : t -> int -> int * int
+(** [edge g e] is the endpoint pair of edge [e], in insertion order. *)
+
+val edges : t -> (int * int) array
+(** All endpoint pairs, indexed by edge id. The array is owned by the graph;
+    do not mutate. *)
+
+val adj : t -> int -> (int * int) array
+(** [adj g v] lists [(neighbor, edge_id)] pairs incident to [v]. Owned by the
+    graph; do not mutate. *)
+
+val neighbors : t -> int -> int array
+(** [neighbors g v] is the neighbor list of [v] (fresh array). *)
+
+val degree : t -> int -> int
+
+val other_endpoint : t -> int -> int -> int
+(** [other_endpoint g e v] is the endpoint of [e] distinct from [v].
+    @raise Invalid_argument if [v] is not an endpoint of [e]. *)
+
+val mem_edge : t -> int -> int -> bool
+(** [mem_edge g u v] tests adjacency (linear in [degree g u]). *)
+
+val find_edge : t -> int -> int -> int option
+(** Edge id joining [u] and [v], if any. *)
+
+(** {1 Construction} *)
+
+val of_edges : int -> (int * int) list -> t
+(** [of_edges n edges] builds a graph on [n] vertices. Duplicate edges (in
+    either orientation) are merged; self-loops are dropped. *)
+
+val complete : int -> t
+(** Complete graph [K_n]. *)
+
+val iter_edges : t -> (int -> int -> int -> unit) -> unit
+(** [iter_edges g f] calls [f e u v] for every edge. *)
+
+val fold_edges : t -> init:'a -> f:('a -> int -> int -> int -> 'a) -> 'a
+
+(** {1 Weights}
+
+    Edge weights live outside the graph, keyed by edge id, so the same
+    topology can carry many weight functions (random weights for tree
+    packing, unit weights for BFS checks, ...). *)
+
+type weights = float array
+
+val unit_weights : t -> weights
+
+val random_weights : ?state:Random.State.t -> t -> weights
+(** Distinct-ish uniform weights in (0,1); with a seeded state for
+    reproducibility. *)
+
+val pp : t Fmt.t
+(** Terse description, ["graph(n=.., m=..)"]. *)

@@ -1,0 +1,69 @@
+let to_string ?weights g =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "%d %d\n" (Graph.n g) (Graph.m g));
+  Graph.iter_edges g (fun e u v ->
+      match weights with
+      | Some w -> Buffer.add_string buf (Printf.sprintf "%d %d %.12g\n" u v w.(e))
+      | None -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v));
+  Buffer.contents buf
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match lines with
+  | [] -> invalid_arg "Io.of_string: empty input"
+  | header :: rest ->
+      let n, m =
+        match String.split_on_char ' ' header |> List.filter (( <> ) "") with
+        | [ a; b ] -> (int_of_string a, int_of_string b)
+        | _ -> invalid_arg "Io.of_string: bad header"
+      in
+      let edges = ref [] in
+      let weights = ref [] in
+      let weighted = ref None in
+      List.iter
+        (fun line ->
+          match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+          | [ u; v ] ->
+              (match !weighted with
+              | Some true -> invalid_arg "Io.of_string: mixed weighted/unweighted"
+              | _ -> weighted := Some false);
+              edges := (int_of_string u, int_of_string v) :: !edges
+          | [ u; v; w ] ->
+              (match !weighted with
+              | Some false -> invalid_arg "Io.of_string: mixed weighted/unweighted"
+              | _ -> weighted := Some true);
+              edges := (int_of_string u, int_of_string v) :: !edges;
+              weights := float_of_string w :: !weights
+          | _ -> invalid_arg "Io.of_string: bad edge line")
+        rest;
+      if List.length !edges <> m then invalid_arg "Io.of_string: edge count mismatch";
+      let g = Graph.of_edges n (List.rev !edges) in
+      let w =
+        match !weighted with
+        | Some true ->
+            (* graph construction dedupes; only safe when input has no dups *)
+            if Graph.m g <> m then
+              invalid_arg "Io.of_string: duplicate edges in weighted input"
+            else Some (Array.of_list (List.rev !weights))
+        | _ -> None
+      in
+      (g, w)
+
+let write_file path ?weights g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?weights g))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      of_string s)

@@ -1,0 +1,12 @@
+(** Plain-text graph interchange: the CLI and external tools read and write
+    edge lists.
+
+    Format: first line [n m], then [m] lines [u v] (0-based vertex ids),
+    optionally followed by a weight per edge ([u v w]). Lines starting with
+    ['#'] are comments. *)
+
+val to_string : ?weights:Graph.weights -> Graph.t -> string
+val of_string : string -> Graph.t * Graph.weights option
+
+val write_file : string -> ?weights:Graph.weights -> Graph.t -> unit
+val read_file : string -> Graph.t * Graph.weights option

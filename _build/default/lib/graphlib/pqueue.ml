@@ -1,0 +1,62 @@
+type 'a t = { mutable data : (float * 'a) array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let is_empty q = q.len = 0
+let size q = q.len
+
+let grow q item =
+  let cap = Array.length q.data in
+  if q.len = cap then begin
+    let ncap = max 8 (2 * cap) in
+    let nd = Array.make ncap item in
+    Array.blit q.data 0 nd 0 q.len;
+    q.data <- nd
+  end
+
+let push q prio x =
+  let item = (prio, x) in
+  grow q item;
+  q.data.(q.len) <- item;
+  q.len <- q.len + 1;
+  (* sift up *)
+  let i = ref (q.len - 1) in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let p = (!i - 1) / 2 in
+    if fst q.data.(p) > fst q.data.(!i) then begin
+      let tmp = q.data.(p) in
+      q.data.(p) <- q.data.(!i);
+      q.data.(!i) <- tmp;
+      i := p
+    end
+    else continue := false
+  done
+
+let peek q = if q.len = 0 then None else Some q.data.(0)
+
+let pop q =
+  if q.len = 0 then None
+  else begin
+    let top = q.data.(0) in
+    q.len <- q.len - 1;
+    if q.len > 0 then begin
+      q.data.(0) <- q.data.(q.len);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < q.len && fst q.data.(l) < fst q.data.(!smallest) then smallest := l;
+        if r < q.len && fst q.data.(r) < fst q.data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = q.data.(!smallest) in
+          q.data.(!smallest) <- q.data.(!i);
+          q.data.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some top
+  end

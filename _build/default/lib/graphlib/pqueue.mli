@@ -1,0 +1,12 @@
+(** Binary min-heap priority queue over float priorities. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> float -> 'a -> unit
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the minimum-priority element. *)
+
+val peek : 'a t -> (float * 'a) option

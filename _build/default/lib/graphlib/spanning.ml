@@ -1,0 +1,148 @@
+type tree = {
+  graph : Graph.t;
+  root : int;
+  parent : int array;
+  parent_edge : int array;
+  depth : int array;
+  order : int array;
+}
+
+let bfs_tree g root =
+  let n = Graph.n g in
+  let parent = Array.make n (-1) in
+  let parent_edge = Array.make n (-1) in
+  let depth = Array.make n (-1) in
+  let order = Array.make n (-1) in
+  let q = Queue.create () in
+  let count = ref 0 in
+  depth.(root) <- 0;
+  Queue.push root q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    order.(!count) <- v;
+    incr count;
+    Array.iter
+      (fun (w, e) ->
+        if depth.(w) < 0 then begin
+          depth.(w) <- depth.(v) + 1;
+          parent.(w) <- v;
+          parent_edge.(w) <- e;
+          Queue.push w q
+        end)
+      (Graph.adj g v)
+  done;
+  if !count <> n then invalid_arg "Spanning.bfs_tree: graph is not connected";
+  { graph = g; root; parent; parent_edge; depth; order }
+
+let height t = Array.fold_left max 0 t.depth
+
+let is_tree_edge t e =
+  let u, v = Graph.edge t.graph e in
+  t.parent_edge.(u) = e || t.parent_edge.(v) = e
+
+let tree_edges t =
+  let acc = ref [] in
+  Array.iteri (fun v e -> if v <> t.root && e >= 0 then acc := e :: !acc) t.parent_edge;
+  !acc
+
+let children t =
+  let n = Graph.n t.graph in
+  let cnt = Array.make n 0 in
+  Array.iteri (fun v p -> if v <> t.root && p >= 0 then cnt.(p) <- cnt.(p) + 1) t.parent;
+  let out = Array.init n (fun v -> Array.make cnt.(v) (-1)) in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun v p ->
+      if v <> t.root && p >= 0 then begin
+        out.(p).(fill.(p)) <- v;
+        fill.(p) <- fill.(p) + 1
+      end)
+    t.parent;
+  out
+
+let subtree_sizes t =
+  let n = Graph.n t.graph in
+  let sz = Array.make n 1 in
+  (* bottom-up over the BFS order *)
+  for i = n - 1 downto 0 do
+    let v = t.order.(i) in
+    if v <> t.root && t.parent.(v) >= 0 then
+      sz.(t.parent.(v)) <- sz.(t.parent.(v)) + sz.(v)
+  done;
+  sz
+
+let path_to_root t v =
+  let rec loop v acc =
+    if v = t.root then List.rev (v :: acc) else loop t.parent.(v) (v :: acc)
+  in
+  loop v []
+
+let check t =
+  let g = t.graph in
+  let n = Graph.n g in
+  let ok = ref (Ok ()) in
+  let fail msg = if !ok = Ok () then ok := Error msg in
+  if t.root < 0 || t.root >= n then fail "root out of range";
+  if t.parent.(t.root) <> -1 then fail "root has a parent";
+  for v = 0 to n - 1 do
+    if v <> t.root then begin
+      let p = t.parent.(v) and e = t.parent_edge.(v) in
+      if p < 0 || e < 0 then fail "non-root vertex without parent"
+      else begin
+        let a, b = Graph.edge g e in
+        if not ((a = v && b = p) || (a = p && b = v)) then
+          fail "parent edge does not join vertex to parent";
+        if t.depth.(v) <> t.depth.(p) + 1 then fail "inconsistent depth"
+      end
+    end
+  done;
+  (* acyclicity / reachability: every vertex reaches the root in <= n steps *)
+  for v = 0 to n - 1 do
+    let rec climb u steps =
+      if steps > n then fail "parent pointers contain a cycle"
+      else if u <> t.root then climb t.parent.(u) (steps + 1)
+    in
+    climb v 0
+  done;
+  !ok
+
+let kruskal g w =
+  let m = Graph.m g in
+  let ids = Array.init m (fun i -> i) in
+  Array.sort (fun a b -> compare w.(a) w.(b)) ids;
+  let uf = Union_find.create (Graph.n g) in
+  let acc = ref [] in
+  Array.iter
+    (fun e ->
+      let u, v = Graph.edge g e in
+      if Union_find.union uf u v then acc := e :: !acc)
+    ids;
+  List.rev !acc
+
+let prim g w =
+  let n = Graph.n g in
+  if n = 0 then []
+  else begin
+    let in_tree = Array.make n false in
+    let q = Pqueue.create () in
+    let acc = ref [] in
+    let add v =
+      in_tree.(v) <- true;
+      Array.iter (fun (u, e) -> if not in_tree.(u) then Pqueue.push q w.(e) (u, e)) (Graph.adj g v)
+    in
+    add 0;
+    let rec loop () =
+      match Pqueue.pop q with
+      | None -> ()
+      | Some (_, (v, e)) ->
+          if not in_tree.(v) then begin
+            acc := e :: !acc;
+            add v
+          end;
+          loop ()
+    in
+    loop ();
+    List.rev !acc
+  end
+
+let total_weight w ids = List.fold_left (fun acc e -> acc +. w.(e)) 0.0 ids

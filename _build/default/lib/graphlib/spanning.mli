@@ -1,0 +1,51 @@
+(** Rooted spanning trees of a graph, and minimum spanning trees.
+
+    A spanning tree is represented by parent pointers into the host graph,
+    remembering for each non-root vertex the graph edge id to its parent.
+    This is the object [T] that tree-restricted shortcuts live on. *)
+
+type tree = {
+  graph : Graph.t;
+  root : int;
+  parent : int array;  (** [-1] at the root *)
+  parent_edge : int array;  (** graph edge id towards the parent; [-1] at root *)
+  depth : int array;
+  order : int array;  (** vertices in top-down (BFS) order *)
+}
+
+val bfs_tree : Graph.t -> int -> tree
+(** BFS spanning tree rooted at the given vertex. Its height is at most the
+    graph diameter, the setting of Theorem 1. Requires a connected graph. *)
+
+val height : tree -> int
+(** Maximum depth; the [d_T] of the shortcut definitions (within a factor 2 of
+    the tree's diameter). *)
+
+val is_tree_edge : tree -> int -> bool
+(** Whether a graph edge id belongs to the tree. *)
+
+val tree_edges : tree -> int list
+(** Edge ids of the tree (n-1 of them). *)
+
+val children : tree -> int array array
+(** Children lists, indexed by vertex. *)
+
+val subtree_sizes : tree -> int array
+
+val path_to_root : tree -> int -> int list
+(** Vertices from [v] up to and including the root. *)
+
+val check : tree -> (unit, string) result
+(** Validates: parents form a forest rooted at [root] covering all vertices,
+    parent edges exist in the graph and join the right endpoints, depths are
+    consistent. *)
+
+(** {1 Minimum spanning trees} *)
+
+val kruskal : Graph.t -> Graph.weights -> int list
+(** Edge ids of a minimum spanning forest. *)
+
+val prim : Graph.t -> Graph.weights -> int list
+(** Edge ids of an MST of the component of vertex 0. *)
+
+val total_weight : Graph.weights -> int list -> float

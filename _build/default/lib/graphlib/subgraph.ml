@@ -1,0 +1,65 @@
+type mapping = { sub : Graph.t; to_sub : int array; to_host : int array }
+
+let induced g vs =
+  let n = Graph.n g in
+  let to_sub = Array.make n (-1) in
+  let count = ref 0 in
+  List.iter
+    (fun v ->
+      if to_sub.(v) < 0 then begin
+        to_sub.(v) <- !count;
+        incr count
+      end)
+    vs;
+  let to_host = Array.make !count (-1) in
+  Array.iteri (fun v s -> if s >= 0 then to_host.(s) <- v) to_sub;
+  let edges =
+    Graph.fold_edges g ~init:[] ~f:(fun acc _ u v ->
+        if to_sub.(u) >= 0 && to_sub.(v) >= 0 then (to_sub.(u), to_sub.(v)) :: acc else acc)
+  in
+  { sub = Graph.of_edges !count edges; to_sub; to_host }
+
+let delete_vertices g vs =
+  let n = Graph.n g in
+  let kill = Array.make n false in
+  List.iter (fun v -> kill.(v) <- true) vs;
+  let keep = ref [] in
+  for v = n - 1 downto 0 do
+    if not kill.(v) then keep := v :: !keep
+  done;
+  induced g !keep
+
+let delete_edges g es =
+  let m = Graph.m g in
+  let kill = Array.make m false in
+  List.iter (fun e -> kill.(e) <- true) es;
+  let edges =
+    Graph.fold_edges g ~init:[] ~f:(fun acc e u v -> if kill.(e) then acc else (u, v) :: acc)
+  in
+  Graph.of_edges (Graph.n g) edges
+
+let quotient g cls =
+  let n = Graph.n g in
+  if Array.length cls <> n then invalid_arg "Subgraph.quotient: bad labelling";
+  let tbl = Hashtbl.create 16 in
+  let labels = Array.copy cls in
+  Array.sort compare labels;
+  let count = ref 0 in
+  Array.iter
+    (fun l ->
+      if not (Hashtbl.mem tbl l) then begin
+        Hashtbl.add tbl l !count;
+        incr count
+      end)
+    labels;
+  let edges =
+    Graph.fold_edges g ~init:[] ~f:(fun acc _ u v ->
+        let cu = Hashtbl.find tbl cls.(u) and cv = Hashtbl.find tbl cls.(v) in
+        if cu = cv then acc else (cu, cv) :: acc)
+  in
+  (Graph.of_edges !count edges, !count)
+
+let contract_edge g e =
+  let u, v = Graph.edge g e in
+  let cls = Array.init (Graph.n g) (fun i -> if i = v then u else i) in
+  fst (quotient g cls)

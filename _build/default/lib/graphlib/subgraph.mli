@@ -1,0 +1,27 @@
+(** Derived graphs: induced subgraphs, deletions, contractions (minors). *)
+
+type mapping = {
+  sub : Graph.t;
+  to_sub : int array;  (** host vertex -> sub vertex, or [-1] *)
+  to_host : int array;  (** sub vertex -> host vertex *)
+}
+
+val induced : Graph.t -> int list -> mapping
+(** Induced subgraph on the given vertex set (duplicates ignored). *)
+
+val delete_vertices : Graph.t -> int list -> mapping
+(** Induced subgraph on the complement of the given set. *)
+
+val delete_edges : Graph.t -> int list -> Graph.t
+(** Same vertex set with the listed edge ids removed (edge ids are
+    renumbered). *)
+
+val quotient : Graph.t -> int array -> Graph.t * int
+(** [quotient g cls] contracts every class of the labelling [cls] (labels need
+    not be dense) to a single vertex, dropping loops and parallel edges.
+    Returns the contracted graph and its vertex count. Vertex [i] of the
+    result corresponds to the i-th distinct label in increasing order. *)
+
+val contract_edge : Graph.t -> int -> Graph.t
+(** Contract one edge (both endpoints merge into one vertex); a convenience
+    built on [quotient]. *)

@@ -1,0 +1,146 @@
+let bfs g src =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.push src q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Array.iter
+      (fun (w, _) ->
+        if dist.(w) < 0 then begin
+          dist.(w) <- dist.(v) + 1;
+          Queue.push w q
+        end)
+      (Graph.adj g v)
+  done;
+  dist
+
+let bfs_tree g src =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.push src q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Array.iter
+      (fun (w, _) ->
+        if dist.(w) < 0 then begin
+          dist.(w) <- dist.(v) + 1;
+          parent.(w) <- v;
+          Queue.push w q
+        end)
+      (Graph.adj g v)
+  done;
+  (parent, dist)
+
+let multi_source_bfs g srcs =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let owner = Array.make n (-1) in
+  let q = Queue.create () in
+  Array.iteri
+    (fun i s ->
+      if dist.(s) < 0 then begin
+        dist.(s) <- 0;
+        owner.(s) <- i;
+        Queue.push s q
+      end)
+    srcs;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Array.iter
+      (fun (w, _) ->
+        if dist.(w) < 0 then begin
+          dist.(w) <- dist.(v) + 1;
+          owner.(w) <- owner.(v);
+          Queue.push w q
+        end)
+      (Graph.adj g v)
+  done;
+  (owner, dist)
+
+let restricted_bfs g ~allowed src =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  if not allowed.(src) then dist
+  else begin
+    let q = Queue.create () in
+    dist.(src) <- 0;
+    Queue.push src q;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      Array.iter
+        (fun (w, _) ->
+          if allowed.(w) && dist.(w) < 0 then begin
+            dist.(w) <- dist.(v) + 1;
+            Queue.push w q
+          end)
+        (Graph.adj g v)
+    done;
+    dist
+  end
+
+let components g =
+  let n = Graph.n g in
+  let label = Array.make n (-1) in
+  let c = ref 0 in
+  let q = Queue.create () in
+  for s = 0 to n - 1 do
+    if label.(s) < 0 then begin
+      label.(s) <- !c;
+      Queue.push s q;
+      while not (Queue.is_empty q) do
+        let v = Queue.pop q in
+        Array.iter
+          (fun (w, _) ->
+            if label.(w) < 0 then begin
+              label.(w) <- !c;
+              Queue.push w q
+            end)
+          (Graph.adj g v)
+      done;
+      incr c
+    end
+  done;
+  (label, !c)
+
+let is_connected g =
+  if Graph.n g = 0 then true
+  else
+    let _, c = components g in
+    c = 1
+
+let component_of g allowed seed =
+  if not allowed.(seed) then []
+  else begin
+    let n = Graph.n g in
+    let seen = Array.make n false in
+    let acc = ref [] in
+    let q = Queue.create () in
+    seen.(seed) <- true;
+    Queue.push seed q;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      acc := v :: !acc;
+      Array.iter
+        (fun (w, _) ->
+          if allowed.(w) && not seen.(w) then begin
+            seen.(w) <- true;
+            Queue.push w q
+          end)
+        (Graph.adj g v)
+    done;
+    !acc
+  end
+
+let is_connected_subset g vs =
+  match vs with
+  | [] -> true
+  | seed :: _ ->
+      let allowed = Array.make (Graph.n g) false in
+      List.iter (fun v -> allowed.(v) <- true) vs;
+      let reached = component_of g allowed seed in
+      List.length reached = List.length vs

@@ -1,0 +1,32 @@
+(** Breadth-first / depth-first traversals and connectivity. *)
+
+val bfs : Graph.t -> int -> int array
+(** [bfs g src] returns unweighted distances from [src]; unreachable vertices
+    get [-1]. *)
+
+val bfs_tree : Graph.t -> int -> int array * int array
+(** [bfs_tree g src] returns [(parent, dist)]: [parent.(src) = -1] and
+    [parent.(v) = -1] for unreachable [v]. *)
+
+val multi_source_bfs : Graph.t -> int array -> int array * int array
+(** [multi_source_bfs g srcs] returns [(owner, dist)]: each vertex is assigned
+    to the source whose BFS wave reaches it first (ties broken by source
+    order); [owner.(v)] is an index into [srcs], or [-1] if unreachable. The
+    owner regions are connected (BFS Voronoi cells). *)
+
+val restricted_bfs : Graph.t -> allowed:bool array -> int -> int array
+(** BFS from [src] using only vertices with [allowed.(v)]. Distances, [-1]
+    outside the reached region. *)
+
+val components : Graph.t -> int array * int
+(** [components g] labels each vertex with a component id in [0..c-1] and
+    returns [(label, c)]. *)
+
+val is_connected : Graph.t -> bool
+
+val component_of : Graph.t -> bool array -> int -> int list
+(** Vertices reachable from the seed inside the [allowed] mask. *)
+
+val is_connected_subset : Graph.t -> int list -> bool
+(** Whether the induced subgraph on the given vertex set is connected
+    (the empty set counts as connected). *)

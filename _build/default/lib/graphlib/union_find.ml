@@ -1,0 +1,29 @@
+type t = { parent : int array; rank : int array; sz : int array; mutable sets : int }
+
+let create n =
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; sz = Array.make n 1; sets = n }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let r = find t p in
+    t.parent.(x) <- r;
+    r
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then false
+  else begin
+    let ra, rb = if t.rank.(ra) < t.rank.(rb) then (rb, ra) else (ra, rb) in
+    t.parent.(rb) <- ra;
+    t.sz.(ra) <- t.sz.(ra) + t.sz.(rb);
+    if t.rank.(ra) = t.rank.(rb) then t.rank.(ra) <- t.rank.(ra) + 1;
+    t.sets <- t.sets - 1;
+    true
+  end
+
+let same t a b = find t a = find t b
+let count t = t.sets
+let size t x = t.sz.(find t x)

@@ -1,0 +1,20 @@
+(** Disjoint-set union with path compression and union by rank. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> bool
+(** [union t a b] merges the sets of [a] and [b]; returns [false] if they were
+    already the same set. *)
+
+val same : t -> int -> int -> bool
+val count : t -> int
+(** Number of disjoint sets remaining. *)
+
+val size : t -> int -> int
+(** Size of the set containing the given element. *)

@@ -1,0 +1,1 @@
+lib/shortcut/apex_shortcut.ml: Array Assignment Generic Graphlib Hashtbl List Part Shortcut Steiner

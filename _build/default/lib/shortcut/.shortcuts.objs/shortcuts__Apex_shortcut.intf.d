@@ -1,0 +1,1 @@
+lib/shortcut/apex_shortcut.mli: Graphlib Part Shortcut

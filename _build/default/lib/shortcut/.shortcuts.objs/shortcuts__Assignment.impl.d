@@ -1,0 +1,1 @@
+lib/shortcut/assignment.ml: Array Hashtbl List Part

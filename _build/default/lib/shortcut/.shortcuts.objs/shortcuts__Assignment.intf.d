@@ -1,0 +1,1 @@
+lib/shortcut/assignment.mli: Part

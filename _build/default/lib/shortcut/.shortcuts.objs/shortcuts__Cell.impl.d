@@ -1,0 +1,1 @@
+lib/shortcut/cell.ml: Apex_shortcut Part Printf

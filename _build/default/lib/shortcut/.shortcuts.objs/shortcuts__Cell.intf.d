@@ -1,0 +1,1 @@
+lib/shortcut/cell.mli: Graphlib Part

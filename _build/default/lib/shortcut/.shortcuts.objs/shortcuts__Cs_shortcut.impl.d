@@ -1,0 +1,1 @@
+lib/shortcut/cs_shortcut.ml: Array Generic Graphlib Hashtbl List Part Shortcut Steiner Structure

@@ -1,0 +1,1 @@
+lib/shortcut/cs_shortcut.mli: Graphlib Part Shortcut Structure

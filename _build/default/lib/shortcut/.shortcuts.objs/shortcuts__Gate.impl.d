@@ -1,0 +1,1 @@
+lib/shortcut/gate.ml: Array Graphlib Hashtbl List Option Part Queue

@@ -1,0 +1,1 @@
+lib/shortcut/gate.mli: Graphlib Part

@@ -1,0 +1,1 @@
+lib/shortcut/generic.ml: Array Graphlib Hashtbl List Option Part Shortcut Steiner

@@ -1,0 +1,1 @@
+lib/shortcut/generic.mli: Graphlib Part Shortcut Steiner

@@ -1,0 +1,1 @@
+lib/shortcut/optimal.ml: Array Graphlib Option Shortcut Steiner

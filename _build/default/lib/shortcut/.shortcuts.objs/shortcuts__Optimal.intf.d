@@ -1,0 +1,1 @@
+lib/shortcut/optimal.mli: Graphlib Part Shortcut

@@ -1,0 +1,1 @@
+lib/shortcut/part.ml: Array Graphlib Hashtbl List Option Queue Random

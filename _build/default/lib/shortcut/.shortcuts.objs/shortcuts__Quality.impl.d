@@ -1,0 +1,1 @@
+lib/shortcut/quality.ml: Graphlib List Part Printf Shortcut

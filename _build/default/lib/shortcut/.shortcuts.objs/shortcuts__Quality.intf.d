@@ -1,0 +1,1 @@
+lib/shortcut/quality.mli: Shortcut

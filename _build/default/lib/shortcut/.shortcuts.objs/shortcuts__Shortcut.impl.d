@@ -1,0 +1,1 @@
+lib/shortcut/shortcut.ml: Array Graphlib Hashtbl List Option Part

@@ -1,0 +1,1 @@
+lib/shortcut/shortcut.mli: Graphlib Hashtbl Part

@@ -1,0 +1,1 @@
+lib/shortcut/steiner.ml: Array Graphlib Hashtbl List Option Part

@@ -1,0 +1,1 @@
+lib/shortcut/steiner.mli: Graphlib Hashtbl Part

@@ -1,0 +1,1 @@
+lib/shortcut/tw_shortcut.ml: Cs_shortcut Structure

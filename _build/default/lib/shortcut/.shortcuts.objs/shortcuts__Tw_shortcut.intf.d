@@ -1,0 +1,1 @@
+lib/shortcut/tw_shortcut.mli: Graphlib Part Shortcut Structure

@@ -1,0 +1,34 @@
+(** Shortcuts on apex graphs (Lemma 9, Lemma 10, Theorem 8).
+
+    The diameter may collapse arbitrarily when apices are added (wheel vs
+    cycle), so shortcuts for the apex graph cannot simply reuse the apex-free
+    construction. Following the paper:
+
+    + parts containing an apex receive the whole spanning tree (at most [q]
+      of them);
+    + removing the apices from [T] splits it into low-diameter subtrees, the
+      {b cells} (Definition 14);
+    + a β-cell-assignment (Definition 15, computed by {!Assignment.assign})
+      relates each cell to the parts it serves; a related part receives the
+      cell's whole subtree plus its uplink edge towards the apex — the
+      {b global} shortcut;
+    + each part finally gets a {b local} shortcut (threshold-pruned Steiner
+      forest) inside the at most two intersecting cells the relation skipped. *)
+
+val cells_of_tree : Graphlib.Spanning.tree -> apices:int array -> Part.t * int array
+(** The connected components of [T] minus the apices, plus each cell's root
+    vertex (the member closest to the tree root). *)
+
+val construct :
+  ?kappas:int list ->
+  apices:int array ->
+  Graphlib.Spanning.tree ->
+  Part.t ->
+  Shortcut.t
+
+val construct_with_stats :
+  ?kappas:int list ->
+  apices:int array ->
+  Graphlib.Spanning.tree ->
+  Part.t ->
+  Shortcut.t * [ `Beta of int ] * [ `Cells of int ]

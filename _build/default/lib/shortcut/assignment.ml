@@ -1,0 +1,73 @@
+type result = {
+  relation : (int * int) list;
+  beta : int;
+  leftover : (int * int list) list;
+}
+
+let assign ~cells ~parts =
+  let ncells = Part.count cells and nparts = Part.count parts in
+  (* incidence via shared vertices; cells partition (a subset of) V *)
+  let cell_of = cells.Part.part_of in
+  let cells_of_part = Array.make nparts [] in
+  let parts_of_cell = Array.make ncells [] in
+  Array.iteri
+    (fun p vs ->
+      let seen = Hashtbl.create 4 in
+      Array.iter
+        (fun v ->
+          let c = cell_of.(v) in
+          if c >= 0 && not (Hashtbl.mem seen c) then begin
+            Hashtbl.replace seen c ();
+            cells_of_part.(p) <- c :: cells_of_part.(p);
+            parts_of_cell.(c) <- p :: parts_of_cell.(c)
+          end)
+        vs)
+    parts.Part.parts;
+  let cell_alive = Array.make ncells true in
+  let part_alive = Array.make nparts true in
+  let cell_deg = Array.map List.length parts_of_cell in
+  let part_deg = Array.map List.length cells_of_part in
+  let relation = ref [] in
+  let leftover = ref [] in
+  let beta = ref 0 in
+  let cells_left = ref ncells and parts_left = ref nparts in
+  while !parts_left > 0 && !cells_left > 0 do
+    (* a part intersecting at most two alive cells? *)
+    let small_part = ref (-1) in
+    for p = 0 to nparts - 1 do
+      if !small_part < 0 && part_alive.(p) && part_deg.(p) <= 2 then small_part := p
+    done;
+    if !small_part >= 0 then begin
+      let p = !small_part in
+      part_alive.(p) <- false;
+      decr parts_left;
+      let remaining = List.filter (fun c -> cell_alive.(c)) cells_of_part.(p) in
+      leftover := (p, remaining) :: !leftover;
+      List.iter (fun c -> if cell_alive.(c) then cell_deg.(c) <- cell_deg.(c) - 1) remaining
+    end
+    else begin
+      (* commit the min-degree alive cell *)
+      let best = ref (-1) and bd = ref max_int in
+      for c = 0 to ncells - 1 do
+        if cell_alive.(c) && cell_deg.(c) < !bd then begin
+          bd := cell_deg.(c);
+          best := c
+        end
+      done;
+      let c = !best in
+      cell_alive.(c) <- false;
+      decr cells_left;
+      let related = List.filter (fun p -> part_alive.(p)) parts_of_cell.(c) in
+      beta := max !beta (List.length related);
+      List.iter
+        (fun p ->
+          relation := (c, p) :: !relation;
+          part_deg.(p) <- part_deg.(p) - 1)
+        related
+    end
+  done;
+  (* parts still alive when cells ran out have no remaining cells *)
+  for p = 0 to nparts - 1 do
+    if part_alive.(p) then leftover := (p, []) :: !leftover
+  done;
+  { relation = !relation; beta = !beta; leftover = !leftover }

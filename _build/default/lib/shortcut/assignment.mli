@@ -1,0 +1,19 @@
+(** β-cell-assignment (Definition 15) via the peeling induction of
+    Lemmas 4-6: repeatedly either discard a part that intersects at most two
+    cells (those stay unrelated, property (i) allows it) or commit the cell
+    that intersects the fewest parts, relating it to all of them.
+
+    The combinatorial gates of the paper exist to *bound* the minimum degree
+    found at each step; the peeling itself never needs them, so it runs on
+    any graph and the achieved β is measured. *)
+
+type result = {
+  relation : (int * int) list;  (** (cell, part) pairs of the relation R *)
+  beta : int;  (** max parts related to one cell *)
+  leftover : (int * int list) list;
+      (** per discarded part: the <=2 intersecting cells left unrelated *)
+}
+
+val assign : cells:Part.t -> parts:Part.t -> result
+(** Cells and parts are vertex subsets over the same graph; incidence is
+    shared membership. *)

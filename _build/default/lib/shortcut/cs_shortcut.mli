@@ -1,0 +1,34 @@
+(** Shortcuts on clique-sum graphs (Lemma 1 and Theorem 7).
+
+    Every part [P] is served by two kinds of shortcut edges over the rooted
+    (optionally folded) decomposition tree:
+
+    - {b global} edges: let [h_P] be the lowest common ancestor of the bags
+      intersecting [P]; for each child subtree of [h_P] that [P] reaches,
+      [P] receives all spanning-tree edges lying inside bags of that subtree,
+      except those inside [B_{h_P}] itself (Figure 2);
+    - {b local} edges: the Steiner forest of [P ∩ B_{h_P}] pruned by a
+      congestion threshold, standing in for the bag-family's own shortcut
+      construction (Figure 3).
+
+    With [~use_fold:true] (default) the decomposition tree is first
+    compressed to depth O(log² n) by heavy-light folding (Theorem 7), which
+    is what removes the d_DT factor from the congestion. *)
+
+val construct :
+  ?use_fold:bool ->
+  ?kappas:int list ->
+  Structure.Clique_sum.t ->
+  Graphlib.Spanning.tree ->
+  Part.t ->
+  Shortcut.t
+
+val construct_with_stats :
+  ?use_fold:bool ->
+  ?kappas:int list ->
+  Structure.Clique_sum.t ->
+  Graphlib.Spanning.tree ->
+  Part.t ->
+  Shortcut.t * [ `Global_grants of int ] * [ `Depth_used of int ]
+(** Also reports the number of global (part, edge) grants and the depth of
+    the (possibly folded) decomposition tree actually used. *)

@@ -1,0 +1,295 @@
+module Graph = Graphlib.Graph
+
+type gate = {
+  cell_pair : int * int;
+  fence : int list;
+  gate : int list;
+  cycle : int list;
+}
+
+type t = gate list
+
+(* strictly-inside test by ray casting along an irrational direction, so the
+   ray never passes through a lattice polygon vertex *)
+let point_in_polygon poly (px, py) =
+  let dx = 1.0 and dy = 0.5641895835477563 in
+  let crossings = ref 0 in
+  let n = Array.length poly in
+  for i = 0 to n - 1 do
+    let ax, ay = poly.(i) and bx, by = poly.((i + 1) mod n) in
+    (* segment (a,b) vs ray p + t*(dx,dy), t>0 *)
+    let ex = bx -. ax and ey = by -. ay in
+    let denom = (dx *. ey) -. (dy *. ex) in
+    if abs_float denom > 1e-12 then begin
+      let t = (((ax -. px) *. ey) -. ((ay -. py) *. ex)) /. denom in
+      let s = (((ax -. px) *. dy) -. ((ay -. py) *. dx)) /. denom in
+      if t > 1e-12 && s >= 0.0 && s < 1.0 then incr crossings
+    end
+  done;
+  !crossings land 1 = 1
+
+(* BFS tree inside one cell; returns (parent, depth) restricted maps *)
+let cell_tree g cell =
+  let n = Graph.n g in
+  let inside = Array.make n false in
+  Array.iter (fun v -> inside.(v) <- true) cell;
+  let parent = Hashtbl.create (Array.length cell) in
+  let depth = Hashtbl.create (Array.length cell) in
+  let root = cell.(0) in
+  Hashtbl.replace parent root (-1);
+  Hashtbl.replace depth root 0;
+  let q = Queue.create () in
+  Queue.push root q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Array.iter
+      (fun (u, _) ->
+        if inside.(u) && not (Hashtbl.mem parent u) then begin
+          Hashtbl.replace parent u v;
+          Hashtbl.replace depth u (Hashtbl.find depth v + 1);
+          Queue.push u q
+        end)
+      (Graph.adj g v)
+  done;
+  (parent, depth)
+
+let tree_path parent depth a b =
+  (* path between two vertices of the same cell tree *)
+  let da = ref (Hashtbl.find depth a) and db = ref (Hashtbl.find depth b) in
+  let xa = ref a and xb = ref b in
+  let left = ref [] and right = ref [] in
+  while !da > !db do
+    left := !xa :: !left;
+    xa := Hashtbl.find parent !xa;
+    decr da
+  done;
+  while !db > !da do
+    right := !xb :: !right;
+    xb := Hashtbl.find parent !xb;
+    decr db
+  done;
+  while !xa <> !xb do
+    left := !xa :: !left;
+    right := !xb :: !right;
+    xa := Hashtbl.find parent !xa;
+    xb := Hashtbl.find parent !xb
+  done;
+  (* path: a .. lca .. b *)
+  List.rev !left @ [ !xa ] @ !right
+
+let build g ~coords ~cells =
+  let nc = Part.count cells in
+  let cell_of = cells.Part.part_of in
+  let trees = Array.map (fun c -> cell_tree g c) cells.Part.parts in
+  (* inter-cell edges grouped by unordered cell pair *)
+  let pairs = Hashtbl.create 16 in
+  Graph.iter_edges g (fun e u v ->
+      let cu = cell_of.(u) and cv = cell_of.(v) in
+      if cu >= 0 && cv >= 0 && cu <> cv then begin
+        let key = (min cu cv, max cu cv) in
+        Hashtbl.replace pairs key
+          (e :: Option.value (Hashtbl.find_opt pairs key) ~default:[])
+      end);
+  ignore nc;
+  (* centroid per cell *)
+  let centroid c =
+    let sx = ref 0.0 and sy = ref 0.0 in
+    Array.iter
+      (fun v ->
+        let x, y = coords.(v) in
+        sx := !sx +. x;
+        sy := !sy +. y)
+      cells.Part.parts.(c);
+    let k = float_of_int (Array.length cells.Part.parts.(c)) in
+    (!sx /. k, !sy /. k)
+  in
+  let raw_gates =
+    Hashtbl.fold
+      (fun (ci, cj) es acc ->
+        let orient v = if cell_of.(v) = ci then true else false in
+        let endpoints e =
+          let u, v = Graph.edge g e in
+          if orient u then (u, v) else (v, u)
+        in
+        match es with
+        | [ e ] ->
+            let a, b = endpoints e in
+            ((ci, cj), [ a; b ], [| coords.(a); coords.(b) |]) :: acc
+        | _ ->
+            (* extremal edges: min/max projection of edge midpoints onto the
+               axis perpendicular to the centroid line *)
+            let cxi, cyi = centroid ci and cxj, cyj = centroid cj in
+            let px = -.(cyj -. cyi) and py = cxj -. cxi in
+            let proj e =
+              let u, v = Graph.edge g e in
+              let ux, uy = coords.(u) and vx, vy = coords.(v) in
+              let mx = (ux +. vx) /. 2.0 and my = (uy +. vy) /. 2.0 in
+              (px *. mx) +. (py *. my)
+            in
+            let el =
+              List.fold_left (fun b e -> if proj e < proj b then e else b) (List.hd es) es
+            in
+            let er =
+              List.fold_left (fun b e -> if proj e > proj b then e else b) (List.hd es) es
+            in
+            let ui, uj = endpoints el and vi, vj = endpoints er in
+            let pi, di = trees.(ci) and pj, dj = trees.(cj) in
+            let path_i = tree_path pi di ui vi in
+            let path_j = tree_path pj dj vj uj in
+            let cyc = path_i @ path_j in
+            (* dedupe consecutive repeats caused by el = er sharing endpoints *)
+            let rec dedupe = function
+              | a :: b :: rest when a = b -> dedupe (b :: rest)
+              | a :: rest -> a :: dedupe rest
+              | [] -> []
+            in
+            let cyc = dedupe cyc in
+            let poly = Array.of_list (List.map (fun v -> coords.(v)) cyc) in
+            ((ci, cj), cyc, poly) :: acc)
+      pairs []
+  in
+  (* gate membership: cell vertices on the cycle or strictly inside *)
+  List.map
+    (fun ((ci, cj), cyc, poly) ->
+      let on_cycle = Hashtbl.create (List.length cyc) in
+      List.iter (fun v -> Hashtbl.replace on_cycle v ()) cyc;
+      let member v =
+        Hashtbl.mem on_cycle v
+        || (Array.length poly >= 3 && point_in_polygon poly coords.(v))
+      in
+      let gate_vs =
+        Array.to_list cells.Part.parts.(ci) @ Array.to_list cells.Part.parts.(cj)
+        |> List.filter member
+      in
+      (* fence: cycle vertices, plus gate vertices lying on/inside a nested
+         cycle of another gate (the own(K) subtraction) *)
+      let nested =
+        List.filter
+          (fun ((ci', cj'), cyc', poly') ->
+            ((ci', cj') <> (ci, cj))
+            && Array.length poly' >= 1
+            && List.for_all
+                 (fun v ->
+                   Hashtbl.mem on_cycle v
+                   || (Array.length poly >= 3 && point_in_polygon poly coords.(v)))
+                 cyc')
+          raw_gates
+      in
+      let in_nested v =
+        List.exists
+          (fun (_, cyc', poly') ->
+            List.mem v cyc'
+            || (Array.length poly' >= 3 && point_in_polygon poly' coords.(v)))
+          nested
+      in
+      let fence =
+        List.filter (fun v -> Hashtbl.mem on_cycle v || in_nested v) gate_vs
+      in
+      (* BFS-tree cycles need not enclose every inter-cell edge when cells
+         are non-convex; patch the leftovers in as fence vertices (keeps all
+         Definition 17 properties, only grows sum|F| by O(1) per edge) *)
+      let gate_set = Hashtbl.create 16 in
+      List.iter (fun v -> Hashtbl.replace gate_set v ()) gate_vs;
+      let extra = ref [] in
+      Graph.iter_edges g (fun _ u v ->
+          let cu = cell_of.(u) and cv = cell_of.(v) in
+          if (min cu cv, max cu cv) = (ci, cj) then begin
+            if not (Hashtbl.mem gate_set u && Hashtbl.mem gate_set v) then begin
+              if not (Hashtbl.mem gate_set u) then begin
+                Hashtbl.replace gate_set u ();
+                extra := u :: !extra
+              end;
+              if not (Hashtbl.mem gate_set v) then begin
+                Hashtbl.replace gate_set v ();
+                extra := v :: !extra
+              end;
+              (* both endpoints must be fence vertices: they may have
+                 neighbours outside the gate *)
+              if not (List.mem u !extra) then extra := u :: !extra;
+              if not (List.mem v !extra) then extra := v :: !extra
+            end
+          end);
+      let extra = List.sort_uniq compare !extra in
+      (* vertices adjacent to a patched-in vertex inside the gate must also be
+         fenced if they were interior before (their boundary status changed is
+         impossible: adding vertices only adds boundary) — re-derive the fence
+         as: old fence + extra + any gate vertex adjacent to something outside
+         the gate *)
+      let gate_vs = extra @ gate_vs in
+      let fence =
+        List.sort_uniq compare
+          (extra @ fence
+          @ List.filter
+              (fun v ->
+                Array.exists (fun (u, _) -> not (Hashtbl.mem gate_set u)) (Graph.adj g v))
+              gate_vs)
+      in
+      { cell_pair = (ci, cj); fence; gate = gate_vs; cycle = cyc })
+    raw_gates
+
+let check g ~cells gates =
+  let cell_of = cells.Part.part_of in
+  let fail msg = Error msg in
+  (* (1) fence subset of gate *)
+  if
+    not
+      (List.for_all
+         (fun gt -> List.for_all (fun v -> List.mem v gt.gate) gt.fence)
+         gates)
+  then fail "property 1: fence not a subset of its gate"
+  else if
+    (* (2) boundary of gate inside fence *)
+    not
+      (List.for_all
+         (fun gt ->
+           List.for_all
+             (fun v ->
+               let has_outside =
+                 Array.exists
+                   (fun (u, _) -> not (List.mem u gt.gate))
+                   (Graph.adj g v)
+               in
+               (not has_outside) || List.mem v gt.fence)
+             gt.gate)
+         gates)
+  then fail "property 2: gate boundary vertex missing from fence"
+  else begin
+    (* (3) every inter-cell edge covered by some gate *)
+    let covered = ref true in
+    Graph.iter_edges g (fun _ u v ->
+        let cu = cell_of.(u) and cv = cell_of.(v) in
+        if cu >= 0 && cv >= 0 && cu <> cv then
+          if
+            not
+              (List.exists
+                 (fun gt -> List.mem u gt.gate && List.mem v gt.gate)
+                 gates)
+          then covered := false);
+    if not !covered then fail "property 3: an inter-cell edge is uncovered"
+    else if
+      (* (4) each gate intersects at most two cells *)
+      not
+        (List.for_all
+           (fun gt ->
+             let cs = List.sort_uniq compare (List.map (fun v -> cell_of.(v)) gt.gate) in
+             List.length cs <= 2)
+           gates)
+    then fail "property 4: a gate intersects more than two cells"
+    else begin
+      (* (5) non-fence vertices pairwise disjoint across gates *)
+      let seen = Hashtbl.create 64 in
+      let dup = ref false in
+      List.iter
+        (fun gt ->
+          List.iter
+            (fun v ->
+              if not (List.mem v gt.fence) then
+                if Hashtbl.mem seen v then dup := true else Hashtbl.replace seen v ())
+            gt.gate)
+        gates;
+      if !dup then fail "property 5: a non-fence vertex is in two gates" else Ok ()
+    end
+  end
+
+let fence_total gates =
+  List.fold_left (fun acc gt -> acc + List.length gt.fence) 0 gates

@@ -1,0 +1,30 @@
+(** Combinatorial gates on embedded planar graphs (Definition 17, Lemma 7,
+    Figures 5-6).
+
+    For every pair of adjacent cells the construction picks the two
+    {e extremal} inter-cell edges, closes them into a cycle through the two
+    cells' spanning trees, and takes as the {b gate} all cell vertices inside
+    or on that cycle in the straight-line embedding; the {b fence} is the
+    cycle itself plus anything inside a nested gate cycle (the own(K)
+    subtraction). {!check} verifies all six properties of Definition 17
+    independently of the construction. *)
+
+type gate = {
+  cell_pair : int * int;
+  fence : int list;
+  gate : int list;
+  cycle : int list;  (** the bounding cycle, in order *)
+}
+
+type t = gate list
+
+val build :
+  Graphlib.Graph.t -> coords:(float * float) array -> cells:Part.t -> t
+(** Requires a straight-line planar embedding (e.g. grids, Apollonian
+    networks). *)
+
+val check : Graphlib.Graph.t -> cells:Part.t -> t -> (unit, string) result
+(** Properties (1)-(5) of Definition 17. *)
+
+val fence_total : t -> int
+(** Sum of fence sizes: property (6) asks for [<= s * #cells]. *)

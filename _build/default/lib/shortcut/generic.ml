@@ -1,0 +1,100 @@
+module Spanning = Graphlib.Spanning
+
+type policy = Drop_all | Keep_kappa
+
+let prune policy steiner parts kappa =
+  let open Steiner in
+  match policy with
+  | Drop_all ->
+      Array.map
+        (List.filter (fun e -> Option.value (Hashtbl.find_opt steiner.load e) ~default:0 <= kappa))
+        steiner.edges
+  | Keep_kappa ->
+      (* each overloaded edge keeps the kappa largest parts using it (larger
+         parts lose more from splitting) *)
+      let users = Hashtbl.create 256 in
+      Array.iteri
+        (fun i es ->
+          List.iter
+            (fun e ->
+              if Option.value (Hashtbl.find_opt steiner.load e) ~default:0 > kappa then
+                Hashtbl.replace users e
+                  (i :: Option.value (Hashtbl.find_opt users e) ~default:[]))
+            es)
+        steiner.edges;
+      let keep = Hashtbl.create 256 in
+      Hashtbl.iter
+        (fun e is ->
+          let sorted =
+            List.sort
+              (fun a b -> compare (Part.size parts b) (Part.size parts a))
+              is
+          in
+          let kept = List.filteri (fun i _ -> i < kappa) sorted in
+          let s = Hashtbl.create kappa in
+          List.iter (fun i -> Hashtbl.replace s i ()) kept;
+          Hashtbl.replace keep e s)
+        users;
+      Array.mapi
+        (fun i es ->
+          List.filter
+            (fun e ->
+              match Hashtbl.find_opt keep e with
+              | None -> true
+              | Some s -> Hashtbl.mem s i)
+            es)
+        steiner.edges
+
+let with_threshold ?(policy = Keep_kappa) tree parts ~kappa =
+  let steiner = Steiner.compute tree parts in
+  Shortcut.make tree parts (prune policy steiner parts kappa)
+
+let default_kappas max_load =
+  let rec loop k acc = if k >= max_load then List.rev (max_load :: acc) else loop (2 * k) (k :: acc) in
+  if max_load <= 1 then [ 1 ] else loop 1 []
+
+let construct_with_stats ?(policy = Keep_kappa) ?kappas tree parts =
+  let steiner = Steiner.compute tree parts in
+  let kappas =
+    match kappas with Some ks -> ks | None -> default_kappas (Steiner.max_load steiner)
+  in
+  let best = ref None in
+  let curve = ref [] in
+  List.iter
+    (fun kappa ->
+      let sc = Shortcut.make tree parts (prune policy steiner parts kappa) in
+      let q = Shortcut.quality sc in
+      curve := (kappa, q) :: !curve;
+      match !best with
+      | Some (_, bq) when bq <= q -> ()
+      | _ -> best := Some (sc, q))
+    kappas;
+  match !best with
+  | Some (sc, _) -> (sc, List.rev !curve)
+  | None -> (Shortcut.empty tree parts, [])
+
+let construct ?policy ?kappas tree parts =
+  fst (construct_with_stats ?policy ?kappas tree parts)
+
+type frontier_point = {
+  kappa : int;
+  b : int;
+  c : int;
+  q : int;
+}
+
+let frontier ?(policy = Keep_kappa) ?kappas tree parts =
+  let steiner = Steiner.compute tree parts in
+  let kappas =
+    match kappas with Some ks -> ks | None -> default_kappas (max 1 (Steiner.max_load steiner))
+  in
+  List.map
+    (fun kappa ->
+      let sc = Shortcut.make tree parts (prune policy steiner parts kappa) in
+      {
+        kappa;
+        b = Shortcut.block_parameter sc;
+        c = Shortcut.congestion sc;
+        q = Shortcut.quality sc;
+      })
+    kappas

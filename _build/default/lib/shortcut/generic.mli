@@ -1,0 +1,51 @@
+(** The uniform tree-restricted shortcut construction (HIZ16a style).
+
+    This is the algorithm the paper's Theorem 1 actually runs: it never looks
+    at the graph structure. Every part starts from its full Steiner subtree
+    of [T]; a congestion threshold [kappa] is then enforced on every tree
+    edge, splitting the parts that lose edges into more blocks. Sweeping
+    [kappa] over powers of two and keeping the best measured quality is
+    within O(log) factors of the best T-restricted shortcut — so on graphs
+    where good shortcuts *exist* (the paper's existence theorems), this
+    construction *finds* ones of comparable quality. *)
+
+type policy =
+  | Drop_all  (** overloaded edges are removed from every part *)
+  | Keep_kappa  (** each overloaded edge keeps its first [kappa] parts *)
+
+val with_threshold :
+  ?policy:policy -> Graphlib.Spanning.tree -> Part.t -> kappa:int -> Shortcut.t
+(** Steiner forest pruned at congestion [kappa]. *)
+
+val prune : policy -> Steiner.t -> Part.t -> int -> int list array
+(** The raw pruning step, for constructions that combine a pruned local
+    Steiner forest with their own global edges (clique-sum, apex). *)
+
+val default_kappas : int -> int list
+(** Powers of two up to (and including) the given maximum load. *)
+
+val construct :
+  ?policy:policy -> ?kappas:int list -> Graphlib.Spanning.tree -> Part.t -> Shortcut.t
+(** Sweep [kappas] (default: powers of two up to the max Steiner load) and
+    return the minimum-quality shortcut. *)
+
+val construct_with_stats :
+  ?policy:policy ->
+  ?kappas:int list ->
+  Graphlib.Spanning.tree ->
+  Part.t ->
+  Shortcut.t * (int * int) list
+(** Also returns the [(kappa, quality)] curve of the sweep. *)
+
+type frontier_point = {
+  kappa : int;
+  b : int;
+  c : int;
+  q : int;
+}
+
+val frontier :
+  ?policy:policy -> ?kappas:int list -> Graphlib.Spanning.tree -> Part.t -> frontier_point list
+(** The (block, congestion) tradeoff curve of the sweep: the object the
+    paper's open problem (§2.4 — can b = O(d) be improved to Õ(1)?) is
+    about. *)

@@ -1,0 +1,45 @@
+module Spanning = Graphlib.Spanning
+
+let brute_force ?(max_bits = 20) tree parts =
+  let steiner = Steiner.compute tree parts in
+  let pools = Array.map Array.of_list steiner.Steiner.edges in
+  let total_bits = Array.fold_left (fun acc a -> acc + Array.length a) 0 pools in
+  if total_bits > max_bits then None
+  else begin
+    let nparts = Array.length pools in
+    let best = ref None in
+    (* mixed-radix counter over per-part subsets *)
+    let masks = Array.make nparts 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let assigned =
+        Array.mapi
+          (fun i pool ->
+            let acc = ref [] in
+            Array.iteri (fun j e -> if masks.(i) land (1 lsl j) <> 0 then acc := e :: !acc) pool;
+            !acc)
+          pools
+      in
+      let sc = Shortcut.make tree parts assigned in
+      let q = Shortcut.quality sc in
+      (match !best with
+      | Some (_, bq) when bq <= q -> ()
+      | _ -> best := Some (sc, q));
+      (* increment *)
+      let rec bump i =
+        if i >= nparts then continue_ := false
+        else begin
+          masks.(i) <- masks.(i) + 1;
+          if masks.(i) = 1 lsl Array.length pools.(i) then begin
+            masks.(i) <- 0;
+            bump (i + 1)
+          end
+        end
+      in
+      bump 0
+    done;
+    Option.map fst !best
+  end
+
+let optimal_quality ?max_bits tree parts =
+  Option.map Shortcut.quality (brute_force ?max_bits tree parts)

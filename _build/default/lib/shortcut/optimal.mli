@@ -1,0 +1,18 @@
+(** Exact optimal T-restricted shortcuts on tiny instances, by exhaustive
+    search — the ground truth the uniform construction is tested against
+    (HIZ16a proves it is near-optimal; we check the constant empirically).
+
+    WLOG the optimal assignment for part [P] only uses edges of [P]'s
+    Steiner subtree: any two part vertices joined inside a shortcut
+    component are joined by their unique tree path, which lies in the
+    Steiner subtree, so intersecting an assignment with it never increases
+    blocks or congestion. The search space is therefore the product of the
+    Steiner-edge subsets. *)
+
+val brute_force :
+  ?max_bits:int -> Graphlib.Spanning.tree -> Part.t -> Shortcut.t option
+(** Exhaustive optimum, or [None] when the Steiner subtrees hold more than
+    [max_bits] (default 20) edges in total. *)
+
+val optimal_quality :
+  ?max_bits:int -> Graphlib.Spanning.tree -> Part.t -> int option

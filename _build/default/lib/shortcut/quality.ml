@@ -1,0 +1,60 @@
+module Graph = Graphlib.Graph
+module Spanning = Graphlib.Spanning
+
+type row = {
+  label : string;
+  n : int;
+  m : int;
+  diameter : int;
+  d_tree : int;
+  nparts : int;
+  b : int;
+  c : int;
+  q : int;
+}
+
+let measure ~label sc =
+  let tree = sc.Shortcut.tree in
+  let g = tree.Spanning.graph in
+  let b = Shortcut.block_parameter sc in
+  let c = Shortcut.congestion sc in
+  let d_tree = Spanning.height tree in
+  {
+    label;
+    n = Graph.n g;
+    m = Graph.m g;
+    diameter = Graphlib.Distance.diameter_double_sweep g;
+    d_tree;
+    nparts = Part.count sc.Shortcut.parts;
+    b;
+    c;
+    q = (b * d_tree) + c;
+  }
+
+let header () =
+  Printf.sprintf "%-34s %7s %8s %5s %5s %6s %5s %6s %7s" "workload" "n" "m" "D"
+    "d_T" "parts" "b" "c" "q"
+
+let to_string r =
+  Printf.sprintf "%-34s %7d %8d %5d %5d %6d %5d %6d %7d" r.label r.n r.m r.diameter
+    r.d_tree r.nparts r.b r.c r.q
+
+let print_table rows =
+  print_endline (header ());
+  List.iter (fun r -> print_endline (to_string r)) rows
+
+let ratio r bound = float_of_int r.q /. bound
+
+let fit_exponent points =
+  let usable = List.filter (fun (x, y) -> x > 0.0 && y > 0.0) points in
+  let k = List.length usable in
+  if k < 2 then nan
+  else begin
+    let logs = List.map (fun (x, y) -> (log x, log y)) usable in
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 logs in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 logs in
+    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 logs in
+    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 logs in
+    let kf = float_of_int k in
+    ((kf *. sxy) -. (sx *. sy)) /. ((kf *. sxx) -. (sx *. sx))
+  end

@@ -1,0 +1,29 @@
+(** Measurement records for shortcut experiments: one row per (graph,
+    workload, construction), carrying everything the paper's bounds mention. *)
+
+type row = {
+  label : string;
+  n : int;
+  m : int;
+  diameter : int;  (** graph diameter (double-sweep lower bound) *)
+  d_tree : int;  (** height of the spanning tree used *)
+  nparts : int;
+  b : int;  (** block parameter *)
+  c : int;  (** congestion *)
+  q : int;  (** quality b * d_T + c *)
+}
+
+val measure : label:string -> Shortcut.t -> row
+
+val header : unit -> string
+val to_string : row -> string
+val print_table : row list -> unit
+
+val ratio : row -> float -> float
+(** [ratio row bound] is [q / bound]: constant across a sweep iff the bound's
+    shape is right. *)
+
+val fit_exponent : (float * float) list -> float
+(** Least-squares slope of log y against log x: the measured growth exponent
+    of a sweep (e.g. q against n). Points with non-positive coordinates are
+    ignored; returns [nan] with fewer than two usable points. *)

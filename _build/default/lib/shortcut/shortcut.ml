@@ -1,0 +1,90 @@
+module Graph = Graphlib.Graph
+module Spanning = Graphlib.Spanning
+
+type t = {
+  tree : Spanning.tree;
+  parts : Part.t;
+  assigned : int array array;
+}
+
+let dedupe l =
+  let l = List.sort_uniq compare l in
+  Array.of_list l
+
+let make tree parts assigned =
+  let a = Array.map dedupe assigned in
+  Array.iter
+    (Array.iter (fun e ->
+         if not (Spanning.is_tree_edge tree e) then
+           invalid_arg "Shortcut.make: non-tree edge in shortcut"))
+    a;
+  if Array.length a <> Part.count parts then
+    invalid_arg "Shortcut.make: wrong number of parts";
+  { tree; parts; assigned = a }
+
+let empty tree parts = { tree; parts; assigned = Array.make (Part.count parts) [||] }
+
+let edge_congestion t =
+  let tbl = Hashtbl.create 256 in
+  Array.iter
+    (Array.iter (fun e ->
+         Hashtbl.replace tbl e (1 + Option.value (Hashtbl.find_opt tbl e) ~default:0)))
+    t.assigned;
+  tbl
+
+let congestion t =
+  Hashtbl.fold (fun _ c acc -> max c acc) (edge_congestion t) 0
+
+let blocks_of_part t i =
+  let g = t.tree.Spanning.graph in
+  let edges = t.assigned.(i) in
+  let p = t.parts.Part.parts.(i) in
+  (* union-find over the vertices touched by the shortcut edges *)
+  let repr = Hashtbl.create (2 * Array.length edges) in
+  let rec find v =
+    match Hashtbl.find_opt repr v with
+    | None | Some (-1) -> v
+    | Some p ->
+        let r = find p in
+        Hashtbl.replace repr v r;
+        r
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then Hashtbl.replace repr ra rb
+  in
+  Array.iter
+    (fun e ->
+      let u, v = Graph.edge g e in
+      union u v)
+    edges;
+  (* block components: components (of the shortcut subgraph) containing a
+     part vertex; isolated part vertices count individually *)
+  let roots = Hashtbl.create 16 in
+  Array.iter (fun v -> Hashtbl.replace roots (find v) ()) p;
+  Hashtbl.length roots
+
+let block_parameter t =
+  let b = ref 0 in
+  for i = 0 to Part.count t.parts - 1 do
+    b := max !b (blocks_of_part t i)
+  done;
+  !b
+
+let quality t = (block_parameter t * Spanning.height t.tree) + congestion t
+
+let union a b =
+  if a.tree != b.tree && a.tree.Spanning.root <> b.tree.Spanning.root then
+    invalid_arg "Shortcut.union: different trees";
+  if Part.count a.parts <> Part.count b.parts then
+    invalid_arg "Shortcut.union: different parts";
+  let assigned =
+    Array.init (Array.length a.assigned) (fun i ->
+        dedupe (Array.to_list a.assigned.(i) @ Array.to_list b.assigned.(i)))
+  in
+  { tree = a.tree; parts = a.parts; assigned }
+
+let is_tree_restricted t =
+  Array.for_all (Array.for_all (Spanning.is_tree_edge t.tree)) t.assigned
+
+let total_assigned t = Array.fold_left (fun acc a -> acc + Array.length a) 0 t.assigned

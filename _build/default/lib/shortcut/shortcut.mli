@@ -1,0 +1,43 @@
+(** Tree-restricted shortcuts (Definitions 10-13) and their quality metrics.
+
+    A shortcut assigns each part a set of edges of the spanning tree [T];
+    congestion counts how many parts share an edge (Definition 11), the block
+    parameter counts, per part, the connected components of its shortcut
+    edges that touch the part (Definition 12), and quality is
+    [q = b * d_T + c] (Definition 13). *)
+
+type t = {
+  tree : Graphlib.Spanning.tree;
+  parts : Part.t;
+  assigned : int array array;  (** part id -> granted tree edge ids (deduped) *)
+}
+
+val make : Graphlib.Spanning.tree -> Part.t -> int list array -> t
+(** Dedupes and validates T-restriction ([Invalid_argument] on a non-tree
+    edge). *)
+
+val empty : Graphlib.Spanning.tree -> Part.t -> t
+
+val edge_congestion : t -> (int, int) Hashtbl.t
+(** Tree edge id -> number of parts using it. *)
+
+val congestion : t -> int
+(** Max edge congestion (Definition 11); 0 for empty shortcuts. *)
+
+val blocks_of_part : t -> int -> int
+(** Number of block components of one part (Definition 12). A part with no
+    shortcut edges has [|P_i|] blocks (each vertex its own component). *)
+
+val block_parameter : t -> int
+(** Max block count over parts. *)
+
+val quality : t -> int
+(** [block_parameter * height T + congestion]. *)
+
+val union : t -> t -> t
+(** Per-part union of two shortcuts over the same tree and parts. *)
+
+val is_tree_restricted : t -> bool
+
+val total_assigned : t -> int
+(** Total number of (part, edge) grants; the memory/communication footprint. *)

@@ -1,0 +1,23 @@
+(** Per-part Steiner subtrees of the spanning tree.
+
+    The Steiner subtree of a part [P] in [T] is the union of all T-paths
+    between members of [P]: the tree edge above vertex [v] belongs to it iff
+    the subtree of [v] contains at least one but not all members of [P].
+    Granting every part its full Steiner subtree is the congestion-oblivious
+    starting point of the uniform construction; the per-edge load it induces
+    is what the kappa-sweep then prunes. *)
+
+type t = {
+  edges : int list array;  (** part id -> Steiner tree edge ids *)
+  load : (int, int) Hashtbl.t;  (** tree edge id -> number of Steiner trees through it *)
+}
+
+val compute : Graphlib.Spanning.tree -> Part.t -> t
+(** Small-to-large bottom-up merge; O(total log n). *)
+
+val compute_restricted : Graphlib.Spanning.tree -> Part.t -> members:int list array -> t
+(** Steiner subtrees of the given member subsets (indexed like the parts);
+    used by local-shortcut constructions that restrict parts to bags or
+    cells. *)
+
+val max_load : t -> int

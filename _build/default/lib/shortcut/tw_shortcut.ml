@@ -1,0 +1,8 @@
+let construct ?decomposition ?kappas g tree parts =
+  let td =
+    match decomposition with
+    | Some td -> td
+    | None -> Structure.Treewidth.decompose g
+  in
+  let cs = Structure.Clique_sum.of_tree_decomposition g td in
+  Cs_shortcut.construct ?kappas cs tree parts

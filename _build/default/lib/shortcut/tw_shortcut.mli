@@ -1,0 +1,14 @@
+(** Shortcuts on bounded-treewidth graphs (Theorem 5 [HIZ16b]).
+
+    Implemented by the paper's own layering: a width-w tree decomposition is
+    a (w+1)-clique-sum of graphs on at most w+1 vertices, so the clique-sum
+    construction (Theorem 7) applies with trivial bag-local shortcuts. *)
+
+val construct :
+  ?decomposition:Structure.Tree_decomposition.t ->
+  ?kappas:int list ->
+  Graphlib.Graph.t ->
+  Graphlib.Spanning.tree ->
+  Part.t ->
+  Shortcut.t
+(** Uses the given decomposition, or computes a min-degree heuristic one. *)

@@ -1,0 +1,1 @@
+lib/structure/almost_embeddable.ml: Array Graphlib List Random Vortex

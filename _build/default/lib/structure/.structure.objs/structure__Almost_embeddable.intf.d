@@ -1,0 +1,1 @@
+lib/structure/almost_embeddable.mli: Graphlib Vortex

@@ -1,0 +1,1 @@
+lib/structure/clique_sum.ml: Array Graphlib Hashtbl List Random Tree_decomposition

@@ -1,0 +1,1 @@
+lib/structure/clique_sum.mli: Graphlib Tree_decomposition

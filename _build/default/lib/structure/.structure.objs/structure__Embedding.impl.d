@@ -1,0 +1,1 @@
+lib/structure/embedding.ml: Array Graphlib List

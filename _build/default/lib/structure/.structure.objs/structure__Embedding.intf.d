@@ -1,0 +1,1 @@
+lib/structure/embedding.mli: Graphlib

@@ -1,0 +1,1 @@
+lib/structure/fold.ml: Array Heavy_light List

@@ -1,0 +1,1 @@
+lib/structure/genus_vortex.ml: Array Graphlib Hashtbl List Tree_decomposition Treewidth Vortex

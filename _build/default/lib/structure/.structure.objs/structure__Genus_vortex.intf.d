@@ -1,0 +1,1 @@
+lib/structure/genus_vortex.mli: Graphlib Tree_decomposition Vortex

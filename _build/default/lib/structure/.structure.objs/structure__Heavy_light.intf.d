@@ -1,0 +1,1 @@
+lib/structure/heavy_light.mli:

@@ -1,0 +1,1 @@
+lib/structure/minor.ml: Array Graphlib Hashtbl List Random

@@ -1,0 +1,1 @@
+lib/structure/planarity.ml: Array Graphlib Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/structure/planarity.mli: Graphlib

@@ -1,0 +1,1 @@
+lib/structure/separator.ml: Array Graphlib List Queue

@@ -1,0 +1,1 @@
+lib/structure/separator.mli: Graphlib

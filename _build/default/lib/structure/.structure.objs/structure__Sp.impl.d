@@ -1,0 +1,1 @@
+lib/structure/sp.ml: Array Graphlib Hashtbl List Planarity Random

@@ -1,0 +1,1 @@
+lib/structure/sp.mli: Graphlib

@@ -1,0 +1,1 @@
+lib/structure/tree_decomposition.ml: Array Graphlib Hashtbl List

@@ -1,0 +1,1 @@
+lib/structure/treewidth.ml: Array Graphlib Hashtbl List Tree_decomposition

@@ -1,0 +1,1 @@
+lib/structure/treewidth.mli: Graphlib Tree_decomposition

@@ -1,0 +1,1 @@
+lib/structure/vortex.ml: Array Graphlib Hashtbl Random

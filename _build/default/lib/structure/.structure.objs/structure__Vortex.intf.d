@@ -1,0 +1,1 @@
+lib/structure/vortex.mli: Graphlib

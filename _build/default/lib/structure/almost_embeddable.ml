@@ -1,0 +1,140 @@
+module Graph = Graphlib.Graph
+module Generators = Graphlib.Generators
+
+type t = {
+  graph : Graph.t;
+  q : int;
+  g : int;
+  k : int;
+  l : int;
+  apices : int array;
+  vortices : Vortex.t list;
+  base_n : int;
+}
+
+let grid_with_holes w h ~holes ~hole_size =
+  let a = hole_size in
+  if holes > 0 && (w < 4 + (holes * (a + 4)) || h < a + 4) then
+    invalid_arg "grid_with_holes: grid too small for the requested holes";
+  let hy = (h - a) / 2 in
+  let hole_origin i = (2 + (i * (a + 4)), hy) in
+  let interior x y =
+    let rec scan i =
+      if i >= holes then false
+      else begin
+        let hx, hy = hole_origin i in
+        (x > hx && x < hx + a - 1 && y > hy && y < hy + a - 1) || scan (i + 1)
+      end
+    in
+    scan 0
+  in
+  let keep = Array.init (w * h) (fun v -> not (interior (v mod w) (v / w))) in
+  let id = Array.make (w * h) (-1) in
+  let count = ref 0 in
+  for v = 0 to (w * h) - 1 do
+    if keep.(v) then begin
+      id.(v) <- !count;
+      incr count
+    end
+  done;
+  let raw x y = (y * w) + x in
+  let edges = ref [] in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if keep.(raw x y) then begin
+        if x + 1 < w && keep.(raw (x + 1) y) then
+          edges := (id.(raw x y), id.(raw (x + 1) y)) :: !edges;
+        if y + 1 < h && keep.(raw x (y + 1)) then
+          edges := (id.(raw x y), id.(raw x (y + 1))) :: !edges
+      end
+    done
+  done;
+  let graph = Graph.of_edges !count !edges in
+  (* boundary rings of each hole, in cyclic order *)
+  let ring i =
+    let hx, hy = hole_origin i in
+    let acc = ref [] in
+    for x = hx to hx + a - 1 do
+      acc := id.(raw x hy) :: !acc
+    done;
+    for y = hy + 1 to hy + a - 1 do
+      acc := id.(raw (hx + a - 1) y) :: !acc
+    done;
+    for x = hx + a - 2 downto hx do
+      acc := id.(raw x (hy + a - 1)) :: !acc
+    done;
+    for y = hy + a - 2 downto hy + 1 do
+      acc := id.(raw hx y) :: !acc
+    done;
+    Array.of_list (List.rev !acc)
+  in
+  (graph, Array.init holes ring)
+
+let make ~seed ~width ~height ~handles ~vortices ~vortex_depth ~vortex_nodes
+    ~apices ~apex_fanout =
+  let hole_size = 5 in
+  let base, rings = grid_with_holes width height ~holes:vortices ~hole_size in
+  let base_n = Graph.n base in
+  (* handles between random pairs of outer-boundary vertices *)
+  let st = Random.State.make [| seed |] in
+  let with_handles =
+    if handles = 0 then base
+    else begin
+      let outer =
+        (* outer frame of the grid survives hole carving; recover the frame
+           vertex ids (they were kept, hence remain a prefix-compatible set) *)
+        let acc = ref [] in
+        for x = 0 to width - 1 do
+          acc := x :: !acc
+        done;
+        Array.of_list !acc
+      in
+      let edges = Graph.fold_edges base ~init:[] ~f:(fun acc _ u v -> (u, v) :: acc) in
+      let extra = ref [] in
+      let tries = ref 0 in
+      while List.length !extra < handles && !tries < 100 * handles do
+        incr tries;
+        let u = outer.(Random.State.int st (Array.length outer)) in
+        let v = outer.(Random.State.int st (Array.length outer)) in
+        if u <> v && not (Graph.mem_edge base u v) then extra := (u, v) :: !extra
+      done;
+      Graph.of_edges base_n (edges @ !extra)
+    end
+  in
+  (* vortices on each hole ring *)
+  let g_cur = ref with_handles in
+  let vxs = ref [] in
+  Array.iteri
+    (fun i ring ->
+      let g', v =
+        Vortex.add ~seed:(seed + 17 + i) !g_cur ~cycle:ring ~nodes:vortex_nodes
+          ~depth:vortex_depth
+      in
+      g_cur := g';
+      vxs := v :: !vxs)
+    rings;
+  (* apices *)
+  let n_before = Graph.n !g_cur in
+  let final =
+    if apices = 0 then !g_cur
+    else Generators.add_apices ~seed:(seed + 1000) !g_cur ~q:apices ~fanout:apex_fanout
+  in
+  {
+    graph = final;
+    q = apices;
+    g = handles;
+    k = vortex_depth;
+    l = vortices;
+    apices = Array.init apices (fun i -> n_before + i);
+    vortices = List.rev !vxs;
+    base_n;
+  }
+
+let non_apex_diameter t =
+  if Array.length t.apices = 0 then Graphlib.Distance.diameter_double_sweep t.graph
+  else begin
+    let { Graphlib.Subgraph.sub; _ } =
+      Graphlib.Subgraph.delete_vertices t.graph (Array.to_list t.apices)
+    in
+    Graphlib.Distance.diameter_double_sweep sub
+  end

@@ -1,0 +1,42 @@
+(** Structured generators for (q,g,k,l)-almost-embeddable graphs
+    (Definition 5): a bounded-genus base, l vortices of depth k on faces,
+    and q apices — built with their witness structure attached.
+
+    The base is a grid with l rectangular holes carved out (each hole
+    boundary is a face of the planar embedding, hosting one vortex) plus
+    optional handle edges raising the genus. *)
+
+type t = {
+  graph : Graphlib.Graph.t;
+  q : int;  (** apices *)
+  g : int;  (** handles added (an upper bound on the Euler genus) *)
+  k : int;  (** vortex depth *)
+  l : int;  (** number of vortices *)
+  apices : int array;  (** apex vertex ids *)
+  vortices : Vortex.t list;
+  base_n : int;  (** number of embedded base vertices *)
+}
+
+val make :
+  seed:int ->
+  width:int ->
+  height:int ->
+  handles:int ->
+  vortices:int ->
+  vortex_depth:int ->
+  vortex_nodes:int ->
+  apices:int ->
+  apex_fanout:int ->
+  t
+(** Build an almost-embeddable graph. Requires the grid to be large enough to
+    host the requested holes ([width >= 4 + vortices * 9], [height >= 9]
+    when [vortices > 0]). *)
+
+val grid_with_holes :
+  int -> int -> holes:int -> hole_size:int -> Graphlib.Graph.t * int array array
+(** [grid_with_holes w h ~holes ~hole_size] carves [holes] square holes out of
+    the w x h grid; returns the graph and, per hole, its boundary cycle in
+    order. Exposed for tests. *)
+
+val non_apex_diameter : t -> int
+(** Diameter of the graph with the apices removed (the [D] of Theorem 9). *)

@@ -1,0 +1,45 @@
+(** k-clique-sums and their decomposition trees (Definitions 1, 8; Fact 1).
+
+    A clique-sum structure records the glued graph together with a rooted
+    decomposition tree whose nodes are bags (vertex sets of the summands)
+    and whose edges carry the partial cliques used for gluing. *)
+
+type t = {
+  graph : Graphlib.Graph.t;
+  bags : int array array;  (** bag id -> host vertex ids (sorted) *)
+  parent : int array;  (** rooted decomposition tree, [-1] at root *)
+  separators : int array array;  (** partial clique shared with the parent *)
+  k : int;  (** maximum clique size used in the sums *)
+}
+
+type shape = Path | Star | Random_tree
+(** Shape of the decomposition tree built by {!compose}. *)
+
+val compose :
+  seed:int ->
+  k:int ->
+  ?drop_prob:float ->
+  shape:shape ->
+  Graphlib.Graph.t list ->
+  t
+(** Glue the given connected piece graphs by iterated <=k-clique-sums
+    (Definition 1): each new piece identifies one of its cliques with an
+    equal-size clique of an existing bag; with probability [drop_prob]
+    (default 0) each identified clique edge contributed by the new piece is
+    dropped. Pieces must each contain a clique of some size <= k (a single
+    vertex always qualifies). *)
+
+val of_tree_decomposition : Graphlib.Graph.t -> Tree_decomposition.t -> t
+(** View a width-w tree decomposition as a (w+1)-clique-sum of bag-induced
+    subgraphs: the reduction behind our Theorem 5 implementation. *)
+
+val check : t -> (unit, string) result
+(** Validates Definition 8: bag union covers V, separators equal bag
+    intersections with parents and have size <= k, every graph edge lies
+    inside some bag, and the bags containing any vertex form a subtree. *)
+
+val depth : t -> int
+(** Depth of the rooted decomposition tree (the d_DT of Lemma 1). *)
+
+val nbags : t -> int
+val root : t -> int

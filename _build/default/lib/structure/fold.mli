@@ -1,0 +1,22 @@
+(** Decomposition-tree compression (Theorem 7, Figure 4): heavy-light
+    decompose the rooted bag tree and fold every chain by recursive halving,
+    producing a tree of bag-groups (each group is <=3 original bags) of depth
+    O(log² n). Groups connect upward through at most two partial cliques
+    ("double edges"). *)
+
+type folded = {
+  groups : int list array;  (** folded node -> original bag ids *)
+  fparent : int array;  (** rooted folded tree, [-1] at root *)
+  group_of : int array;  (** original bag -> folded node *)
+}
+
+val fold : parent:int array -> folded
+(** Fold an arbitrary rooted tree given by parent pointers. *)
+
+val trivial : parent:int array -> folded
+(** Identity folding (one group per bag); for baseline comparisons. *)
+
+val depth : folded -> int
+
+val tree_depth : int array -> int
+(** Depth of a raw parent-pointer tree. *)

@@ -1,0 +1,83 @@
+module Graph = Graphlib.Graph
+
+let star_replace_all g vortices =
+  let n = Graph.n g in
+  let internal = Array.make n false in
+  List.iter
+    (fun v -> Array.iter (fun i -> internal.(i) <- true) v.Vortex.internal)
+    vortices;
+  let old_to_new = Array.make n (-1) in
+  let count = ref 0 in
+  for v = 0 to n - 1 do
+    if not internal.(v) then begin
+      old_to_new.(v) <- !count;
+      incr count
+    end
+  done;
+  let stars = List.mapi (fun i _ -> !count + i) vortices in
+  let edges =
+    Graph.fold_edges g ~init:[] ~f:(fun acc _ u v ->
+        if internal.(u) || internal.(v) then acc
+        else (old_to_new.(u), old_to_new.(v)) :: acc)
+  in
+  let edges =
+    List.fold_left2
+      (fun acc star v ->
+        Array.fold_left (fun acc b -> (star, old_to_new.(b)) :: acc) acc v.Vortex.boundary)
+      edges stars vortices
+  in
+  (Graph.of_edges (!count + List.length vortices) edges, old_to_new, stars)
+
+let decompose_with_vortices g vortices =
+  let n = Graph.n g in
+  let g', old_to_new, stars = star_replace_all g vortices in
+  let td' = Treewidth.decompose g' in
+  (* translate bags back to original ids, dropping the stars *)
+  let star_set = Hashtbl.create 4 in
+  List.iter (fun s -> Hashtbl.replace star_set s ()) stars;
+  let new_to_old = Array.make (Graph.n g') (-1) in
+  Array.iteri (fun old nw -> if nw >= 0 then new_to_old.(nw) <- old) old_to_new;
+  let bags =
+    Array.map
+      (fun bag ->
+        Array.to_list bag
+        |> List.filter_map (fun v ->
+               if Hashtbl.mem star_set v then None else Some new_to_old.(v)))
+      td'.Tree_decomposition.bags
+  in
+  (* re-insert every internal vortex node into every bag meeting its arc *)
+  let nbags = Array.length bags in
+  let extra = Array.make nbags [] in
+  List.iter
+    (fun v ->
+      let nb = Array.length v.Vortex.boundary in
+      Array.iteri
+        (fun i vi ->
+          let start, len = v.Vortex.arcs.(i) in
+          let arc = Hashtbl.create len in
+          for j = 0 to len - 1 do
+            Hashtbl.replace arc v.Vortex.boundary.((start + j) mod nb) ()
+          done;
+          Array.iteri
+            (fun b members ->
+              if List.exists (Hashtbl.mem arc) members then
+                extra.(b) <- vi :: extra.(b))
+            bags)
+        v.Vortex.internal)
+    vortices;
+  let bags =
+    Array.mapi
+      (fun b members ->
+        let all = List.sort_uniq compare (extra.(b) @ members) in
+        Array.of_list all)
+      bags
+  in
+  (* empty bags can appear if a bag held only a star; keep them (harmless to
+     the tree structure) but make sure every vertex is covered *)
+  let covered = Array.make n false in
+  Array.iter (Array.iter (fun v -> covered.(v) <- true)) bags;
+  if Array.exists not covered then
+    invalid_arg "Genus_vortex.decompose_with_vortices: uncovered vertex";
+  { Tree_decomposition.bags; parent = Array.copy td'.Tree_decomposition.parent }
+
+let width_bound ~g ~k ~l ~d = 8 * (g + 1) * k * (max 1 l) * (max 1 d)

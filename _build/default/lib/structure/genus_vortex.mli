@@ -1,0 +1,33 @@
+(** The warm-up pipeline of §2.3.1 (Lemmas 2-3, Theorem 9, Corollary 3),
+    executable: a diameter-D graph with vortices of depth k has treewidth
+    O((g+1)·k·l·D), by
+
+    + replacing each vortex with a star vertex in its face (diameter grows
+      by at most 1, the graph stays genus-g);
+    + decomposing the star-replaced graph (the heuristic decomposition
+      stands in for Eppstein's O((g+1)D) bound — our structured inputs are
+      shallow enough that it lands in the right regime);
+    + re-inserting each internal vortex node into every bag that meets its
+      arc (the vortex decomposition P of Definition 7).
+
+    The result is a valid tree decomposition of the original graph whose
+    width certifies the Lemma 2 bound. Feeding it to
+    [Shortcuts.Tw_shortcut.construct ~decomposition] realizes Theorem 9. *)
+
+val star_replace_all :
+  Graphlib.Graph.t ->
+  Vortex.t list ->
+  Graphlib.Graph.t * int array * int list
+(** [star_replace_all g vortices] removes every internal vortex node and adds
+    one star per vortex connected to its boundary. Returns
+    [(g', old_to_new, stars)] where [old_to_new.(v)] is [v]'s id in [g'] (or
+    [-1] for removed internal nodes) and [stars] are the star ids in [g']. *)
+
+val decompose_with_vortices :
+  Graphlib.Graph.t -> Vortex.t list -> Tree_decomposition.t
+(** The full Lemma 2 construction; the returned decomposition is over the
+    original graph (validate with {!Tree_decomposition.check}). *)
+
+val width_bound : g:int -> k:int -> l:int -> d:int -> int
+(** Lemma 3's bound O((g+1)·k·l·D), with the constant we certify against in
+    benches (8). *)

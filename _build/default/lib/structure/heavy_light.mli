@@ -1,0 +1,16 @@
+(** Heavy-light decomposition [HT84] of a rooted tree, used by the paper's
+    Theorem 7 to fold a clique-sum decomposition tree to depth O(log² n). *)
+
+type t = {
+  parent : int array;
+  depth : int array;
+  head : int array;  (** topmost vertex of the chain containing each vertex *)
+  chain_of : int array;  (** dense chain id per vertex *)
+  chains : int array array;  (** chain id -> vertices top-down *)
+}
+
+val create : parent:int array -> root:int -> n:int -> t
+
+val chain_changes : t -> int -> int
+(** Number of chain switches on the path from the given vertex to the root;
+    at most [log2 n] by the heavy-chain property. *)

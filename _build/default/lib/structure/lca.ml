@@ -1,0 +1,45 @@
+type t = { up : int array array; depth : int array; levels : int }
+
+let create ~parent ~depth =
+  let n = Array.length parent in
+  let levels =
+    let rec bits k acc = if 1 lsl acc >= k then acc + 1 else bits k (acc + 1) in
+    bits (max 2 n) 0
+  in
+  let up = Array.make_matrix levels n (-1) in
+  up.(0) <- Array.copy parent;
+  for l = 1 to levels - 1 do
+    for v = 0 to n - 1 do
+      let mid = up.(l - 1).(v) in
+      up.(l).(v) <- (if mid < 0 then -1 else up.(l - 1).(mid))
+    done
+  done;
+  { up; depth; levels }
+
+let ancestor t v k =
+  let v = ref v and k = ref k and l = ref 0 in
+  while !k > 0 && !v >= 0 do
+    if !k land 1 = 1 then v := (if !v < 0 then -1 else t.up.(!l).(!v));
+    k := !k lsr 1;
+    incr l
+  done;
+  !v
+
+let lca t a b =
+  let a, b = if t.depth.(a) < t.depth.(b) then (b, a) else (a, b) in
+  let a = ancestor t a (t.depth.(a) - t.depth.(b)) in
+  if a = b then a
+  else begin
+    let a = ref a and b = ref b in
+    for l = t.levels - 1 downto 0 do
+      if t.up.(l).(!a) <> t.up.(l).(!b) then begin
+        a := t.up.(l).(!a);
+        b := t.up.(l).(!b)
+      end
+    done;
+    t.up.(0).(!a)
+  end
+
+let lca_of_list t = function
+  | [] -> invalid_arg "Lca.lca_of_list: empty"
+  | v :: rest -> List.fold_left (lca t) v rest

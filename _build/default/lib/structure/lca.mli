@@ -1,0 +1,15 @@
+(** Lowest common ancestors by binary lifting, over any rooted forest given by
+    parent pointers ([-1] at roots) and consistent depths. *)
+
+type t
+
+val create : parent:int array -> depth:int array -> t
+
+val lca : t -> int -> int -> int
+(** Lowest common ancestor; the two vertices must be in the same tree. *)
+
+val ancestor : t -> int -> int -> int
+(** [ancestor t v k] is the k-th ancestor of [v] ([-1] if above the root). *)
+
+val lca_of_list : t -> int list -> int
+(** LCA of a non-empty list. *)

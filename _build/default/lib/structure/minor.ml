@@ -1,0 +1,143 @@
+module Graph = Graphlib.Graph
+module Subgraph = Graphlib.Subgraph
+module Traversal = Graphlib.Traversal
+
+let has_k4_minor g =
+  let n = Graph.n g in
+  (* adjacency sets; suppressing may create parallel edges, sets dedupe them *)
+  let adj = Array.init n (fun v ->
+      let s = Hashtbl.create 8 in
+      Array.iter (fun (u, _) -> Hashtbl.replace s u ()) (Graph.adj g v);
+      s)
+  in
+  let alive = Array.make n true in
+  let degree v = Hashtbl.length adj.(v) in
+  let remove v =
+    alive.(v) <- false;
+    Hashtbl.iter (fun u () -> Hashtbl.remove adj.(u) v) adj.(v);
+    Hashtbl.reset adj.(v)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for v = 0 to n - 1 do
+      if alive.(v) then begin
+        let d = degree v in
+        if d <= 1 then begin
+          remove v;
+          changed := true
+        end
+        else if d = 2 then begin
+          let nbrs = Hashtbl.fold (fun u () acc -> u :: acc) adj.(v) [] in
+          match nbrs with
+          | [ a; b ] ->
+              remove v;
+              if not (Hashtbl.mem adj.(a) b) then begin
+                Hashtbl.replace adj.(a) b ();
+                Hashtbl.replace adj.(b) a ()
+              end;
+              changed := true
+          | _ -> ()
+        end
+      end
+    done
+  done;
+  Array.exists (fun a -> a) alive
+
+let greedy_clique_minor ~seed g =
+  let st = Random.State.make [| seed |] in
+  let n = Graph.n g in
+  if n = 0 then 0
+  else begin
+    (* randomized contraction: repeatedly contract a random edge between the
+       two lowest-common-degree supernodes, tracking the contracted graph's
+       minimum-degree clique witness *)
+    let labels = Array.init n (fun i -> i) in
+    let best = ref 1 in
+    let current = ref g in
+    let continue_ = ref true in
+    while !continue_ do
+      let gc = !current in
+      let nc = Graph.n gc in
+      (* clique check: is gc a clique? then we are done *)
+      if Graph.m gc = nc * (nc - 1) / 2 then begin
+        best := max !best nc;
+        continue_ := false
+      end
+      else begin
+        (* a clique subgraph witness: greedily grow a clique *)
+        let order = Array.init nc (fun i -> i) in
+        for i = nc - 1 downto 1 do
+          let j = Random.State.int st (i + 1) in
+          let t = order.(i) in
+          order.(i) <- order.(j);
+          order.(j) <- t
+        done;
+        let clique = ref [] in
+        Array.iter
+          (fun v -> if List.for_all (fun u -> Graph.mem_edge gc u v) !clique then clique := v :: !clique)
+          order;
+        best := max !best (List.length !clique);
+        if Graph.m gc = 0 then continue_ := false
+        else begin
+          let e = Random.State.int st (Graph.m gc) in
+          current := Subgraph.contract_edge gc e;
+          ignore labels
+        end
+      end
+    done;
+    !best
+  end
+
+let has_minor g h =
+  let ng = Graph.n g and nh = Graph.n h in
+  if nh = 0 then true
+  else if ng < nh then false
+  else begin
+    (* assign each vertex of g a label in [-1 .. nh-1]; -1 = unused.
+       Valid model: each label class non-empty and connected in g, and for
+       every h-edge (a,b) there is a g-edge between classes a and b. *)
+    let label = Array.make ng (-1) in
+    let class_size = Array.make nh 0 in
+    let ok_final () =
+      (* connectivity of classes *)
+      let classes = Array.make nh [] in
+      Array.iteri (fun v l -> if l >= 0 then classes.(l) <- v :: classes.(l)) label;
+      Array.for_all (fun c -> c <> [] && Traversal.is_connected_subset g c) classes
+      &&
+      Graph.fold_edges h ~init:true ~f:(fun acc _ a b ->
+          acc
+          && List.exists
+               (fun u ->
+                 Array.exists (fun (w, _) -> label.(w) = b) (Graph.adj g u))
+               classes.(a))
+    in
+    let rec assign v =
+      if v = ng then Array.for_all (fun s -> s > 0) class_size && ok_final ()
+      else begin
+        (* prune: remaining vertices must be able to fill empty classes *)
+        let empty = Array.fold_left (fun acc s -> if s = 0 then acc + 1 else acc) 0 class_size in
+        if empty > ng - v then false
+        else begin
+          let found = ref false in
+          let l = ref (-1) in
+          while (not !found) && !l < nh - 1 do
+            incr l;
+            label.(v) <- !l;
+            class_size.(!l) <- class_size.(!l) + 1;
+            if assign (v + 1) then found := true
+            else begin
+              class_size.(!l) <- class_size.(!l) - 1;
+              label.(v) <- -1
+            end
+          done;
+          if not !found then begin
+            label.(v) <- -1;
+            if assign (v + 1) then found := true
+          end;
+          !found
+        end
+      end
+    in
+    assign 0
+  end

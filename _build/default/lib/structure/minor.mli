@@ -1,0 +1,20 @@
+(** Minor operations and excluded-minor certification.
+
+    Excluding a minor is the paper's defining property; we certify it with
+    family-specific decision procedures: series-parallel reduction for K4
+    (trees/SP graphs), planarity for K5/K3,3 (Wagner's theorem), plus a
+    small exact search used by the tests on tiny instances. *)
+
+val has_k4_minor : Graphlib.Graph.t -> bool
+(** Via series-parallel reduction: a graph has no K4 minor iff repeatedly
+    deleting degree-<=1 vertices and suppressing degree-2 vertices empties
+    every component. *)
+
+val greedy_clique_minor : seed:int -> Graphlib.Graph.t -> int
+(** Size of a clique minor found by randomized greedy edge contraction: a
+    lower-bound witness on the Hadwiger number (so [greedy_clique_minor g >= t]
+    certifies that [g] does NOT belong to the K_t-minor-free family). *)
+
+val has_minor : Graphlib.Graph.t -> Graphlib.Graph.t -> bool
+(** Exact minor containment by exhaustive branch-set assignment. Exponential;
+    intended for graphs of at most ~10 vertices (tests only). *)

@@ -1,0 +1,9 @@
+(** Planarity testing (Demoucron–Malgrange–Pertuiset vertex-addition
+    algorithm, run per biconnected component). O(n·m); plenty for
+    certification and tests. Planar = K5- and K3,3-minor-free (Wagner). *)
+
+val is_planar : Graphlib.Graph.t -> bool
+
+val biconnected_components : Graphlib.Graph.t -> int list list
+(** Edge ids grouped by biconnected component (bridges are singleton
+    components). *)

@@ -1,0 +1,75 @@
+module Graph = Graphlib.Graph
+module Spanning = Graphlib.Spanning
+module Subgraph = Graphlib.Subgraph
+module Traversal = Graphlib.Traversal
+
+type t = {
+  separator : int list;
+  largest_fraction : float;
+}
+
+let largest_component_fraction g removed =
+  let n = Graph.n g in
+  let keep = Array.make n true in
+  List.iter (fun v -> keep.(v) <- false) removed;
+  let best = ref 0 in
+  let seen = Array.make n false in
+  for s = 0 to n - 1 do
+    if keep.(s) && not seen.(s) then begin
+      let size = ref 0 in
+      let q = Queue.create () in
+      seen.(s) <- true;
+      Queue.push s q;
+      while not (Queue.is_empty q) do
+        let v = Queue.pop q in
+        incr size;
+        Array.iter
+          (fun (u, _) ->
+            if keep.(u) && not seen.(u) then begin
+              seen.(u) <- true;
+              Queue.push u q
+            end)
+          (Graph.adj g v)
+      done;
+      best := max !best !size
+    end
+  done;
+  float_of_int !best /. float_of_int n
+
+let cycle_vertices tree e =
+  let g = tree.Spanning.graph in
+  let u, v = Graph.edge g e in
+  let rec climb a b acc_a acc_b =
+    if a = b then (a :: acc_a) @ acc_b
+    else if tree.Spanning.depth.(a) >= tree.Spanning.depth.(b) then
+      climb tree.Spanning.parent.(a) b (a :: acc_a) acc_b
+    else climb a tree.Spanning.parent.(b) acc_a (b :: acc_b)
+  in
+  climb u v [] []
+
+let fundamental_cycle g tree =
+  let best = ref { separator = []; largest_fraction = 1.0 } in
+  Graph.iter_edges g (fun e _ _ ->
+      if not (Spanning.is_tree_edge tree e) then begin
+        let cyc = cycle_vertices tree e in
+        let frac = largest_component_fraction g cyc in
+        if frac < !best.largest_fraction then
+          best := { separator = cyc; largest_fraction = frac }
+      end);
+  !best
+
+let bfs_level g ~root =
+  let dist = Traversal.bfs g root in
+  let maxd = Array.fold_left max 0 dist in
+  let best = ref { separator = []; largest_fraction = 1.0 } in
+  for level = 0 to maxd do
+    let sep = ref [] in
+    Array.iteri (fun v d -> if d = level then sep := v :: !sep) dist;
+    let frac = largest_component_fraction g !sep in
+    if frac < !best.largest_fraction then
+      best := { separator = !sep; largest_fraction = frac }
+  done;
+  !best
+
+let check g t =
+  largest_component_fraction g t.separator <= t.largest_fraction +. 1e-9

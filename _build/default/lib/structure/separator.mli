@@ -1,0 +1,28 @@
+(** Balanced separators from spanning trees.
+
+    Two classical constructions used throughout the excluded-minor
+    literature the paper builds on (path separators for object location
+    [AG06], PTASes [Gro03]):
+
+    - {!fundamental_cycle}: in a triangulated planar graph with a spanning
+      tree of height h, some non-tree edge's fundamental cycle (at most
+      2h+1 vertices) is a 2/3-balanced vertex separator (Lipton–Tarjan);
+      we search all non-tree edges and return the most balanced one.
+    - {!bfs_level}: the BFS level minimizing the larger side; on graphs of
+      diameter D it has at most n/... no size guarantee in general but is
+      tiny on grid-like inputs. *)
+
+type t = {
+  separator : int list;  (** removed vertices *)
+  largest_fraction : float;  (** |largest remaining component| / n *)
+}
+
+val fundamental_cycle : Graphlib.Graph.t -> Graphlib.Spanning.tree -> t
+(** Best fundamental-cycle separator over all non-tree edges. *)
+
+val bfs_level : Graphlib.Graph.t -> root:int -> t
+(** Best single BFS level. *)
+
+val check : Graphlib.Graph.t -> t -> bool
+(** Removing the separator really leaves no component larger than the
+    reported fraction. *)

@@ -1,0 +1,179 @@
+module Graph = Graphlib.Graph
+module Subgraph = Graphlib.Subgraph
+
+type t =
+  | Edge of int * int
+  | Series of t * t
+  | Parallel of t * t
+
+let rec terminals = function
+  | Edge (u, v) -> (u, v)
+  | Series (l, r) -> (fst (terminals l), snd (terminals r))
+  | Parallel (l, _) -> terminals l
+
+let rec size = function
+  | Edge _ -> 1
+  | Series (l, r) | Parallel (l, r) -> size l + size r
+
+let rec flip = function
+  | Edge (u, v) -> Edge (v, u)
+  | Series (l, r) -> Series (flip r, flip l)
+  | Parallel (l, r) -> Parallel (flip l, flip r)
+
+(* orient [t] so its terminals are exactly (x, y) *)
+let orient t (x, y) =
+  let a, b = terminals t in
+  if (a, b) = (x, y) then t
+  else if (a, b) = (y, x) then flip t
+  else invalid_arg "Sp.orient: terminal mismatch"
+
+let recognize g =
+  let n = Graph.n g in
+  if Graph.m g = 0 then None
+  else if Graph.m g = 1 then begin
+    let u, v = Graph.edge g 0 in
+    Some (Edge (u, v))
+  end
+  else begin
+    (* mutable multigraph of composite edges *)
+    let next = ref 0 in
+    let edges : (int, int * int * t) Hashtbl.t = Hashtbl.create (2 * Graph.m g) in
+    let incident = Array.make n [] in
+    let by_pair : (int * int, int) Hashtbl.t = Hashtbl.create (2 * Graph.m g) in
+    let degree v = List.length (List.filter (Hashtbl.mem edges) incident.(v)) in
+    let live v = List.filter (Hashtbl.mem edges) incident.(v) in
+    let rec insert u v t =
+      (* parallel-merge on the spot *)
+      let key = (min u v, max u v) in
+      match Hashtbl.find_opt by_pair key with
+      | Some other when Hashtbl.mem edges other ->
+          let ou, ov, ot = Hashtbl.find edges other in
+          Hashtbl.remove edges other;
+          Hashtbl.remove by_pair key;
+          insert u v (Parallel (orient ot (u, v), orient t (u, v)));
+          ignore (ou, ov)
+      | _ ->
+          let id = !next in
+          incr next;
+          Hashtbl.replace edges id (u, v, t);
+          Hashtbl.replace by_pair key id;
+          incident.(u) <- id :: incident.(u);
+          incident.(v) <- id :: incident.(v)
+    in
+    Graph.iter_edges g (fun _ u v -> insert u v (Edge (u, v)));
+    (* series-reduce degree-2 vertices until stuck *)
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for v = 0 to n - 1 do
+        if degree v = 2 then begin
+          match live v with
+          | [ e1; e2 ] when e1 <> e2 ->
+              let u1, v1, t1 = Hashtbl.find edges e1 in
+              let u2, v2, t2 = Hashtbl.find edges e2 in
+              let a = if u1 = v then v1 else u1 in
+              let b = if u2 = v then v2 else u2 in
+              if a <> b || degree a > 0 then begin
+                Hashtbl.remove edges e1;
+                Hashtbl.remove edges e2;
+                Hashtbl.remove by_pair (min u1 v1, max u1 v1);
+                Hashtbl.remove by_pair (min u2 v2, max u2 v2);
+                if a = b then
+                  (* the two edges close a loop at a: only legal at the very
+                     end (cycle graph); treat as parallel composition *)
+                  insert a v (Parallel (orient t1 (a, v), orient t2 (a, v)))
+                else
+                  insert a b (Series (orient t1 (a, v), orient t2 (v, b)));
+                changed := true
+              end
+          | _ -> ()
+        end
+      done
+    done;
+    if Hashtbl.length edges = 1 then
+      Hashtbl.fold (fun _ (_, _, t) _ -> Some t) edges None
+    else None
+  end
+
+let is_generalized_sp g =
+  Planarity.biconnected_components g
+  |> List.for_all (fun comp_edges ->
+         if List.length comp_edges <= 2 then true
+         else begin
+           let vs =
+             List.concat_map
+               (fun e ->
+                 let u, v = Graph.edge g e in
+                 [ u; v ])
+               comp_edges
+           in
+           let { Subgraph.sub; to_sub; _ } = Subgraph.induced g vs in
+           let edges =
+             List.map
+               (fun e ->
+                 let u, v = Graph.edge g e in
+                 (to_sub.(u), to_sub.(v)))
+               comp_edges
+           in
+           recognize (Graph.of_edges (Graph.n sub) edges) <> None
+         end)
+
+let generate ~seed target =
+  let st = Random.State.make [| seed |] in
+  let next_vertex = ref 2 in
+  let fresh () =
+    let v = !next_vertex in
+    incr next_vertex;
+    v
+  in
+  (* build an SP tree with [k] edges between (s, t); [can_edge] says whether
+     a bare s-t edge is still available (simple-graph constraint) *)
+  let rec gen k s t can_edge =
+    if k <= 1 && can_edge then Edge (s, t)
+    else if k <= 2 || Random.State.bool st || not can_edge then begin
+      (* series through a fresh middle vertex *)
+      let mid = fresh () in
+      let k1 = 1 + Random.State.int st (max 1 (k - 1)) in
+      Series (gen k1 s mid true, gen (k - k1) mid t true)
+    end
+    else begin
+      let k1 = 1 + Random.State.int st (k - 1) in
+      let left = gen k1 s t can_edge in
+      let right = gen (k - k1) s t false in
+      Parallel (left, right)
+    end
+  in
+  let tree = gen (max 1 target) 0 1 true in
+  let acc = ref [] in
+  let rec collect = function
+    | Edge (u, v) -> acc := (u, v) :: !acc
+    | Series (l, r) | Parallel (l, r) ->
+        collect l;
+        collect r
+  in
+  collect tree;
+  (Graph.of_edges !next_vertex !acc, tree)
+
+let check g t =
+  (* structural consistency + coverage of all graph edges, each used once *)
+  let used = Hashtbl.create (Graph.m g) in
+  let ok = ref (Ok ()) in
+  let fail msg = if !ok = Ok () then ok := Error msg in
+  let rec walk = function
+    | Edge (u, v) ->
+        (match Graph.find_edge g u v with
+        | None -> fail "witness edge absent from the graph"
+        | Some e -> if Hashtbl.mem used e then fail "edge used twice" else Hashtbl.replace used e ());
+        (u, v)
+    | Series (l, r) ->
+        let _, lv = walk l and ru, _ = walk r in
+        if lv <> ru then fail "series composition does not share its middle vertex";
+        (fst (terminals l), snd (terminals r))
+    | Parallel (l, r) ->
+        let lt = walk l and rt = walk r in
+        if lt <> rt then fail "parallel composition has different terminals";
+        lt
+  in
+  ignore (walk t);
+  if Hashtbl.length used <> Graph.m g then fail "witness does not span every edge";
+  !ok

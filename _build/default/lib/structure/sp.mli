@@ -1,0 +1,40 @@
+(** Two-terminal series-parallel structure (the paper cites series-parallel
+    "network backbones" [FL03] as a K4-excluding family).
+
+    A biconnected graph is series-parallel iff it reduces to a single edge by
+    repeatedly (i) suppressing a degree-2 vertex (series composition) and
+    (ii) merging parallel edges (parallel composition); the reduction order
+    does not matter. {!recognize} performs the reduction and returns the
+    SP-tree witness; a general connected graph is {e generalized}
+    series-parallel iff every biconnected component reduces (equivalently,
+    it is K4-minor-free, cf. {!Minor.has_k4_minor}). *)
+
+type t =
+  | Edge of int * int  (** an original graph edge between two vertices *)
+  | Series of t * t
+  | Parallel of t * t
+
+val terminals : t -> int * int
+(** The two terminals the composition runs between. *)
+
+val size : t -> int
+(** Number of original edges in the witness. *)
+
+val recognize : Graphlib.Graph.t -> t option
+(** SP-tree of a biconnected series-parallel graph; [None] if the reduction
+    gets stuck (the graph has a K4 minor) or the graph is not biconnected
+    enough to reduce to one edge. Graphs with fewer than 2 vertices and
+    single edges are trivially accepted. *)
+
+val is_generalized_sp : Graphlib.Graph.t -> bool
+(** Every biconnected component recognizes; equivalent to K4-minor-freeness
+    for connected graphs (checked against {!Minor.has_k4_minor} in tests). *)
+
+val generate : seed:int -> int -> Graphlib.Graph.t * t
+(** Random two-terminal series-parallel graph with about [n] edges, built
+    from a random SP-tree (terminals 0 and 1), together with the tree. The
+    returned witness is checked to match the graph by construction. *)
+
+val check : Graphlib.Graph.t -> t -> (unit, string) result
+(** The witness uses each graph edge at most once, its compositions share
+    endpoints correctly, and it spans every edge of the graph. *)

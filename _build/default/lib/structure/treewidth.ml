@@ -1,0 +1,70 @@
+module Graph = Graphlib.Graph
+
+let eliminate_with score g =
+  let n = Graph.n g in
+  let adj = Array.init n (fun v ->
+      let s = Hashtbl.create 8 in
+      Array.iter (fun (u, _) -> Hashtbl.replace s u ()) (Graph.adj g v);
+      s)
+  in
+  let alive = Array.make n true in
+  let order = Array.make n (-1) in
+  for i = 0 to n - 1 do
+    (* pick the best alive vertex *)
+    let best = ref (-1) and bs = ref max_int in
+    for v = 0 to n - 1 do
+      if alive.(v) then begin
+        let s = score adj alive v in
+        if s < !bs then begin
+          bs := s;
+          best := v
+        end
+      end
+    done;
+    let v = !best in
+    order.(i) <- v;
+    alive.(v) <- false;
+    let nbrs = Hashtbl.fold (fun u () acc -> if alive.(u) then u :: acc else acc) adj.(v) [] in
+    List.iter
+      (fun a ->
+        Hashtbl.remove adj.(a) v;
+        List.iter
+          (fun b ->
+            if a <> b && not (Hashtbl.mem adj.(a) b) then begin
+              Hashtbl.replace adj.(a) b ();
+              Hashtbl.replace adj.(b) a ()
+            end)
+          nbrs)
+      nbrs
+  done;
+  order
+
+let alive_degree adj alive v =
+  Hashtbl.fold (fun u () acc -> if alive.(u) then acc + 1 else acc) adj.(v) 0
+
+let min_degree_order g = eliminate_with alive_degree g
+
+let fill_count adj alive v =
+  let nbrs = Hashtbl.fold (fun u () acc -> if alive.(u) then u :: acc else acc) adj.(v) [] in
+  let missing = ref 0 in
+  let rec pairs = function
+    | [] -> ()
+    | a :: rest ->
+        List.iter (fun b -> if not (Hashtbl.mem adj.(a) b) then incr missing) rest;
+        pairs rest
+  in
+  pairs nbrs;
+  !missing
+
+let min_fill_order g = eliminate_with fill_count g
+
+let decompose ?(heuristic = `Min_degree) g =
+  let order =
+    match heuristic with `Min_degree -> min_degree_order g | `Min_fill -> min_fill_order g
+  in
+  Tree_decomposition.of_elimination_order g order
+
+let upper_bound g =
+  let w1 = Tree_decomposition.width (decompose ~heuristic:`Min_degree g) in
+  let w2 = Tree_decomposition.width (decompose ~heuristic:`Min_fill g) in
+  min w1 w2

@@ -1,0 +1,15 @@
+(** Treewidth upper bounds via elimination-order heuristics. The paper only
+    needs decompositions as *witnesses* (Theorem 5 consumes one); for our
+    structured generators the heuristics recover the generative width. *)
+
+val min_degree_order : Graphlib.Graph.t -> int array
+(** Greedy minimum-degree elimination order (with fill-in simulation). *)
+
+val min_fill_order : Graphlib.Graph.t -> int array
+(** Greedy minimum-fill-in elimination order; slower, usually tighter. *)
+
+val decompose : ?heuristic:[ `Min_degree | `Min_fill ] -> Graphlib.Graph.t -> Tree_decomposition.t
+(** Heuristic tree decomposition (default [`Min_degree]). *)
+
+val upper_bound : Graphlib.Graph.t -> int
+(** Width of the best of both heuristics. *)

@@ -1,0 +1,111 @@
+module Graph = Graphlib.Graph
+
+type t = {
+  boundary : int array;
+  internal : int array;
+  arcs : (int * int) array;
+  depth : int;
+}
+
+let arc_contains boundary (start, len) idx =
+  let nb = Array.length boundary in
+  let rel = ((idx - start) mod nb + nb) mod nb in
+  rel < len
+
+let add ~seed g ~cycle ~nodes ~depth =
+  if nodes < 1 then invalid_arg "Vortex.add: need nodes >= 1";
+  if depth < 1 then invalid_arg "Vortex.add: need depth >= 1";
+  let st = Random.State.make [| seed |] in
+  let n = Graph.n g in
+  let nb = Array.length cycle in
+  (* arcs start at floor(i*nb/nodes), so consecutive starts are at least
+     s_min = floor(nb/nodes) apart; with length depth*s_min - 1 any boundary
+     index is covered by at most ceil(len/s_min) = depth arcs *)
+  let s_min = max 1 (nb / nodes) in
+  let len = min nb (max 2 ((depth * s_min) - 1)) in
+  let arcs = Array.init nodes (fun i -> (i * nb / nodes, len)) in
+  let internal = Array.init nodes (fun i -> n + i) in
+  let edges = Graph.fold_edges g ~init:[] ~f:(fun acc _ u v -> (u, v) :: acc) in
+  let edges = ref edges in
+  Array.iteri
+    (fun i (start, alen) ->
+      let vi = internal.(i) in
+      (* endpoints of the arc, plus a random subset inside *)
+      edges := (vi, cycle.(start)) :: !edges;
+      edges := (vi, cycle.((start + alen - 1) mod nb)) :: !edges;
+      for j = 1 to alen - 2 do
+        if Random.State.float st 1.0 < 0.5 then
+          edges := (vi, cycle.((start + j) mod nb)) :: !edges
+      done;
+      (* edges to earlier internal nodes with overlapping arcs *)
+      for i' = 0 to i - 1 do
+        let start', alen' = arcs.(i') in
+        let overlap = ref false in
+        for j = 0 to alen - 1 do
+          if arc_contains cycle (start', alen') ((start + j) mod nb) then overlap := true
+        done;
+        if !overlap then edges := (vi, internal.(i')) :: !edges
+      done)
+    arcs;
+  let g' = Graph.of_edges (n + nodes) !edges in
+  (g', { boundary = cycle; internal; arcs; depth })
+
+let check g t =
+  let nb = Array.length t.boundary in
+  let fail msg = Error msg in
+  (* depth: every boundary index inside at most [depth] arcs *)
+  let too_deep = ref false in
+  for idx = 0 to nb - 1 do
+    let c =
+      Array.fold_left
+        (fun acc arc -> if arc_contains t.boundary arc idx then acc + 1 else acc)
+        0 t.arcs
+    in
+    if c > t.depth then too_deep := true
+  done;
+  if !too_deep then fail "a boundary vertex lies in more than depth arcs"
+  else begin
+    (* internal node neighbourhood constraint *)
+    let internal_index = Hashtbl.create 16 in
+    Array.iteri (fun i v -> Hashtbl.replace internal_index v i) t.internal;
+    let boundary_index = Hashtbl.create nb in
+    Array.iteri (fun i v -> Hashtbl.replace boundary_index v i) t.boundary;
+    let bad = ref false in
+    Array.iteri
+      (fun i vi ->
+        Array.iter
+          (fun (u, _) ->
+            match Hashtbl.find_opt internal_index u with
+            | Some i' ->
+                (* arcs must overlap *)
+                let s, l = t.arcs.(i) and s', l' = t.arcs.(i') in
+                let overlap = ref false in
+                for j = 0 to l - 1 do
+                  if arc_contains t.boundary (s', l') ((s + j) mod nb) then
+                    overlap := true
+                done;
+                if not !overlap then bad := true
+            | None -> (
+                match Hashtbl.find_opt boundary_index u with
+                | Some idx ->
+                    if not (arc_contains t.boundary t.arcs.(i) idx) then bad := true
+                | None -> bad := true))
+          (Graph.adj g vi))
+      t.internal;
+    if !bad then fail "an internal node has a neighbour outside its arc"
+    else Ok ()
+  end
+
+let star_replace g t =
+  let n = Graph.n g in
+  let is_internal = Array.make n false in
+  Array.iter (fun v -> is_internal.(v) <- true) t.internal;
+  let edges =
+    Graph.fold_edges g ~init:[] ~f:(fun acc _ u v ->
+        if is_internal.(u) || is_internal.(v) then acc else (u, v) :: acc)
+  in
+  (* compact: internal ids are the largest ids by construction of [add] *)
+  let keep = n - Array.length t.internal in
+  let star = keep in
+  let edges = Array.fold_left (fun acc b -> (star, b) :: acc) edges t.boundary in
+  (Graph.of_edges (keep + 1) edges, star)

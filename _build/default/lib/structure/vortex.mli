@@ -1,0 +1,34 @@
+(** Vortices (Definition 4, Figure 1b): internal nodes attached to arcs of a
+    face cycle, each boundary vertex covered by at most [depth] arcs, plus
+    edges between internal nodes whose arcs overlap. *)
+
+type t = {
+  boundary : int array;  (** the host face cycle, in cyclic order *)
+  internal : int array;  (** internal vortex node ids in the enlarged graph *)
+  arcs : (int * int) array;  (** per internal node: (start index, length) on the boundary *)
+  depth : int;
+}
+
+val add :
+  seed:int ->
+  Graphlib.Graph.t ->
+  cycle:int array ->
+  nodes:int ->
+  depth:int ->
+  Graphlib.Graph.t * t
+(** Add a vortex of the given depth to the cycle: [nodes] internal nodes with
+    evenly staggered arcs (new vertex ids [n ..]). Each internal node connects
+    to a random nonempty subset of its arc including both arc endpoints, and
+    to internal neighbours with overlapping arcs. *)
+
+val check : Graphlib.Graph.t -> t -> (unit, string) result
+(** Validates the depth bound (every boundary vertex inside at most [depth]
+    arcs) and that internal nodes only touch their arc or overlapping-arc
+    internal nodes. *)
+
+val star_replace : Graphlib.Graph.t -> t -> Graphlib.Graph.t * int
+(** Remove the internal nodes and add a single star vertex adjacent to the
+    whole boundary (Appendix A.3): the genus-preserving surrogate used by
+    Lemmas 2 and 8. Internal vertex ids are compacted away; the returned
+    int is the star's id in the new graph. The boundary vertex ids are
+    assumed to be smaller than all internal ids (as produced by {!add}). *)

@@ -1,0 +1,1 @@
+test/test_congest.ml: Alcotest Array Congest Distance Generators Graph Graphlib Hashtbl List QCheck QCheck_alcotest Random Shortcuts Spanning Traversal

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Congest Distance Generators Graph Graphlib List Random Shortcuts Spanning Structure Traversal

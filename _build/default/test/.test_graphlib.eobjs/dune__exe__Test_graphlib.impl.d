@@ -1,0 +1,1 @@
+test/test_graphlib.ml: Alcotest Array Distance Filename Fun Generators Graph Graphlib Io List Pqueue QCheck QCheck_alcotest Random Spanning Subgraph Sys Traversal Union_find

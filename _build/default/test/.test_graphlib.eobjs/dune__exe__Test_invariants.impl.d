@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Array Congest Generators Graph Graphlib Hashtbl List Option QCheck QCheck_alcotest Random Shortcuts Spanning Structure Subgraph Traversal

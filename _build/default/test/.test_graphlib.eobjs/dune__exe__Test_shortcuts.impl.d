@@ -1,0 +1,1 @@
+test/test_shortcuts.ml: Alcotest Array Generators Graph Graphlib Hashtbl List Option QCheck QCheck_alcotest Random Shortcuts Spanning Structure Traversal

@@ -1,0 +1,1 @@
+test/test_structure.ml: Alcotest Array Distance Generators Graph Graphlib List QCheck QCheck_alcotest Random Spanning Structure Traversal

@@ -1,0 +1,300 @@
+(* Boundary and stress cases across the whole stack: degenerate graphs,
+   extreme workload shapes, adversarial part structures, and the failure
+   modes the library must reject loudly rather than mis-answer. *)
+
+open Graphlib
+module S = Structure
+module Sh = Shortcuts
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------- degenerate graphs ---------- *)
+
+let test_single_vertex () =
+  let g = Graph.of_edges 1 [] in
+  check_int "n" 1 (Graph.n g);
+  check "connected" true (Traversal.is_connected g);
+  check_int "diameter" 0 (Distance.diameter_exact g);
+  let t = Spanning.bfs_tree g 0 in
+  check "tree valid" true (Spanning.check t = Ok ());
+  check_int "height" 0 (Spanning.height t)
+
+let test_single_edge_pipeline () =
+  let g = Generators.path 2 in
+  let t = Spanning.bfs_tree g 0 in
+  let parts = Sh.Part.of_list g [ [ 0; 1 ] ] in
+  let sc = Sh.Generic.construct t parts in
+  check "valid" true (Sh.Shortcut.is_tree_restricted sc);
+  check "quality tiny" true (Sh.Shortcut.quality sc <= 2);
+  let w = Graph.unit_weights g in
+  let r = Congest.Mst.boruvka ~constructor:Congest.Mst.shortcut_constructor g w in
+  check "MST of an edge" true (Congest.Mst.check g w r = Ok ())
+
+let test_empty_graph_components () =
+  let g = Graph.of_edges 0 [] in
+  let _, c = Traversal.components g in
+  check_int "zero components" 0 c;
+  check "vacuously connected" true (Traversal.is_connected g)
+
+let test_two_vertex_mincut () =
+  let g = Generators.path 2 in
+  let w = [| 3.5 |] in
+  check "trivial cut" true (abs_float (Congest.Mincut.stoer_wagner g w -. 3.5) < 1e-9)
+
+(* ---------- extreme workload shapes ---------- *)
+
+let test_single_giant_part () =
+  let gp = Generators.grid 12 12 in
+  let g = gp.Generators.graph in
+  let t = Spanning.bfs_tree g 0 in
+  let parts = Sh.Part.of_list g [ List.init 144 (fun i -> i) ] in
+  let sc = Sh.Generic.construct t parts in
+  (* one part covering everything: the whole tree serves it, b=1, c=1 *)
+  check_int "one block" 1 (Sh.Shortcut.block_parameter sc);
+  check "congestion 1" true (Sh.Shortcut.congestion sc <= 1)
+
+let test_all_singletons () =
+  let gp = Generators.grid 8 8 in
+  let g = gp.Generators.graph in
+  let t = Spanning.bfs_tree g 0 in
+  let parts = Sh.Part.singletons g in
+  let sc = Sh.Generic.construct t parts in
+  (* singletons need no shortcut edges at all *)
+  check_int "no grants" 0 (Sh.Shortcut.total_assigned sc);
+  check_int "quality = d" (Spanning.height t) (Sh.Shortcut.quality sc);
+  let st = Random.State.make [| 1 |] in
+  let values = Array.init 64 (fun v -> Some (Random.State.float st 1.0, v)) in
+  let r = Congest.Aggregate.minimum sc ~values in
+  check "aggregation trivially correct" true (Congest.Aggregate.verify sc ~values r);
+  check "zero rounds needed" true (r.Congest.Aggregate.stats.Congest.Network.rounds <= 1)
+
+let test_snake_part_in_grid () =
+  (* a serpentine subset: every other row, plus single connector cells at
+     alternating ends — the induced subgraph is a path of ~ w*h/2 vertices
+     winding through a grid of diameter w+h *)
+  let w = 10 and h = 9 in
+  let gp = Generators.grid w h in
+  let g = gp.Generators.graph in
+  let id x y = (y * w) + x in
+  let members = ref [] in
+  for y = 0 to h - 1 do
+    if y mod 2 = 0 then
+      for x = 0 to w - 1 do
+        members := id x y :: !members
+      done
+    else begin
+      (* connector through the skipped row, at alternating ends *)
+      let x = if y mod 4 = 1 then w - 1 else 0 in
+      members := id x y :: !members
+    end
+  done;
+  let parts = Sh.Part.of_list g [ !members ] in
+  let snake_diam = Sh.Part.max_part_diameter g parts in
+  check "snake much longer than the grid diameter" true
+    (snake_diam >= 3 * (w + h - 2));
+  let t = Spanning.bfs_tree g 0 in
+  let sc = Sh.Generic.construct t parts in
+  check "quality ~ d, far below the snake" true
+    (Sh.Shortcut.quality sc <= 2 * Spanning.height t);
+  let st = Random.State.make [| 2 |] in
+  let values =
+    Array.init (w * h) (fun v ->
+        if parts.Sh.Part.part_of.(v) >= 0 then Some (Random.State.float st 1.0, v)
+        else None)
+  in
+  let fast = Congest.Aggregate.minimum sc ~values in
+  let slow = Congest.Aggregate.minimum (Sh.Shortcut.empty t parts) ~values in
+  check "correct" true (Congest.Aggregate.verify sc ~values fast);
+  check "shortcut rounds bounded by the tree, not the snake" true
+    (fast.Congest.Aggregate.stats.Congest.Network.rounds <= 2 * Spanning.height t);
+  check "beats flooding the snake" true
+    (fast.Congest.Aggregate.stats.Congest.Network.rounds + 10
+    < slow.Congest.Aggregate.stats.Congest.Network.rounds)
+
+let test_parts_not_covering () =
+  (* parts may leave vertices unassigned; aggregation must ignore them *)
+  let g = Generators.cycle 10 in
+  let t = Spanning.bfs_tree g 0 in
+  let parts = Sh.Part.of_list g [ [ 0; 1 ]; [ 5; 6 ] ] in
+  let sc = Sh.Generic.construct t parts in
+  let values =
+    Array.init 10 (fun v ->
+        if v < 2 || (v >= 5 && v <= 6) then Some (float_of_int v, v) else None)
+  in
+  let r = Congest.Aggregate.minimum sc ~values in
+  check "partial coverage fine" true (Congest.Aggregate.verify sc ~values r);
+  check "uncovered vertices stay silent" true (r.Congest.Aggregate.mins.(3) = None)
+
+(* ---------- adversarial structures ---------- *)
+
+let test_star_graph_everything_fixed () =
+  (match
+     Sh.Part.of_list (Generators.star 11) [ List.init 5 (fun j -> 1 + j) ]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "disconnected star part accepted");
+  (* with the hub included the part is connected and the machinery works *)
+  let g = Generators.star 11 in
+  let t = Spanning.bfs_tree g 0 in
+  let parts = Sh.Part.of_list g [ 0 :: List.init 5 (fun j -> 1 + j) ] in
+  let sc = Sh.Generic.construct t parts in
+  check "valid" true (Sh.Shortcut.is_tree_restricted sc)
+
+let test_deep_path_tree_structures () =
+  (* depth-1000 path: recursion-free code paths must survive *)
+  let n = 1000 in
+  let g = Generators.path n in
+  let t = Spanning.bfs_tree g 0 in
+  check_int "height" (n - 1) (Spanning.height t);
+  let hld = S.Heavy_light.create ~parent:t.Spanning.parent ~root:0 ~n in
+  check_int "one chain" 1 (Array.length hld.S.Heavy_light.chains);
+  let f = S.Fold.fold ~parent:t.Spanning.parent in
+  check "fold logarithmic" true (S.Fold.depth f <= 12);
+  let lca = S.Lca.create ~parent:t.Spanning.parent ~depth:t.Spanning.depth in
+  check_int "lca on path" 17 (S.Lca.lca lca 17 999)
+
+let test_complete_graph_pipeline () =
+  (* dense extreme: K40 *)
+  let g = Graph.complete 40 in
+  let t = Spanning.bfs_tree g 0 in
+  check_int "star tree" 1 (Spanning.height t);
+  let parts = Sh.Part.voronoi ~seed:3 g ~count:5 in
+  let sc = Sh.Generic.construct t parts in
+  check "quality constant" true (Sh.Shortcut.quality sc <= 8);
+  let w = Graph.random_weights g in
+  let r = Congest.Mst.boruvka ~constructor:Congest.Mst.shortcut_constructor g w in
+  check "MST exact on K40" true (Congest.Mst.check g w r = Ok ())
+
+let test_lower_bound_tiny () =
+  let g, parts = Generators.lower_bound_parts 2 in
+  check "p=2 valid" true (Traversal.is_connected g);
+  check_int "two parts" 2 (List.length parts)
+
+(* ---------- structural checker negatives ---------- *)
+
+let test_tree_decomposition_checker_catches () =
+  let g = Generators.cycle 4 in
+  (* drop the bag covering edge (3, 0) *)
+  let bad =
+    {
+      S.Tree_decomposition.bags = [| [| 0; 1 |]; [| 1; 2 |]; [| 2; 3 |] |];
+      parent = [| -1; 0; 1 |];
+    }
+  in
+  check "edge coverage violation caught" true
+    (S.Tree_decomposition.check g bad <> Ok ());
+  (* vertex 0 in two disconnected bags *)
+  let bad2 =
+    {
+      S.Tree_decomposition.bags = [| [| 0; 1 |]; [| 1; 2 |]; [| 2; 3; 0 |] |];
+      parent = [| -1; 0; 1 |];
+    }
+  in
+  check "connectivity violation caught" true
+    (S.Tree_decomposition.check g bad2 <> Ok ())
+
+let test_spanning_checker_catches () =
+  let g = Generators.path 3 in
+  let t = Spanning.bfs_tree g 0 in
+  let broken = { t with Spanning.depth = [| 0; 5; 2 |] } in
+  check "depth inconsistency caught" true (Spanning.check broken <> Ok ())
+
+let test_clique_sum_checker_catches () =
+  let pieces = [ Generators.cycle 4; Generators.cycle 4 ] in
+  let cs = S.Clique_sum.compose ~seed:1 ~k:2 ~shape:S.Clique_sum.Path pieces in
+  (* corrupt the separator *)
+  let bad = { cs with S.Clique_sum.separators = [| [||]; [| 0; 1; 2; 3 |] |] } in
+  check "separator corruption caught" true (S.Clique_sum.check bad <> Ok ())
+
+let test_vortex_checker_catches () =
+  let c = Generators.cycle 8 in
+  let cycle = Array.init 8 (fun i -> i) in
+  let g, v = S.Vortex.add ~seed:1 c ~cycle ~nodes:4 ~depth:2 in
+  let lying = { v with S.Vortex.depth = 1 } in
+  check "depth lie caught" true (S.Vortex.check g lying <> Ok ())
+
+(* ---------- simulator robustness ---------- *)
+
+let test_aggregate_on_two_node_graph () =
+  let g = Generators.path 2 in
+  let t = Spanning.bfs_tree g 0 in
+  let parts = Sh.Part.of_list g [ [ 0 ]; [ 1 ] ] in
+  let sc = Sh.Generic.construct t parts in
+  let values = [| Some (1.0, 0); Some (2.0, 1) |] in
+  let r = Congest.Aggregate.minimum sc ~values in
+  check "trivial aggregation" true (Congest.Aggregate.verify sc ~values r)
+
+let test_identical_values_tiebreak () =
+  (* equal keys: the data component must break ties deterministically *)
+  let g = Generators.cycle 8 in
+  let t = Spanning.bfs_tree g 0 in
+  let parts = Sh.Part.of_list g [ List.init 8 (fun i -> i) ] in
+  let sc = Sh.Generic.construct t parts in
+  let values = Array.init 8 (fun v -> Some (0.5, v)) in
+  let r = Congest.Aggregate.minimum sc ~values in
+  check "verified" true (Congest.Aggregate.verify sc ~values r);
+  Array.iter
+    (fun m -> check "tie broken to vertex 0" true (m = Some (0.5, 0)))
+    r.Congest.Aggregate.mins
+
+let test_mst_duplicate_weights () =
+  (* non-distinct weights: lexicographic (w, edge-id) ordering keeps Boruvka
+     consistent; the MST is still minimum even if not unique *)
+  let g = (Generators.grid 6 6).Generators.graph in
+  let w = Graph.unit_weights g in
+  let r = Congest.Mst.boruvka ~constructor:Congest.Mst.shortcut_constructor g w in
+  check "spanning" true (List.length r.Congest.Mst.mst_edges = 35);
+  check "weight = n-1 for unit weights" true
+    (abs_float (r.Congest.Mst.mst_weight -. 35.0) < 1e-9)
+
+let test_sssp_heavy_light_mix () =
+  (* a light long way around beats a heavy direct edge *)
+  let g = Generators.cycle 6 in
+  let w = Array.make 6 0.1 in
+  (match Graph.find_edge g 0 5 with Some e -> w.(e) <- 10.0 | None -> assert false);
+  let r = Congest.Sssp.bellman_ford g w ~source:0 in
+  check "verified" true (Congest.Sssp.verify g w ~source:0 r);
+  check "long way wins" true (abs_float (r.Congest.Sssp.dist.(5) -. 0.5) < 1e-9)
+
+let () =
+  Alcotest.run "edge_cases"
+    [
+      ( "degenerate",
+        [
+          Alcotest.test_case "single vertex" `Quick test_single_vertex;
+          Alcotest.test_case "single edge pipeline" `Quick test_single_edge_pipeline;
+          Alcotest.test_case "empty graph" `Quick test_empty_graph_components;
+          Alcotest.test_case "two-vertex min cut" `Quick test_two_vertex_mincut;
+          Alcotest.test_case "tiny lower-bound family" `Quick test_lower_bound_tiny;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "one giant part" `Quick test_single_giant_part;
+          Alcotest.test_case "all singletons" `Quick test_all_singletons;
+          Alcotest.test_case "serpentine part" `Quick test_snake_part_in_grid;
+          Alcotest.test_case "partial coverage" `Quick test_parts_not_covering;
+        ] );
+      ( "adversarial",
+        [
+          Alcotest.test_case "star parts rejected + fixed" `Quick
+            test_star_graph_everything_fixed;
+          Alcotest.test_case "depth-1000 path" `Quick test_deep_path_tree_structures;
+          Alcotest.test_case "complete graph" `Quick test_complete_graph_pipeline;
+        ] );
+      ( "checker_negatives",
+        [
+          Alcotest.test_case "tree decomposition" `Quick
+            test_tree_decomposition_checker_catches;
+          Alcotest.test_case "spanning tree" `Quick test_spanning_checker_catches;
+          Alcotest.test_case "clique sum" `Quick test_clique_sum_checker_catches;
+          Alcotest.test_case "vortex" `Quick test_vortex_checker_catches;
+        ] );
+      ( "simulator",
+        [
+          Alcotest.test_case "two-node aggregation" `Quick test_aggregate_on_two_node_graph;
+          Alcotest.test_case "tie breaking" `Quick test_identical_values_tiebreak;
+          Alcotest.test_case "duplicate weights" `Quick test_mst_duplicate_weights;
+          Alcotest.test_case "sssp heavy/light" `Quick test_sssp_heavy_light_mix;
+        ] );
+    ]

@@ -1,0 +1,647 @@
+(* Tests for the Graph Structure Theorem toolkit: LCA, heavy-light,
+   tree decompositions, treewidth heuristics, planarity, minors, embeddings
+   and planarization, clique-sums, folding, vortices, almost-embeddable
+   graphs. *)
+
+open Graphlib
+module S = Structure
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------- Lca ---------- *)
+
+let naive_lca parent depth a b =
+  let a = ref a and b = ref b in
+  while depth.(!a) > depth.(!b) do
+    a := parent.(!a)
+  done;
+  while depth.(!b) > depth.(!a) do
+    b := parent.(!b)
+  done;
+  while !a <> !b do
+    a := parent.(!a);
+    b := parent.(!b)
+  done;
+  !a
+
+let test_lca_matches_naive =
+  QCheck.Test.make ~name:"binary lifting LCA matches naive" ~count:25
+    QCheck.(int_range 3 120)
+    (fun n ->
+      let g = Generators.random_tree ~seed:(n * 7) n in
+      let t = Spanning.bfs_tree g 0 in
+      let lca = S.Lca.create ~parent:t.Spanning.parent ~depth:t.Spanning.depth in
+      let st = Random.State.make [| n |] in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let a = Random.State.int st n and b = Random.State.int st n in
+        if S.Lca.lca lca a b <> naive_lca t.Spanning.parent t.Spanning.depth a b then
+          ok := false
+      done;
+      !ok)
+
+let test_lca_ancestor () =
+  let g = Generators.path 10 in
+  let t = Spanning.bfs_tree g 0 in
+  let lca = S.Lca.create ~parent:t.Spanning.parent ~depth:t.Spanning.depth in
+  check_int "3rd ancestor of 9" 6 (S.Lca.ancestor lca 9 3);
+  check_int "too far returns -1" (-1) (S.Lca.ancestor lca 3 7);
+  check_int "lca of list" 2 (S.Lca.lca_of_list lca [ 5; 9; 2 ])
+
+(* ---------- Heavy_light ---------- *)
+
+let test_hld_chain_changes =
+  QCheck.Test.make ~name:"HLD: at most log2 n chain changes to the root" ~count:25
+    QCheck.(int_range 2 300)
+    (fun n ->
+      let g = Generators.random_tree ~seed:(n * 3) n in
+      let t = Spanning.bfs_tree g 0 in
+      let hld = S.Heavy_light.create ~parent:t.Spanning.parent ~root:0 ~n in
+      let bound = int_of_float (ceil (log (float_of_int n) /. log 2.0)) in
+      Array.for_all
+        (fun v -> S.Heavy_light.chain_changes hld v <= max 1 bound)
+        (Array.init n (fun i -> i)))
+
+let test_hld_chains_partition () =
+  let g = Generators.random_tree ~seed:5 50 in
+  let t = Spanning.bfs_tree g 0 in
+  let hld = S.Heavy_light.create ~parent:t.Spanning.parent ~root:0 ~n:50 in
+  let seen = Array.make 50 0 in
+  Array.iter
+    (fun chain -> Array.iter (fun v -> seen.(v) <- seen.(v) + 1) chain)
+    hld.S.Heavy_light.chains;
+  check "chains partition the vertices" true (Array.for_all (fun c -> c = 1) seen)
+
+let test_hld_path_is_chain () =
+  (* a path decomposes into exactly one heavy chain *)
+  let g = Generators.path 20 in
+  let t = Spanning.bfs_tree g 0 in
+  let hld = S.Heavy_light.create ~parent:t.Spanning.parent ~root:0 ~n:20 in
+  check_int "single chain" 1 (Array.length hld.S.Heavy_light.chains)
+
+(* ---------- Tree decompositions / treewidth ---------- *)
+
+let test_td_path_width_one () =
+  let g = Generators.path 10 in
+  let td = S.Treewidth.decompose g in
+  check "valid" true (S.Tree_decomposition.check g td = Ok ());
+  check_int "paths have treewidth 1" 1 (S.Tree_decomposition.width td)
+
+let test_td_cycle_width_two () =
+  let g = Generators.cycle 12 in
+  let td = S.Treewidth.decompose g in
+  check "valid" true (S.Tree_decomposition.check g td = Ok ());
+  check_int "cycles have treewidth 2" 2 (S.Tree_decomposition.width td)
+
+let test_td_complete () =
+  let g = Graph.complete 6 in
+  let td = S.Treewidth.decompose g in
+  check "valid" true (S.Tree_decomposition.check g td = Ok ());
+  check_int "K6 width 5" 5 (S.Tree_decomposition.width td)
+
+let test_td_ktree_recovers_width =
+  QCheck.Test.make ~name:"min-degree heuristic is exact on k-trees" ~count:15
+    QCheck.(pair (int_range 1 5) (int_range 12 80))
+    (fun (k, n) ->
+      QCheck.assume (n > k + 1);
+      let g, elim = Generators.k_tree ~seed:(n + (7 * k)) ~k n in
+      let td_gen = S.Tree_decomposition.of_elimination_order g elim in
+      let td_heur = S.Treewidth.decompose g in
+      S.Tree_decomposition.check g td_gen = Ok ()
+      && S.Tree_decomposition.check g td_heur = Ok ()
+      && S.Tree_decomposition.width td_gen = k
+      && S.Tree_decomposition.width td_heur = k)
+
+let test_td_validity_random =
+  QCheck.Test.make ~name:"heuristic decompositions are always valid" ~count:20
+    QCheck.(int_range 4 60)
+    (fun n ->
+      let g = Generators.erdos_renyi ~seed:(5 * n) n 0.2 in
+      let td = S.Treewidth.decompose g in
+      S.Tree_decomposition.check g td = Ok ())
+
+let test_min_fill_not_worse_on_cycle () =
+  let g = Generators.cycle 20 in
+  check_int "min-fill exact on cycle" 2
+    (S.Tree_decomposition.width (S.Treewidth.decompose ~heuristic:`Min_fill g))
+
+let test_sp_treewidth_two =
+  QCheck.Test.make ~name:"series-parallel graphs have treewidth <= 2" ~count:15
+    QCheck.(int_range 4 100)
+    (fun n ->
+      let g = Generators.series_parallel ~seed:n n in
+      S.Treewidth.upper_bound g <= 2)
+
+(* ---------- Planarity ---------- *)
+
+let test_planar_positive () =
+  check "grid" true (S.Planarity.is_planar (Generators.grid 9 9).Generators.graph);
+  check "K4" true (S.Planarity.is_planar (Graph.complete 4));
+  check "wheel" true (S.Planarity.is_planar (Generators.wheel 12));
+  check "tree" true (S.Planarity.is_planar (Generators.random_tree ~seed:3 60));
+  check "cycle" true (S.Planarity.is_planar (Generators.cycle 30))
+
+let test_planar_negative () =
+  check "K5" false (S.Planarity.is_planar (Graph.complete 5));
+  check "K6" false (S.Planarity.is_planar (Graph.complete 6));
+  check "K33" false (S.Planarity.is_planar (Generators.complete_bipartite 3 3));
+  check "K34" false (S.Planarity.is_planar (Generators.complete_bipartite 3 4));
+  check "petersen" false (S.Planarity.is_planar (Generators.petersen ()));
+  check "torus grid" false (S.Planarity.is_planar (Generators.torus_grid 4 4))
+
+let test_planar_apollonian =
+  QCheck.Test.make ~name:"Apollonian networks test planar" ~count:10
+    QCheck.(int_range 4 150)
+    (fun n -> S.Planarity.is_planar (Generators.apollonian ~seed:(2 * n) n).Generators.graph)
+
+let test_planar_sp =
+  QCheck.Test.make ~name:"series-parallel graphs test planar" ~count:10
+    QCheck.(int_range 4 120)
+    (fun n -> S.Planarity.is_planar (Generators.series_parallel ~seed:(n + 1) n))
+
+let test_planar_plus_crossing_edges () =
+  (* K5 embedded inside a planar blob is still caught *)
+  let gp = Generators.grid 5 5 in
+  let edges =
+    Graph.fold_edges gp.Generators.graph ~init:[] ~f:(fun acc _ u v -> (u, v) :: acc)
+  in
+  (* make vertices 0,4,20,24,12 pairwise adjacent: adds a K5 minor *)
+  let clique = [ 0; 4; 20; 24; 12 ] in
+  let extra =
+    List.concat_map (fun u -> List.filter_map (fun v -> if u < v then Some (u, v) else None) clique) clique
+  in
+  let g = Graph.of_edges 25 (extra @ edges) in
+  check "grid + K5 clique is nonplanar" false (S.Planarity.is_planar g)
+
+let test_biconnected_components () =
+  (* two triangles sharing a cut vertex + a pendant edge *)
+  let g = Graph.of_edges 6 [ (0, 1); (1, 2); (2, 0); (2, 3); (3, 4); (4, 2); (4, 5) ] in
+  let comps = S.Planarity.biconnected_components g in
+  check_int "three biconnected components" 3 (List.length comps);
+  let sizes = List.sort compare (List.map List.length comps) in
+  check "sizes 1,3,3" true (sizes = [ 1; 3; 3 ])
+
+(* ---------- Minor ---------- *)
+
+let test_k4_minor () =
+  check "K4 itself" true (S.Minor.has_k4_minor (Graph.complete 4));
+  check "wheel has K4" true (S.Minor.has_k4_minor (Generators.wheel 6));
+  check "grid has K4" true (S.Minor.has_k4_minor (Generators.grid 3 3).Generators.graph);
+  check "cycle has no K4" false (S.Minor.has_k4_minor (Generators.cycle 10));
+  check "tree has no K4" false (S.Minor.has_k4_minor (Generators.random_tree ~seed:1 40))
+
+let test_sp_k4_free =
+  QCheck.Test.make ~name:"series-parallel graphs are K4-minor-free" ~count:20
+    QCheck.(int_range 3 120)
+    (fun n -> not (S.Minor.has_k4_minor (Generators.series_parallel ~seed:(3 * n) n)))
+
+let test_exact_minor_small () =
+  check "K3 in C5" true (S.Minor.has_minor (Generators.cycle 5) (Graph.complete 3));
+  check "K4 not in C5" false (S.Minor.has_minor (Generators.cycle 5) (Graph.complete 4));
+  check "K4 in W5" true (S.Minor.has_minor (Generators.wheel 5) (Graph.complete 4));
+  check "K5 in K5" true (S.Minor.has_minor (Graph.complete 5) (Graph.complete 5));
+  check "K5 not in planar W7" false (S.Minor.has_minor (Generators.wheel 7) (Graph.complete 5))
+
+let test_greedy_clique_minor () =
+  (* lower bound witness: K6 contains a K6 minor *)
+  check "K6 witness >= 6" true (S.Minor.greedy_clique_minor ~seed:2 (Graph.complete 6) >= 6);
+  check "tree witness <= 2" true
+    (S.Minor.greedy_clique_minor ~seed:2 (Generators.random_tree ~seed:2 30) <= 2)
+
+(* ---------- Embedding ---------- *)
+
+let test_embedding_genus_planar =
+  QCheck.Test.make ~name:"coordinate embeddings of planar graphs have genus 0"
+    ~count:10
+    QCheck.(int_range 4 100)
+    (fun n ->
+      let gp = Generators.apollonian ~seed:(n + 77) n in
+      S.Embedding.genus (S.Embedding.of_coords gp.Generators.graph gp.Generators.coords) = 0)
+
+let test_torus_embedding_genus () =
+  check_int "5x4 torus genus" 1 (S.Embedding.genus (S.Embedding.torus_grid 5 4));
+  check_int "8x3 torus genus" 1 (S.Embedding.genus (S.Embedding.torus_grid 8 3))
+
+let test_torus_faces () =
+  let emb = S.Embedding.torus_grid 6 5 in
+  let _, f = S.Embedding.faces emb in
+  check_int "torus grid has wh quadrilateral faces" 30 f
+
+let test_tree_cotree_size =
+  QCheck.Test.make ~name:"tree-cotree leaves exactly 2*genus edges" ~count:8
+    QCheck.(pair (int_range 3 8) (int_range 3 8))
+    (fun (w, h) ->
+      let emb = S.Embedding.torus_grid w h in
+      let tree = Spanning.bfs_tree emb.S.Embedding.graph 0 in
+      List.length (S.Embedding.tree_cotree emb tree) = 2)
+
+let test_planarize_torus =
+  QCheck.Test.make ~name:"cutting the torus along generators planarizes it" ~count:6
+    QCheck.(pair (int_range 4 7) (int_range 4 7))
+    (fun (w, h) ->
+      let emb = S.Embedding.torus_grid w h in
+      let tree = Spanning.bfs_tree emb.S.Embedding.graph 0 in
+      let pg, proj, gens = S.Embedding.planarize emb tree in
+      gens = 2
+      && S.Planarity.is_planar pg
+      && Graph.n pg >= Graph.n emb.S.Embedding.graph
+      && Array.for_all (fun v -> v >= 0 && v < Graph.n emb.S.Embedding.graph) proj)
+
+let test_planarize_identity_on_planar () =
+  let gp = Generators.grid 6 6 in
+  let emb = S.Embedding.of_coords gp.Generators.graph gp.Generators.coords in
+  let tree = Spanning.bfs_tree gp.Generators.graph 0 in
+  let pg, _, gens = S.Embedding.planarize emb tree in
+  check_int "no generators on the plane" 0 gens;
+  check_int "graph unchanged" (Graph.n gp.Generators.graph) (Graph.n pg);
+  check_int "edges unchanged" (Graph.m gp.Generators.graph) (Graph.m pg)
+
+let test_induced_cycle () =
+  let g = Generators.cycle 7 in
+  let tree = Spanning.bfs_tree g 0 in
+  (* the single non-tree edge induces the whole cycle *)
+  let non_tree = ref (-1) in
+  Graph.iter_edges g (fun e _ _ -> if not (Spanning.is_tree_edge tree e) then non_tree := e);
+  check_int "fundamental cycle has n edges" 7
+    (List.length (S.Embedding.induced_cycle_edges tree !non_tree))
+
+(* ---------- Clique_sum ---------- *)
+
+let test_clique_sum_valid_shapes () =
+  let pieces = List.init 12 (fun i -> (Generators.apollonian ~seed:i 25).Generators.graph) in
+  List.iter
+    (fun shape ->
+      let cs = S.Clique_sum.compose ~seed:3 ~k:3 ~shape pieces in
+      check "composition valid" true (S.Clique_sum.check cs = Ok ());
+      check "glued graph connected" true (Traversal.is_connected cs.S.Clique_sum.graph))
+    [ S.Clique_sum.Path; S.Clique_sum.Star; S.Clique_sum.Random_tree ]
+
+let test_clique_sum_depth_path () =
+  let pieces = List.init 20 (fun i -> Generators.cycle (5 + (i mod 3))) in
+  let cs = S.Clique_sum.compose ~seed:1 ~k:2 ~shape:S.Clique_sum.Path pieces in
+  check_int "path shape depth" 19 (S.Clique_sum.depth cs);
+  let cs2 = S.Clique_sum.compose ~seed:1 ~k:2 ~shape:S.Clique_sum.Star pieces in
+  check_int "star shape depth" 1 (S.Clique_sum.depth cs2)
+
+let test_clique_sum_with_drops =
+  QCheck.Test.make ~name:"clique-sums with dropped edges stay valid" ~count:10
+    QCheck.(int_range 2 15)
+    (fun np ->
+      let pieces = List.init np (fun i -> (Generators.apollonian ~seed:(i + 40) 15).Generators.graph) in
+      let cs =
+        S.Clique_sum.compose ~seed:np ~k:3 ~drop_prob:0.5 ~shape:S.Clique_sum.Random_tree
+          pieces
+      in
+      S.Clique_sum.check cs = Ok () && Traversal.is_connected cs.S.Clique_sum.graph)
+
+let test_of_tree_decomposition () =
+  let g, elim = Generators.k_tree ~seed:3 ~k:2 40 in
+  let td = S.Tree_decomposition.of_elimination_order g elim in
+  let cs = S.Clique_sum.of_tree_decomposition g td in
+  check "valid as clique-sum" true (S.Clique_sum.check cs = Ok ());
+  check_int "k = width + 1" 3 cs.S.Clique_sum.k
+
+let test_sp_excludes_k4_after_sum () =
+  (* clique-sums of K4-free graphs with k<=2 remain K4-free (clique-sum
+     closure of minor-free families, Graph Structure Theorem direction) *)
+  let pieces = List.init 8 (fun i -> Generators.series_parallel ~seed:i 20) in
+  let cs = S.Clique_sum.compose ~seed:5 ~k:2 ~shape:S.Clique_sum.Random_tree pieces in
+  check "still K4-minor-free" false (S.Minor.has_k4_minor cs.S.Clique_sum.graph)
+
+(* ---------- Fold ---------- *)
+
+let test_fold_depth_path =
+  QCheck.Test.make ~name:"folding a path gives depth O(log n)" ~count:15
+    QCheck.(int_range 2 2000)
+    (fun n ->
+      let parent = Array.init n (fun i -> i - 1) in
+      let f = S.Fold.fold ~parent in
+      let bound = 2 * int_of_float (ceil (log (float_of_int (n + 1)) /. log 2.0)) in
+      S.Fold.depth f <= max 2 bound)
+
+let test_fold_depth_random_tree =
+  QCheck.Test.make ~name:"folding any tree gives depth O(log^2 n)" ~count:15
+    QCheck.(int_range 2 2000)
+    (fun n ->
+      let g = Generators.random_tree ~seed:(n * 13) n in
+      let t = Spanning.bfs_tree g 0 in
+      let f = S.Fold.fold ~parent:t.Spanning.parent in
+      let lg = ceil (log (float_of_int (n + 1)) /. log 2.0) in
+      float_of_int (S.Fold.depth f) <= max 4.0 (2.0 *. lg *. lg))
+
+let test_fold_groups_partition =
+  QCheck.Test.make ~name:"folded groups partition the original bags" ~count:20
+    QCheck.(int_range 1 500)
+    (fun n ->
+      let g = Generators.random_tree ~seed:(n + 2) (max 2 n) in
+      let t = Spanning.bfs_tree g 0 in
+      let f = S.Fold.fold ~parent:t.Spanning.parent in
+      let seen = Array.make (max 2 n) 0 in
+      Array.iter (List.iter (fun b -> seen.(b) <- seen.(b) + 1)) f.S.Fold.groups;
+      Array.for_all (fun c -> c = 1) seen
+      && Array.for_all2
+           (fun grp members -> List.mem grp (List.map (fun b -> f.S.Fold.group_of.(b)) members) || members <> [])
+           (Array.init (Array.length f.S.Fold.groups) (fun i -> i))
+           f.S.Fold.groups)
+
+let test_fold_group_size_le_3 () =
+  let g = Generators.random_tree ~seed:8 300 in
+  let t = Spanning.bfs_tree g 0 in
+  let f = S.Fold.fold ~parent:t.Spanning.parent in
+  check "groups have <= 3 bags" true
+    (Array.for_all (fun members -> List.length members <= 3) f.S.Fold.groups)
+
+let test_trivial_fold () =
+  let parent = [| -1; 0; 0; 1 |] in
+  let f = S.Fold.trivial ~parent in
+  check_int "identity depth" (S.Fold.tree_depth parent) (S.Fold.depth f);
+  check_int "one group per bag" 4 (Array.length f.S.Fold.groups)
+
+(* ---------- Vortex ---------- *)
+
+let test_vortex_valid =
+  QCheck.Test.make ~name:"vortices satisfy the depth property" ~count:15
+    QCheck.(pair (int_range 1 4) (int_range 3 10))
+    (fun (depth, nodes) ->
+      let gp = Generators.grid 10 10 in
+      let g', v =
+        S.Vortex.add ~seed:(depth + nodes) gp.Generators.graph
+          ~cycle:gp.Generators.outer_face ~nodes ~depth
+      in
+      S.Vortex.check g' v = Ok () && Traversal.is_connected g')
+
+let test_vortex_star_replace () =
+  let gp = Generators.grid 8 8 in
+  let g', v =
+    S.Vortex.add ~seed:4 gp.Generators.graph ~cycle:gp.Generators.outer_face ~nodes:6
+      ~depth:2
+  in
+  let g'', star = S.Vortex.star_replace g' v in
+  check_int "star connected to whole boundary" (Array.length v.S.Vortex.boundary)
+    (Graph.degree g'' star);
+  check "still planar (star in the vortex face)" true (S.Planarity.is_planar g'');
+  check_int "internal nodes removed" (Graph.n gp.Generators.graph + 1) (Graph.n g'')
+
+let test_vortex_figure_1b () =
+  (* Figure 1b: a cycle with a depth-2 vortex *)
+  let c = Generators.cycle 12 in
+  let cycle = Array.init 12 (fun i -> i) in
+  let g', v = S.Vortex.add ~seed:1 c ~cycle ~nodes:6 ~depth:2 in
+  check "valid" true (S.Vortex.check g' v = Ok ());
+  check_int "internal nodes added" 18 (Graph.n g')
+
+(* ---------- Almost_embeddable ---------- *)
+
+let test_grid_with_holes () =
+  let g, rings = S.Almost_embeddable.grid_with_holes 30 15 ~holes:2 ~hole_size:5 in
+  check "connected" true (Traversal.is_connected g);
+  check_int "two rings" 2 (Array.length rings);
+  check_int "ring length" 16 (Array.length rings.(0));
+  check "planar" true (S.Planarity.is_planar g);
+  (* ring is a cycle: consecutive members adjacent *)
+  let ring = rings.(0) in
+  let ok = ref true in
+  Array.iteri
+    (fun i v ->
+      let u = ring.((i + 1) mod Array.length ring) in
+      if not (Graph.mem_edge g v u) then ok := false)
+    ring;
+  check "ring is a cycle" true !ok
+
+let test_almost_embeddable_full () =
+  let ae =
+    S.Almost_embeddable.make ~seed:9 ~width:40 ~height:15 ~handles:2 ~vortices:2
+      ~vortex_depth:3 ~vortex_nodes:5 ~apices:2 ~apex_fanout:8
+  in
+  check "connected" true (Traversal.is_connected ae.S.Almost_embeddable.graph);
+  check_int "two apices" 2 (Array.length ae.S.Almost_embeddable.apices);
+  check_int "two vortices" 2 (List.length ae.S.Almost_embeddable.vortices);
+  List.iter
+    (fun v ->
+      check "vortex valid" true (S.Vortex.check ae.S.Almost_embeddable.graph v = Ok ()))
+    ae.S.Almost_embeddable.vortices
+
+let test_almost_embeddable_planar_case () =
+  (* (0,0,0,0)-almost-embeddable = planar (paper remark after Def 5) *)
+  let ae =
+    S.Almost_embeddable.make ~seed:3 ~width:20 ~height:10 ~handles:0 ~vortices:0
+      ~vortex_depth:1 ~vortex_nodes:1 ~apices:0 ~apex_fanout:0
+  in
+  check "plain grid is planar" true (S.Planarity.is_planar ae.S.Almost_embeddable.graph)
+
+let test_non_apex_diameter () =
+  let ae =
+    S.Almost_embeddable.make ~seed:2 ~width:30 ~height:10 ~handles:0 ~vortices:0
+      ~vortex_depth:1 ~vortex_nodes:1 ~apices:1 ~apex_fanout:300
+  in
+  let d_with = Distance.diameter_double_sweep ae.S.Almost_embeddable.graph in
+  let d_without = S.Almost_embeddable.non_apex_diameter ae in
+  check "apex shrinks diameter" true (d_with < d_without)
+
+(* ---------- Separator ---------- *)
+
+let test_separator_planar_balance =
+  QCheck.Test.make ~name:"fundamental-cycle separator is 2/3-balanced on planar"
+    ~count:8
+    QCheck.(int_range 30 200)
+    (fun n ->
+      let gp = Generators.apollonian ~seed:(73 * n) n in
+      let g = gp.Generators.graph in
+      let tree = Spanning.bfs_tree g 0 in
+      let sep = S.Separator.fundamental_cycle g tree in
+      S.Separator.check g sep
+      && sep.S.Separator.largest_fraction <= 2.0 /. 3.0 +. 0.05
+      && List.length sep.S.Separator.separator <= (2 * Spanning.height tree) + 1)
+
+let test_separator_bfs_level_grid () =
+  let gp = Generators.grid 15 15 in
+  let sep = S.Separator.bfs_level gp.Generators.graph ~root:0 in
+  check "valid" true (S.Separator.check gp.Generators.graph sep);
+  check "balanced-ish" true (sep.S.Separator.largest_fraction <= 0.75);
+  check "small separator" true (List.length sep.S.Separator.separator <= 15 + 14)
+
+let test_separator_cycle () =
+  (* on a cycle, any fundamental cycle is the whole graph: fraction 0 *)
+  let g = Generators.cycle 12 in
+  let tree = Spanning.bfs_tree g 0 in
+  let sep = S.Separator.fundamental_cycle g tree in
+  check "cycle fully consumed" true (sep.S.Separator.largest_fraction <= 0.01)
+
+(* ---------- Sp (two-terminal series-parallel) ---------- *)
+
+let test_sp_generate_roundtrip =
+  QCheck.Test.make ~name:"generated SP graphs recognize with full witnesses" ~count:20
+    QCheck.(int_range 1 80)
+    (fun seed ->
+      let g, t = S.Sp.generate ~seed (5 + (seed * 3)) in
+      S.Sp.check g t = Ok ()
+      &&
+      match S.Sp.recognize g with
+      | Some t' -> S.Sp.size t' = Graph.m g && S.Sp.check g t' = Ok ()
+      | None -> false)
+
+let test_sp_recognize_known () =
+  check "cycle is SP" true (S.Sp.recognize (Generators.cycle 8) <> None);
+  check "theta graph is SP" true
+    (S.Sp.recognize (Graph.of_edges 4 [ (0, 1); (1, 2); (2, 3); (3, 0); (1, 3) ]) <> None);
+  check "K4 is not SP" true (S.Sp.recognize (Graph.complete 4) = None);
+  check "wheel is not SP" true (S.Sp.recognize (Generators.wheel 6) = None);
+  check "single edge" true (S.Sp.recognize (Generators.path 2) <> None)
+
+let test_sp_matches_k4_free =
+  QCheck.Test.make ~name:"generalized-SP agrees with K4-minor-freeness" ~count:15
+    QCheck.(int_range 4 50)
+    (fun n ->
+      let g = Generators.erdos_renyi ~seed:(61 * n) n 0.12 in
+      S.Sp.is_generalized_sp g = not (S.Minor.has_k4_minor g))
+
+let test_sp_terminals () =
+  let _, t = S.Sp.generate ~seed:5 20 in
+  check "terminals are 0 and 1" true (S.Sp.terminals t = (0, 1))
+
+(* ---------- Genus_vortex (Lemma 2/3, Theorem 9) ---------- *)
+
+let test_gv_star_replace_all () =
+  let gp = Generators.grid 16 10 in
+  let g1, v1 =
+    S.Vortex.add ~seed:3 gp.Generators.graph ~cycle:gp.Generators.outer_face ~nodes:6
+      ~depth:2
+  in
+  let g', old_to_new, stars = S.Genus_vortex.star_replace_all g1 [ v1 ] in
+  check_int "one star" 1 (List.length stars);
+  check_int "internal nodes removed, star added"
+    (Graph.n gp.Generators.graph + 1)
+    (Graph.n g');
+  check "internal nodes unmapped" true
+    (Array.for_all (fun vi -> old_to_new.(vi) = -1) v1.S.Vortex.internal);
+  check_int "star degree = boundary size"
+    (Array.length v1.S.Vortex.boundary)
+    (Graph.degree g' (List.hd stars))
+
+let test_gv_decomposition_valid =
+  QCheck.Test.make ~name:"Lemma 2 decomposition is valid" ~count:8
+    QCheck.(pair (int_range 1 3) (int_range 4 8))
+    (fun (depth, nodes) ->
+      let gp = Generators.grid 14 10 in
+      let g1, v1 =
+        S.Vortex.add ~seed:(depth + nodes) gp.Generators.graph
+          ~cycle:gp.Generators.outer_face ~nodes ~depth
+      in
+      let td = S.Genus_vortex.decompose_with_vortices g1 [ v1 ] in
+      S.Tree_decomposition.check g1 td = Ok ())
+
+let test_gv_width_bound () =
+  (* Lemma 3 bound O((g+1) k l D): measured width must land well under it *)
+  let g0, rings = S.Almost_embeddable.grid_with_holes 30 15 ~holes:2 ~hole_size:5 in
+  let g1, v1 = S.Vortex.add ~seed:1 g0 ~cycle:rings.(0) ~nodes:5 ~depth:2 in
+  let g2, v2 = S.Vortex.add ~seed:2 g1 ~cycle:rings.(1) ~nodes:5 ~depth:2 in
+  let td = S.Genus_vortex.decompose_with_vortices g2 [ v1; v2 ] in
+  check "valid" true (S.Tree_decomposition.check g2 td = Ok ());
+  let d = Distance.diameter_double_sweep g2 in
+  check "width within Lemma 3 bound" true
+    (S.Tree_decomposition.width td <= S.Genus_vortex.width_bound ~g:0 ~k:2 ~l:2 ~d)
+
+let test_gv_no_vortices_identity () =
+  let g = (Generators.grid 8 8).Generators.graph in
+  let td = S.Genus_vortex.decompose_with_vortices g [] in
+  check "valid without vortices" true (S.Tree_decomposition.check g td = Ok ())
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "structure"
+    [
+      ( "lca",
+        [ Alcotest.test_case "ancestors and lists" `Quick test_lca_ancestor ]
+        @ qsuite [ test_lca_matches_naive ] );
+      ( "heavy_light",
+        [
+          Alcotest.test_case "chains partition" `Quick test_hld_chains_partition;
+          Alcotest.test_case "path is one chain" `Quick test_hld_path_is_chain;
+        ]
+        @ qsuite [ test_hld_chain_changes ] );
+      ( "tree_decomposition",
+        [
+          Alcotest.test_case "path width 1" `Quick test_td_path_width_one;
+          Alcotest.test_case "cycle width 2" `Quick test_td_cycle_width_two;
+          Alcotest.test_case "complete graph" `Quick test_td_complete;
+          Alcotest.test_case "min-fill on cycle" `Quick test_min_fill_not_worse_on_cycle;
+        ]
+        @ qsuite [ test_td_ktree_recovers_width; test_td_validity_random; test_sp_treewidth_two ]
+      );
+      ( "planarity",
+        [
+          Alcotest.test_case "positives" `Quick test_planar_positive;
+          Alcotest.test_case "negatives" `Quick test_planar_negative;
+          Alcotest.test_case "planar + clique" `Quick test_planar_plus_crossing_edges;
+          Alcotest.test_case "biconnected components" `Quick test_biconnected_components;
+        ]
+        @ qsuite [ test_planar_apollonian; test_planar_sp ] );
+      ( "minor",
+        [
+          Alcotest.test_case "K4 reduction" `Quick test_k4_minor;
+          Alcotest.test_case "exact small minors" `Quick test_exact_minor_small;
+          Alcotest.test_case "greedy clique witness" `Quick test_greedy_clique_minor;
+        ]
+        @ qsuite [ test_sp_k4_free ] );
+      ( "embedding",
+        [
+          Alcotest.test_case "torus genus" `Quick test_torus_embedding_genus;
+          Alcotest.test_case "torus faces" `Quick test_torus_faces;
+          Alcotest.test_case "planarize keeps planar graphs" `Quick
+            test_planarize_identity_on_planar;
+          Alcotest.test_case "fundamental cycle" `Quick test_induced_cycle;
+        ]
+        @ qsuite
+            [ test_embedding_genus_planar; test_tree_cotree_size; test_planarize_torus ]
+      );
+      ( "clique_sum",
+        [
+          Alcotest.test_case "all shapes valid" `Quick test_clique_sum_valid_shapes;
+          Alcotest.test_case "depths per shape" `Quick test_clique_sum_depth_path;
+          Alcotest.test_case "from tree decomposition" `Quick test_of_tree_decomposition;
+          Alcotest.test_case "K4-free closure" `Quick test_sp_excludes_k4_after_sum;
+        ]
+        @ qsuite [ test_clique_sum_with_drops ] );
+      ( "fold",
+        [
+          Alcotest.test_case "group size <= 3" `Quick test_fold_group_size_le_3;
+          Alcotest.test_case "trivial fold" `Quick test_trivial_fold;
+        ]
+        @ qsuite
+            [ test_fold_depth_path; test_fold_depth_random_tree; test_fold_groups_partition ]
+      );
+      ( "vortex",
+        [
+          Alcotest.test_case "star replacement" `Quick test_vortex_star_replace;
+          Alcotest.test_case "figure 1b" `Quick test_vortex_figure_1b;
+        ]
+        @ qsuite [ test_vortex_valid ] );
+      ( "almost_embeddable",
+        [
+          Alcotest.test_case "grid with holes" `Quick test_grid_with_holes;
+          Alcotest.test_case "full construction" `Quick test_almost_embeddable_full;
+          Alcotest.test_case "planar special case" `Quick test_almost_embeddable_planar_case;
+          Alcotest.test_case "apex diameter shrink" `Quick test_non_apex_diameter;
+        ] );
+      ( "genus_vortex",
+        [
+          Alcotest.test_case "star replace all" `Quick test_gv_star_replace_all;
+          Alcotest.test_case "Lemma 3 width bound" `Quick test_gv_width_bound;
+          Alcotest.test_case "no vortices" `Quick test_gv_no_vortices_identity;
+        ]
+        @ qsuite [ test_gv_decomposition_valid ] );
+      ( "series_parallel",
+        [
+          Alcotest.test_case "known graphs" `Quick test_sp_recognize_known;
+          Alcotest.test_case "terminals" `Quick test_sp_terminals;
+        ]
+        @ qsuite [ test_sp_generate_roundtrip; test_sp_matches_k4_free ] );
+      ( "separator",
+        [
+          Alcotest.test_case "bfs level on grid" `Quick test_separator_bfs_level_grid;
+          Alcotest.test_case "cycle edge case" `Quick test_separator_cycle;
+        ]
+        @ qsuite [ test_separator_planar_balance ] );
+    ]
