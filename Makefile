@@ -1,0 +1,26 @@
+.PHONY: all build test fmt check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# dune-file formatting only: ocamlformat is not part of the toolchain
+# (see dune-project), so @fmt covers the dune files.
+fmt:
+	dune fmt
+
+# the one gate to run before pushing: formatting, full build, full test suite
+check:
+	dune build @fmt
+	dune build
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

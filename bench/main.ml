@@ -2,10 +2,11 @@
    (see DESIGN.md section 4 and EXPERIMENTS.md for the recorded outcomes).
 
    Usage:
-     dune exec bench/main.exe                 -- run everything
-     dune exec bench/main.exe -- --only E1    -- one experiment
-     dune exec bench/main.exe -- --list       -- list experiments
-     dune exec bench/main.exe -- --no-timing  -- skip the bechamel timing suite
+     dune exec bench/main.exe                   -- run everything
+     dune exec bench/main.exe -- --only E1      -- one experiment
+     dune exec bench/main.exe -- --list         -- list experiments
+     dune exec bench/main.exe -- --no-timing    -- skip the bechamel timing suite
+     dune exec bench/main.exe -- --json out.json -- also write rows + traces as JSON
 *)
 
 module G = Core.Graph
@@ -15,17 +16,55 @@ module P = Core.Part
 module Sc = Core.Shortcut
 module Q = Core.Quality
 
-let section title = Printf.printf "\n=== %s ===\n%!" title
+(* --json sink: every quality row and trace summary an experiment prints is
+   also recorded here and written out at exit when --json was given *)
+let json_records : string list ref = ref []
+let current_section = ref ""
+
+let section title =
+  current_section := title;
+  Printf.printf "\n=== %s ===\n%!" title
+
 let subsection title = Printf.printf "\n-- %s --\n%!" title
+
+let record_row r =
+  json_records :=
+    Printf.sprintf
+      "{\"type\":\"quality\",\"section\":%S,\"label\":%S,\"n\":%d,\"m\":%d,\"diameter\":%d,\"d_tree\":%d,\"parts\":%d,\"b\":%d,\"c\":%d,\"q\":%d,\"obs_c\":%s}"
+      !current_section r.Q.label r.Q.n r.Q.m r.Q.diameter r.Q.d_tree r.Q.nparts
+      r.Q.b r.Q.c r.Q.q
+      (match r.Q.obs_c with Some x -> string_of_int x | None -> "null")
+    :: !json_records
+
+let record_trace ~label tr =
+  json_records :=
+    Printf.sprintf "{\"type\":\"trace\",\"section\":%S,\"label\":%S,\"data\":%s}"
+      !current_section label
+      (Core.Trace.summary_to_json (Core.Trace.summary tr))
+    :: !json_records
 
 let print_rows rows =
   print_endline (Q.header ());
-  List.iter (fun r -> print_endline (Q.to_string r)) rows
+  List.iter
+    (fun r ->
+      record_row r;
+      print_endline (Q.to_string r))
+    rows
 
 let log2 x = log (float_of_int (max 2 x)) /. log 2.0
 
 (* measured aggregation rounds for a shortcut, the empirical q *)
-let agg_rounds sc = Core.Aggregate.rounds_for_parts sc ~seed:11
+let agg_rounds ?trace sc = Core.Aggregate.rounds_for_parts ?trace sc ~seed:11
+
+(* run one traced aggregation over [sc]: record + print the congestion
+   profile and return the busiest edge's load for the obs_c column *)
+let observed_congestion ~label g sc =
+  let tr = Core.Trace.create g in
+  ignore (agg_rounds ~trace:tr sc);
+  record_trace ~label tr;
+  Printf.printf "trace %-28s %s\n" label
+    (Core.Trace.summary_to_string (Core.Trace.summary tr));
+  Core.Trace.max_edge_load tr
 
 (* ------------------------------------------------------------------ *)
 (* E1: Theorem 4 [GH16] — planar graphs, b = O(log d), c = O(d log d)  *)
@@ -44,7 +83,12 @@ let e1 () =
         (fun (wname, parts) ->
           let sc = Core.Generic.construct tree parts in
           let label = Printf.sprintf "grid %dx%d %s" side side wname in
-          rows := Q.measure ~label sc :: !rows)
+          (* per-edge telemetry on the small instances: obs_c is the busiest
+             edge of an actual traced aggregation, to hold against c *)
+          let obs =
+            if side <= 24 then Some (observed_congestion ~label g sc) else None
+          in
+          rows := Q.measure ~label ?observed_congestion:obs sc :: !rows)
         [
           ("rows", P.grid_rows side side);
           ("voronoi", P.voronoi ~seed:side g ~count:(max 2 (side * side / 48)));
@@ -85,7 +129,10 @@ let e2 () =
           let parts = P.voronoi ~seed:k g ~count:(max 2 (n / 64)) in
           let sc = Core.Tw_shortcut.construct ~decomposition:td g tree parts in
           let label = Printf.sprintf "k-tree k=%d n=%d" k n in
-          rows := (k, Q.measure ~label sc) :: !rows)
+          let obs =
+            if n = 512 then Some (observed_congestion ~label g sc) else None
+          in
+          rows := (k, Q.measure ~label ?observed_congestion:obs sc) :: !rows)
         [ 512; 1024; 2048 ])
     [ 2; 3; 5 ];
   let rows = List.rev !rows in
@@ -911,6 +958,14 @@ let () =
     in
     find args
   in
+  let json_path =
+    let rec find = function
+      | "--json" :: v :: _ -> Some v
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
   if has "--list" then
     List.iter (fun (id, desc, _) -> Printf.printf "%-4s %s\n" id desc) experiments
   else begin
@@ -918,5 +973,12 @@ let () =
       (fun (id, _, run) -> match only with Some o when o <> id -> () | _ -> run ())
       experiments;
     if (not (has "--no-timing")) && only = None then timing ();
+    (match json_path with
+    | Some path ->
+        let oc = open_out path in
+        Printf.fprintf oc "[\n%s\n]\n" (String.concat ",\n" (List.rev !json_records));
+        close_out oc;
+        Printf.printf "wrote %d records to %s\n" (List.length !json_records) path
+    | None -> ());
     print_endline "\nall experiments completed."
   end

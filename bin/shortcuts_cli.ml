@@ -86,12 +86,17 @@ let quality file nparts seed =
   let parts = Core.Part.voronoi ~seed g ~count:nparts in
   let tree = Core.Spanning.bfs_tree g 0 in
   let sc = Core.Generic.construct tree parts in
+  let trace = Core.Trace.create g in
+  let rounds = Core.Aggregate.rounds_for_parts sc ~seed ~trace in
   print_endline (Core.Quality.header ());
-  print_endline (Core.Quality.to_string (Core.Quality.measure ~label:file sc));
-  let rounds = Core.Aggregate.rounds_for_parts sc ~seed in
+  print_endline
+    (Core.Quality.to_string
+       (Core.Quality.measure ~label:file
+          ~observed_congestion:(Core.Trace.max_edge_load trace) sc));
   let empty = Core.Shortcut.empty tree parts in
   let rounds0 = Core.Aggregate.rounds_for_parts empty ~seed in
   Printf.printf "aggregation: %d rounds with shortcuts, %d without\n" rounds rounds0;
+  Printf.printf "trace: %s\n" (Core.Trace.summary_to_string (Core.Trace.summary trace));
   0
 
 (* ---------- mst ---------- *)
@@ -99,12 +104,16 @@ let quality file nparts seed =
 let mst file algo =
   let g, w = read_graph file in
   let w = weights_of g w in
+  let trace = Core.Trace.create g in
   let report =
     match algo with
-    | "shortcut" -> Core.Mst.boruvka ~constructor:Core.Mst.shortcut_constructor g w
-    | "flooding" -> Core.Mst.boruvka ~constructor:Core.Mst.no_shortcut_constructor g w
+    | "shortcut" ->
+        Core.Mst.boruvka ~trace ~constructor:Core.Mst.shortcut_constructor g w
+    | "flooding" ->
+        Core.Mst.boruvka ~trace ~constructor:Core.Mst.no_shortcut_constructor g w
     | "pipelined" -> Core.Mst.pipelined g w
-    | "full" -> Core.Mst.boruvka_full ~constructor:Core.Mst.shortcut_constructor g w
+    | "full" ->
+        Core.Mst.boruvka_full ~trace ~constructor:Core.Mst.shortcut_constructor g w
     | a -> failwith ("unknown algorithm: " ^ a)
   in
   (match Core.Mst.check g w report with
@@ -112,6 +121,9 @@ let mst file algo =
   | Error e -> Printf.printf "WARNING: %s\n" e);
   Printf.printf "algorithm = %s\nphases = %d\nrounds = %d\nweight = %.6f\n" algo
     report.Core.Mst.phases report.Core.Mst.rounds report.Core.Mst.mst_weight;
+  if algo <> "pipelined" then
+    Printf.printf "trace: %s\n"
+      (Core.Trace.summary_to_string (Core.Trace.summary trace));
   0
 
 (* ---------- mincut ---------- *)

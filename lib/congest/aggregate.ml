@@ -13,18 +13,23 @@ type node_state = {
   queued : (int * int, unit) Hashtbl.t;
 }
 
-let minimum ?max_rounds sc ~values =
+let minimum ?max_rounds ?trace sc ~values =
   let tree = sc.Sc.tree in
   let g = tree.Graphlib.Spanning.graph in
   let n = Graph.n g in
   let parts = sc.Sc.parts in
   let part_of = parts.Part.part_of in
-  (* usable (vertex, neighbor) -> parts: shortcut edges of each part plus the
-     part's own induced edges *)
-  let usable : (int, int list) Hashtbl.t array = Array.init n (fun _ -> Hashtbl.create 4) in
+  (* by_part.(v) : part -> neighbors usable for that part (shortcut edges of
+     the part plus the part's own induced edges); deduped while building so
+     [improve] touches each usable neighbor once *)
+  let by_part : (int, int list) Hashtbl.t array = Array.init n (fun _ -> Hashtbl.create 4) in
+  let seen = Hashtbl.create 64 in
   let allow v w p =
-    let cur = Option.value (Hashtbl.find_opt usable.(v) w) ~default:[] in
-    if not (List.mem p cur) then Hashtbl.replace usable.(v) w (p :: cur)
+    if not (Hashtbl.mem seen (v, w, p)) then begin
+      Hashtbl.replace seen (v, w, p) ();
+      let cur = Option.value (Hashtbl.find_opt by_part.(v) p) ~default:[] in
+      Hashtbl.replace by_part.(v) p (w :: cur)
+    end
   in
   Array.iteri
     (fun p edges ->
@@ -41,7 +46,7 @@ let minimum ?max_rounds sc ~values =
         allow u v pu;
         allow v u pu
       end);
-  let enqueue st v w p =
+  let enqueue st w p =
     if not (Hashtbl.mem st.queued (w, p)) then begin
       Hashtbl.replace st.queued (w, p) ();
       let q =
@@ -52,8 +57,7 @@ let minimum ?max_rounds sc ~values =
             Hashtbl.replace st.queues w q;
             q
       in
-      Queue.push p q;
-      ignore v
+      Queue.push p q
     end
   in
   let improve st v p value =
@@ -62,9 +66,9 @@ let minimum ?max_rounds sc ~values =
     in
     if better then begin
       Hashtbl.replace st.best p value;
-      Hashtbl.iter
-        (fun w plist -> if List.mem p plist then enqueue st v w p)
-        usable.(v)
+      match Hashtbl.find_opt by_part.(v) p with
+      | Some nbrs -> List.iter (fun w -> enqueue st w p) nbrs
+      | None -> ()
     end;
     better
   in
@@ -85,7 +89,8 @@ let minimum ?max_rounds sc ~values =
           | _ -> ());
           st);
       step =
-        (fun ~round:_ ~node:v st ~inbox ->
+        (fun ctx st ~inbox ->
+          let v = Network.node ctx in
           (* receive *)
           List.iter
             (fun (w, payload) ->
@@ -102,7 +107,6 @@ let minimum ?max_rounds sc ~values =
               | _ -> invalid_arg "Aggregate: malformed payload")
             inbox;
           (* send: one pending part per neighbor *)
-          let outbox = ref [] in
           Hashtbl.iter
             (fun w q ->
               if not (Queue.is_empty q) then begin
@@ -113,17 +117,17 @@ let minimum ?max_rounds sc ~values =
                     let bits = Int64.bits_of_float key in
                     let hi = Int64.to_int (Int64.shift_right_logical bits 32) in
                     let lo = Int64.to_int (Int64.logand bits 0xFFFFFFFFL) in
-                    outbox := (w, [| p; hi; lo; data |]) :: !outbox
+                    Network.send ctx w [| p; hi; lo; data |]
                 | None -> ()
               end)
             st.queues;
-          (st, !outbox));
+          st);
       finished =
         (fun st ->
           Hashtbl.fold (fun _ q acc -> acc && Queue.is_empty q) st.queues true);
     }
   in
-  let states, stats = Network.run ?max_rounds g algo in
+  let states, stats = Network.run ?max_rounds ?trace g algo in
   let mins =
     Array.init n (fun v ->
         let p = part_of.(v) in
@@ -160,7 +164,7 @@ let verify sc ~values result =
     expected;
   !ok
 
-let rounds_for_parts ?max_rounds sc ~seed =
+let rounds_for_parts ?max_rounds ?trace sc ~seed =
   let st = Random.State.make [| seed |] in
   let g = sc.Sc.tree.Graphlib.Spanning.graph in
   let values =
@@ -169,7 +173,7 @@ let rounds_for_parts ?max_rounds sc ~seed =
           Some (Random.State.float st 1.0, v)
         else None)
   in
-  let r = minimum ?max_rounds sc ~values in
+  let r = minimum ?max_rounds ?trace sc ~values in
   r.stats.Network.rounds
 
 (* ---- non-idempotent aggregates: SUM via convergecast/broadcast ---- *)

@@ -17,6 +17,7 @@ type result = {
 
 val minimum :
   ?max_rounds:int ->
+  ?trace:Trace.t ->
   Shortcuts.Shortcut.t ->
   values:(float * int) option array ->
   result
@@ -31,7 +32,7 @@ val verify :
 (** Every part vertex learned the true part minimum. *)
 
 val rounds_for_parts :
-  ?max_rounds:int -> Shortcuts.Shortcut.t -> seed:int -> int
+  ?max_rounds:int -> ?trace:Trace.t -> Shortcuts.Shortcut.t -> seed:int -> int
 (** Convenience: run one aggregation with random values and return the round
     count (the per-phase cost charged by the MST / min-cut algorithms). *)
 

@@ -1,10 +1,8 @@
-module Graph = Graphlib.Graph
-
 type state = { dist : int; parent : int }
 
 type full = { s : state; announced : bool }
 
-let run ?max_rounds g ~root =
+let run ?max_rounds ?trace g ~root =
   let algo =
     {
       Network.init =
@@ -12,7 +10,7 @@ let run ?max_rounds g ~root =
           if v = root then { s = { dist = 0; parent = -1 }; announced = false }
           else { s = { dist = -1; parent = -1 }; announced = false });
       step =
-        (fun ~round:_ ~node:v st ~inbox ->
+        (fun ctx st ~inbox ->
           (* adopt the smallest announced distance *)
           let st =
             List.fold_left
@@ -23,14 +21,13 @@ let run ?max_rounds g ~root =
                 | _ -> st)
               st inbox
           in
-          if st.s.dist >= 0 && not st.announced then
-            ( { st with announced = true },
-              Array.to_list (Graph.neighbors g v)
-              |> List.map (fun w -> (w, [| st.s.dist |])) )
-          else (st, []))
-      ;
+          if st.s.dist >= 0 && not st.announced then begin
+            Network.send_all ctx [| st.s.dist |];
+            { st with announced = true }
+          end
+          else st);
       finished = (fun st -> st.announced);
     }
   in
-  let states, stats = Network.run ?max_rounds g algo in
+  let states, stats = Network.run ?max_rounds ?trace g algo in
   (Array.map (fun st -> st.s) states, stats)

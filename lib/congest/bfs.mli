@@ -8,6 +8,10 @@ type state = {
 }
 
 val run :
-  ?max_rounds:int -> Graphlib.Graph.t -> root:int -> state array * Network.stats
+  ?max_rounds:int ->
+  ?trace:Trace.t ->
+  Graphlib.Graph.t ->
+  root:int ->
+  state array * Network.stats
 (** Flood distances from the root; every node learns its BFS distance and
     parent. Rounds ~ eccentricity(root) + 1. *)

@@ -11,15 +11,20 @@ let convergecast_rounds tree parts =
   let g = tree.Spanning.graph in
   let n = Graph.n g in
   let steiner = Shortcuts.Steiner.compute tree parts in
-  (* parts carried by the edge above each vertex *)
+  (* parts carried by the edge above each vertex; [carries] backs the
+     membership tests below with O(1) lookups *)
   let carried = Array.make n [] in
+  let carries = Hashtbl.create 256 in
   Array.iteri
     (fun p edges ->
       List.iter
         (fun e ->
           let u, v = Graph.edge g e in
           let child = if tree.Spanning.parent_edge.(u) = e then u else v in
-          carried.(child) <- p :: carried.(child))
+          if not (Hashtbl.mem carries (child, p)) then begin
+            Hashtbl.replace carries (child, p) ();
+            carried.(child) <- p :: carried.(child)
+          end)
         edges)
     steiner.Shortcuts.Steiner.edges;
   (* children lists *)
@@ -46,7 +51,7 @@ let convergecast_rounds tree parts =
         incr pending;
         let d =
           Array.fold_left
-            (fun acc c -> if List.mem p carried.(c) then acc + 1 else acc)
+            (fun acc c -> if Hashtbl.mem carries (c, p) then acc + 1 else acc)
             0 kids.(v)
         in
         if d = 0 then push_ready v p else Hashtbl.replace deps (v, p) d)
@@ -70,7 +75,7 @@ let convergecast_rounds tree parts =
         decr pending;
         (* the parent's edge above may now have one dependency fewer *)
         let parent = tree.Spanning.parent.(v) in
-        if parent >= 0 && List.mem p carried.(parent) then begin
+        if parent >= 0 && Hashtbl.mem carries (parent, p) then begin
           match Hashtbl.find_opt deps (parent, p) with
           | Some 1 ->
               Hashtbl.remove deps (parent, p);

@@ -10,12 +10,12 @@ type outcome = {
 (* stage 1: min-id flooding *)
 type elect_state = { best : int; announced : bool }
 
-let elect_stage ?max_rounds g =
+let elect_stage ?max_rounds ?trace g =
   let algo =
     {
       Network.init = (fun _ v -> { best = v; announced = false });
       step =
-        (fun ~round:_ ~node:v st ~inbox ->
+        (fun ctx st ~inbox ->
           let st =
             List.fold_left
               (fun st (_, payload) ->
@@ -24,16 +24,15 @@ let elect_stage ?max_rounds g =
                 | _ -> st)
               st inbox
           in
-          if not st.announced then
-            ( { st with announced = true },
-              Array.to_list (Graph.neighbors g v) |> List.map (fun w -> (w, [| st.best |]))
-            )
-          else (st, []))
-      ;
+          if not st.announced then begin
+            Network.send_all ctx [| st.best |];
+            { st with announced = true }
+          end
+          else st);
       finished = (fun st -> st.announced);
     }
   in
-  let states, stats = Network.run ?max_rounds g algo in
+  let states, stats = Network.run ?max_rounds ?trace g algo in
   (states.(0).best, stats)
 
 (* stage 3: census convergecast over the leader's BFS tree.
@@ -48,7 +47,7 @@ type census_state = {
   reported : bool;
 }
 
-let census_stage ?max_rounds g parent_of depth_of root =
+let census_stage ?max_rounds ?trace g parent_of depth_of root =
   let algo =
     {
       Network.init =
@@ -62,22 +61,21 @@ let census_stage ?max_rounds g parent_of depth_of root =
             reported = false;
           });
       step =
-        (fun ~round ~node:v st ~inbox ->
-          if round = 1 then
+        (fun ctx st ~inbox ->
+          let v = Network.node ctx in
+          if Network.round ctx = 1 then begin
             (* announce the parent to all neighbors *)
-            ( st,
-              Array.to_list (Graph.neighbors g v)
-              |> List.map (fun w -> (w, [| st.parent |])) )
+            Network.send_all ctx [| st.parent |];
+            st
+          end
           else begin
             let st =
-              if round = 2 then begin
+              if Network.round ctx = 2 then begin
                 (* count the children among the announcements *)
                 let kids =
                   List.fold_left
-                    (fun acc (w, payload) ->
-                      match payload with
-                      | [| p |] when p = v -> acc + 1
-                      | _ -> ignore w; acc)
+                    (fun acc (_, payload) ->
+                      match payload with [| p |] when p = v -> acc + 1 | _ -> acc)
                     0 inbox
                 in
                 { st with expected = Some kids }
@@ -98,32 +96,35 @@ let census_stage ?max_rounds g parent_of depth_of root =
             in
             match st.expected with
             | Some kids when st.received = kids && (not st.reported) && v <> root ->
-                ( { st with reported = true },
-                  [ (st.parent, [| st.acc_count; st.acc_height |]) ] )
+                Network.send ctx st.parent [| st.acc_count; st.acc_height |];
+                { st with reported = true }
             | Some kids when st.received = kids && v = root ->
-                ({ st with reported = true }, [])
-            | _ -> (st, [])
+                { st with reported = true }
+            | _ -> st
           end);
       finished = (fun st -> st.reported);
     }
   in
-  let states, stats = Network.run ?max_rounds g algo in
+  let states, stats = Network.run ?max_rounds ?trace g algo in
   (states.(root).acc_count, states.(root).acc_height, stats)
 
-let elect ?max_rounds g =
-  let leader, s1 = elect_stage ?max_rounds g in
+let elect ?max_rounds ?trace g =
+  let leader, s1 = elect_stage ?max_rounds ?trace g in
   (* stage 2: BFS tree from the leader (simulated) *)
-  let bfs_states, s2 = Bfs.run ?max_rounds g ~root:leader in
-  let parent_of = Array.map (fun st -> st.Bfs.dist |> ignore; st.Bfs.parent) bfs_states in
+  let bfs_states, s2 = Bfs.run ?max_rounds ?trace g ~root:leader in
+  let parent_of = Array.map (fun st -> st.Bfs.parent) bfs_states in
   let depth_of = Array.map (fun st -> st.Bfs.dist) bfs_states in
-  let n_estimate, ecc, s3 = census_stage ?max_rounds g parent_of depth_of leader in
+  let n_estimate, ecc, s3 = census_stage ?max_rounds ?trace g parent_of depth_of leader in
   (* stage 4: broadcasting (n, ecc) back down costs another ecc rounds *)
-  let stats =
+  let s4 =
     {
-      Network.rounds = s1.Network.rounds + s2.Network.rounds + s3.Network.rounds + ecc;
-      messages = s1.Network.messages + s2.Network.messages + s3.Network.messages + (Graph.n g - 1);
-      max_words = max s1.Network.max_words (max s2.Network.max_words s3.Network.max_words);
-      converged = s1.Network.converged && s2.Network.converged && s3.Network.converged;
+      Network.empty_stats with
+      Network.rounds = ecc;
+      messages = Graph.n g - 1;
+      words = 2 * (Graph.n g - 1);
+      max_words = 2;
+      max_edge_load = 1;
     }
   in
+  let stats = Network.add_stats (Network.add_stats s1 s2) (Network.add_stats s3 s4) in
   { leader; n_estimate; d_estimate = ecc; stats }

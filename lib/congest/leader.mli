@@ -13,6 +13,6 @@ type outcome = {
   stats : Network.stats;
 }
 
-val elect : ?max_rounds:int -> Graphlib.Graph.t -> outcome
+val elect : ?max_rounds:int -> ?trace:Trace.t -> Graphlib.Graph.t -> outcome
 (** Every node ends up knowing all three fields (checked by the
     implementation: the returned values are read off an arbitrary node). *)

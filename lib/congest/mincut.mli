@@ -34,6 +34,7 @@ type report = {
 val approx :
   ?trees:int ->
   ?two_respecting:bool ->
+  ?trace:Trace.t ->
   seed:int ->
   constructor:Mst.constructor ->
   Graphlib.Graph.t ->

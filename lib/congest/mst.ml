@@ -63,7 +63,7 @@ let merge_phase g w uf mins parts mst_edges =
     chosen;
   ignore w
 
-let boruvka ?(overhead = 2) ?(max_rounds_per_phase = 2_000_000) ~constructor g w =
+let boruvka ?(overhead = 2) ?(max_rounds_per_phase = 2_000_000) ?trace ~constructor g w =
   let n = Graph.n g in
   let uf = Union_find.create n in
   let mst_edges = ref [] in
@@ -78,7 +78,7 @@ let boruvka ?(overhead = 2) ?(max_rounds_per_phase = 2_000_000) ~constructor g w
     let parts = fragments_of uf g in
     let sc = constructor tree parts in
     let values = mwoe_values g w uf in
-    let result = Aggregate.minimum ~max_rounds:max_rounds_per_phase sc ~values in
+    let result = Aggregate.minimum ~max_rounds:max_rounds_per_phase ?trace sc ~values in
     if not result.Aggregate.stats.Network.converged then
       failwith "Mst.boruvka: aggregation did not converge";
     if not (Aggregate.verify sc ~values result) then
@@ -99,7 +99,7 @@ let boruvka ?(overhead = 2) ?(max_rounds_per_phase = 2_000_000) ~constructor g w
     phase_rounds = List.rev !phase_rounds;
   }
 
-let boruvka_full ?(max_rounds_per_phase = 2_000_000) ~constructor g w =
+let boruvka_full ?(max_rounds_per_phase = 2_000_000) ?trace ~constructor g w =
   let n = Graph.n g in
   let uf = Union_find.create n in
   let mst_edges = ref [] in
@@ -115,7 +115,7 @@ let boruvka_full ?(max_rounds_per_phase = 2_000_000) ~constructor g w =
     let parts = fragments_of uf g in
     let sc = constructor tree parts in
     let values = mwoe_values g w uf in
-    let result = Aggregate.minimum ~max_rounds:max_rounds_per_phase sc ~values in
+    let result = Aggregate.minimum ~max_rounds:max_rounds_per_phase ?trace sc ~values in
     if not (Aggregate.verify sc ~values result) then
       failwith "Mst.boruvka_full: MWOE aggregation wrong";
     merge_phase g w uf result.Aggregate.mins parts mst_edges;
@@ -125,7 +125,9 @@ let boruvka_full ?(max_rounds_per_phase = 2_000_000) ~constructor g w =
     let parts' = fragments_of uf g in
     let sc' = constructor tree parts' in
     let id_values = Array.init n (fun v -> Some (float_of_int v, v)) in
-    let rename = Aggregate.minimum ~max_rounds:max_rounds_per_phase sc' ~values:id_values in
+    let rename =
+      Aggregate.minimum ~max_rounds:max_rounds_per_phase ?trace sc' ~values:id_values
+    in
     if not (Aggregate.verify sc' ~values:id_values rename) then
       failwith "Mst.boruvka_full: rename aggregation wrong";
     let cost =

@@ -35,6 +35,7 @@ type report = {
 val boruvka :
   ?overhead:int ->
   ?max_rounds_per_phase:int ->
+  ?trace:Trace.t ->
   constructor:constructor ->
   Graphlib.Graph.t ->
   Graphlib.Graph.weights ->
@@ -46,6 +47,7 @@ val boruvka :
 
 val boruvka_full :
   ?max_rounds_per_phase:int ->
+  ?trace:Trace.t ->
   constructor:constructor ->
   Graphlib.Graph.t ->
   Graphlib.Graph.weights ->

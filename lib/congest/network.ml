@@ -3,58 +3,225 @@ module Graph = Graphlib.Graph
 type stats = {
   rounds : int;
   messages : int;
+  words : int;
   max_words : int;
+  max_edge_load : int;
+  active_steps : int;
   converged : bool;
 }
 
+let empty_stats =
+  {
+    rounds = 0;
+    messages = 0;
+    words = 0;
+    max_words = 0;
+    max_edge_load = 0;
+    active_steps = 0;
+    converged = true;
+  }
+
+let add_stats a b =
+  {
+    rounds = a.rounds + b.rounds;
+    messages = a.messages + b.messages;
+    words = a.words + b.words;
+    max_words = max a.max_words b.max_words;
+    max_edge_load = max a.max_edge_load b.max_edge_load;
+    active_steps = a.active_steps + b.active_steps;
+    converged = a.converged && b.converged;
+  }
+
+(* The message fabric: every undirected edge e owns two directed slots,
+   2e for Graph.edge endpoint order and 2e+1 reversed. Sends write into
+   the slot for the coming round (occupancy = the duplicate-send check);
+   delivery reads the previous round's buffer back and clears it, so two
+   buffers alternate with no per-round allocation. *)
+type ctx = {
+  g : Graph.t;
+  bandwidth : int;
+  nn : int;
+  edge_index : (int, int) Hashtbl.t;  (* v * nn + w -> dir id of v->w *)
+  out_nbr : int array array;  (* per node: neighbors, adjacency order *)
+  out_dir : int array array;  (* per node: dir id towards each neighbor *)
+  load : int array;  (* cumulative messages per dir id *)
+  has_mail : bool array;
+  mutable slots : int array option array;  (* sends of the current round *)
+  mutable receivers : int list;  (* nodes with mail in [slots] *)
+  mutable node : int;
+  mutable round : int;
+  mutable messages : int;
+  mutable words : int;
+  mutable max_words : int;
+  mutable max_load : int;
+  trace : Trace.t option;
+}
+
+let node ctx = ctx.node
+let round ctx = ctx.round
+let graph ctx = ctx.g
+let degree ctx = Array.length ctx.out_dir.(ctx.node)
+
+let deliver ctx w dir payload =
+  ctx.slots.(dir) <- Some payload;
+  let l = ctx.load.(dir) + 1 in
+  ctx.load.(dir) <- l;
+  if l > ctx.max_load then ctx.max_load <- l;
+  ctx.messages <- ctx.messages + 1;
+  let words = Array.length payload in
+  ctx.words <- ctx.words + words;
+  if words > ctx.max_words then ctx.max_words <- words;
+  (match ctx.trace with
+  | Some t -> Trace.on_send t ~dir_edge:dir ~words
+  | None -> ());
+  if not ctx.has_mail.(w) then begin
+    ctx.has_mail.(w) <- true;
+    ctx.receivers <- w :: ctx.receivers
+  end
+
+let check_payload ctx dir payload =
+  if ctx.slots.(dir) <> None then
+    invalid_arg "Congest: two messages on one edge in one round";
+  if Array.length payload > ctx.bandwidth then
+    invalid_arg "Congest: message exceeds bandwidth"
+
+let send ctx w payload =
+  match Hashtbl.find_opt ctx.edge_index ((ctx.node * ctx.nn) + w) with
+  | None -> invalid_arg "Congest: send to a non-neighbor"
+  | Some dir ->
+      check_payload ctx dir payload;
+      deliver ctx w dir payload
+
+let send_all ctx payload =
+  let nbr = ctx.out_nbr.(ctx.node) and dir = ctx.out_dir.(ctx.node) in
+  for i = 0 to Array.length nbr - 1 do
+    check_payload ctx dir.(i) payload;
+    deliver ctx nbr.(i) dir.(i) payload
+  done
+
 type 'st algo = {
   init : Graph.t -> int -> 'st;
-  step :
-    round:int ->
-    node:int ->
-    'st ->
-    inbox:(int * int array) list ->
-    'st * (int * int array) list;
+  step : ctx -> 'st -> inbox:(int * int array) list -> 'st;
   finished : 'st -> bool;
 }
 
-let run ?(bandwidth = 4) ?(max_rounds = 1_000_000) g algo =
+(* dir id of the u->v orientation of edge e *)
+let dir_of g e u =
+  let a, _ = Graph.edge g e in
+  if a = u then 2 * e else (2 * e) + 1
+
+let run ?(bandwidth = 4) ?(max_rounds = 1_000_000) ?trace g algo =
   let n = Graph.n g in
+  let m = Graph.m g in
   let states = Array.init n (fun v -> algo.init g v) in
-  let inboxes : (int * int array) list array = Array.make n [] in
-  let next_inboxes : (int * int array) list array = Array.make n [] in
-  let messages = ref 0 in
-  let max_words = ref 0 in
+  let out_nbr = Array.init n (fun v -> Array.map fst (Graph.adj g v)) in
+  let out_dir =
+    Array.init n (fun v -> Array.map (fun (_, e) -> dir_of g e v) (Graph.adj g v))
+  in
+  (* delivery scan order: ascending neighbor id, so that consing yields the
+     inbox in descending sender order (the v1 engine's delivery order) *)
+  let in_scan =
+    Array.init n (fun v ->
+        let a = Array.map (fun (w, e) -> (w, dir_of g e w)) (Graph.adj g v) in
+        Array.sort compare a;
+        a)
+  in
+  let edge_index = Hashtbl.create (4 * m) in
+  Array.iteri
+    (fun v dirs ->
+      Array.iteri
+        (fun i dir -> Hashtbl.replace edge_index ((v * n) + out_nbr.(v).(i)) dir)
+        dirs)
+    out_dir;
+  let ctx =
+    {
+      g;
+      bandwidth;
+      nn = n;
+      edge_index;
+      out_nbr;
+      out_dir;
+      load = Array.make (2 * m) 0;
+      has_mail = Array.make n false;
+      slots = Array.make (2 * m) None;
+      receivers = [];
+      node = -1;
+      round = 0;
+      messages = 0;
+      words = 0;
+      max_words = 0;
+      max_load = 0;
+      trace;
+    }
+  in
+  let spare = ref (Array.make (2 * m) None) in
+  let inbox_of cur v =
+    let scan = in_scan.(v) in
+    let acc = ref [] in
+    for i = 0 to Array.length scan - 1 do
+      let w, dir = scan.(i) in
+      match cur.(dir) with
+      | Some payload ->
+          cur.(dir) <- None;
+          acc := (w, payload) :: !acc
+      | None -> ()
+    done;
+    !acc
+  in
+  let awake = ref [] in
+  for v = n - 1 downto 0 do
+    if not (algo.finished states.(v)) then awake := v :: !awake
+  done;
+  let converged = ref (!awake = []) in
   let round = ref 0 in
-  let all_done () = Array.for_all algo.finished states in
-  let converged = ref (all_done ()) in
+  let active_steps = ref 0 in
+  let stamp = Array.make n 0 in
   while (not !converged) && !round < max_rounds do
     incr round;
-    (* deliver: all sends from the previous round *)
-    Array.blit next_inboxes 0 inboxes 0 n;
-    Array.fill next_inboxes 0 n [];
-    for v = 0 to n - 1 do
-      let st, outbox = algo.step ~round:!round ~node:v states.(v) ~inbox:inboxes.(v) in
+    ctx.round <- !round;
+    (* the slots written last round become this round's delivery buffer;
+       the (fully drained) spare becomes the write buffer *)
+    let cur = ctx.slots in
+    ctx.slots <- !spare;
+    spare := cur;
+    let this_receivers = ctx.receivers in
+    ctx.receivers <- [];
+    (* clear the membership flags before stepping anyone: sends during this
+       round must re-add their targets to the next round's receiver list *)
+    List.iter (fun v -> ctx.has_mail.(v) <- false) this_receivers;
+    let next_awake = ref [] in
+    let step v inbox =
+      ctx.node <- v;
+      incr active_steps;
+      let st = algo.step ctx states.(v) ~inbox in
       states.(v) <- st;
-      (* enforce the CONGEST constraints *)
-      let seen = Hashtbl.create (List.length outbox) in
-      List.iter
-        (fun (w, payload) ->
-          if not (Graph.mem_edge g v w) then
-            invalid_arg "Congest: send to a non-neighbor";
-          if Hashtbl.mem seen w then
-            invalid_arg "Congest: two messages on one edge in one round";
-          Hashtbl.replace seen w ();
-          if Array.length payload > bandwidth then
-            invalid_arg "Congest: message exceeds bandwidth";
-          max_words := max !max_words (Array.length payload);
-          incr messages;
-          next_inboxes.(w) <- (v, payload) :: next_inboxes.(w))
-        outbox
-    done;
-    Array.fill inboxes 0 n [];
-    if all_done () && Array.for_all (fun l -> l = []) next_inboxes then converged := true
+      if not (algo.finished st) then next_awake := v :: !next_awake
+    in
+    List.iter
+      (fun v ->
+        if stamp.(v) <> !round then begin
+          stamp.(v) <- !round;
+          step v (inbox_of cur v)
+        end)
+      this_receivers;
+    List.iter
+      (fun v ->
+        if stamp.(v) <> !round then begin
+          stamp.(v) <- !round;
+          step v []
+        end)
+      !awake;
+    awake := !next_awake;
+    (match trace with Some t -> Trace.on_round_end t | None -> ());
+    if !awake = [] && ctx.receivers = [] then converged := true
   done;
   ( states,
-    { rounds = !round; messages = !messages; max_words = !max_words; converged = !converged }
-  )
+    {
+      rounds = !round;
+      messages = ctx.messages;
+      words = ctx.words;
+      max_words = ctx.max_words;
+      max_edge_load = ctx.max_load;
+      active_steps = !active_steps;
+      converged = !converged;
+    } )

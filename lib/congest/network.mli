@@ -4,33 +4,93 @@
     of at most [bandwidth] words (a word stands for O(log n) bits) across
     each incident edge, in each direction. Violations raise
     [Invalid_argument] — the simulator never silently widens the channel.
-    Local computation is free. *)
+    Local computation is free.
+
+    {2 Engine architecture (v2)}
+
+    The executor is edge-indexed: every undirected edge [e] owns two
+    directed message slots ([2e] in [Graph.edge] endpoint order, [2e + 1]
+    reversed), preallocated once per run. Sends write straight into the
+    slot for the coming round, so the three CONGEST checks — neighbor,
+    one-message-per-edge-per-round, bandwidth — are O(1) reads, and
+    delivery reads the previous round's slots back in neighbor order.
+
+    Nodes are stepped from an active worklist, not by scanning all [n]:
+    a node is stepped in a round iff it has mail or it reported
+    [finished = false] after its previous step. A finished node is
+    re-activated (and re-stepped) only by message receipt; while its inbox
+    stays empty it is guaranteed not to run, so [step] never observes a
+    spurious wake-up. Execution converges when no node is awake and no
+    message is in flight. *)
 
 type stats = {
   rounds : int;  (** rounds until all nodes finished (or the cap) *)
   messages : int;  (** total messages delivered *)
+  words : int;  (** total payload words across all messages *)
   max_words : int;  (** widest message observed *)
+  max_edge_load : int;
+      (** max cumulative messages across a single directed edge — the
+          empirical congestion of the run *)
+  active_steps : int;
+      (** node steps actually executed; [n * rounds] minus the quiescence
+          savings *)
   converged : bool;  (** all nodes reported finished before the cap *)
 }
 
+type ctx
+(** Per-round execution context handed to [step]: identifies the node and
+    round and carries the send fabric. Valid only for the duration of the
+    [step] call it is passed to. *)
+
+val node : ctx -> int
+(** The node being stepped. *)
+
+val round : ctx -> int
+(** The current round, starting at 1. *)
+
+val graph : ctx -> Graphlib.Graph.t
+
+val degree : ctx -> int
+(** Degree of the current node. *)
+
+val send : ctx -> int -> int array -> unit
+(** [send ctx w payload] puts one message on the edge to neighbor [w],
+    delivered at the start of the next round.
+    @raise Invalid_argument on a non-neighbor target, a second message on
+    the same edge in the same round, or an oversized payload. *)
+
+val send_all : ctx -> int array -> unit
+(** [send_all ctx payload] broadcasts one copy of [payload] to every
+    neighbor of the current node (O(degree), no neighbor lookups). *)
+
 type 'st algo = {
   init : Graphlib.Graph.t -> int -> 'st;
-  step :
-    round:int ->
-    node:int ->
-    'st ->
-    inbox:(int * int array) list ->
-    'st * (int * int array) list;
-      (** [inbox]: (neighbor, payload) received this round.
-          Returns the new state and the outbox: at most one (neighbor,
-          payload) per incident neighbor. *)
+  step : ctx -> 'st -> inbox:(int * int array) list -> 'st;
+      (** [inbox]: (neighbor, payload) received this round, in descending
+          neighbor order; empty for a node stepped only because it is
+          unfinished. Outgoing messages go through {!send} / {!send_all}.
+          Returns the new state. *)
   finished : 'st -> bool;
+      (** Polled after every step; a node whose state is finished leaves
+          the worklist until a message arrives for it. *)
 }
 
 val run :
   ?bandwidth:int ->
   ?max_rounds:int ->
+  ?trace:Trace.t ->
   Graphlib.Graph.t ->
   'st algo ->
   'st array * stats
-(** Defaults: [bandwidth = 4] words, [max_rounds = 1_000_000]. *)
+(** Defaults: [bandwidth = 4] words, [max_rounds = 1_000_000], no trace.
+    When [trace] is given, every send and round boundary is recorded into
+    it (see {!Trace}); the same trace may be threaded through several runs
+    to accumulate a whole execution's congestion profile. *)
+
+val empty_stats : stats
+(** All-zero, [converged = true] — the unit for {!add_stats}. *)
+
+val add_stats : stats -> stats -> stats
+(** Sequential composition: rounds/messages/words/steps add, widths and
+    edge loads take the max (an upper estimate for the composite run),
+    convergence is the conjunction. *)

@@ -8,7 +8,7 @@ type result = {
 
 type state = { owner : int; dist : int; announced : bool }
 
-let voronoi ?max_rounds g ~seeds =
+let voronoi ?max_rounds ?trace g ~seeds =
   let seed_index = Hashtbl.create (Array.length seeds) in
   Array.iteri (fun i s -> if not (Hashtbl.mem seed_index s) then Hashtbl.add seed_index s i) seeds;
   let algo =
@@ -19,28 +19,26 @@ let voronoi ?max_rounds g ~seeds =
           | Some i -> { owner = i; dist = 0; announced = false }
           | None -> { owner = -1; dist = -1; announced = false });
       step =
-        (fun ~round:_ ~node:v st ~inbox ->
+        (fun ctx st ~inbox ->
           (* adopt the smallest (distance, owner) announcement *)
           let st =
             List.fold_left
-              (fun st (w, payload) ->
-                ignore w;
+              (fun st (_, payload) ->
                 match payload with
                 | [| o; d |] when st.dist < 0 || (d + 1, o) < (st.dist, st.owner) ->
                     { owner = o; dist = d + 1; announced = false }
                 | _ -> st)
               st inbox
           in
-          if st.dist >= 0 && not st.announced then
-            ( { st with announced = true },
-              Array.to_list (Graph.neighbors g v)
-              |> List.map (fun w -> (w, [| st.owner; st.dist |])) )
-          else (st, []))
-      ;
+          if st.dist >= 0 && not st.announced then begin
+            Network.send_all ctx [| st.owner; st.dist |];
+            { st with announced = true }
+          end
+          else st);
       finished = (fun st -> st.announced);
     }
   in
-  let states, stats = Network.run ?max_rounds g algo in
+  let states, stats = Network.run ?max_rounds ?trace g algo in
   {
     owner = Array.map (fun st -> st.owner) states;
     dist = Array.map (fun st -> st.dist) states;

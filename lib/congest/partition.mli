@@ -12,7 +12,8 @@ type result = {
   stats : Network.stats;
 }
 
-val voronoi : ?max_rounds:int -> Graphlib.Graph.t -> seeds:int array -> result
+val voronoi :
+  ?max_rounds:int -> ?trace:Trace.t -> Graphlib.Graph.t -> seeds:int array -> result
 (** Rounds ~ max distance to the nearest seed. *)
 
 val to_parts : Graphlib.Graph.t -> result -> Shortcuts.Part.t

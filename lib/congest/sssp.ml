@@ -16,7 +16,7 @@ let payload_float hi lo =
   Int64.float_of_bits
     (Int64.logor (Int64.shift_left (Int64.of_int hi) 32) (Int64.of_int (lo land 0xFFFFFFFF)))
 
-let run_relaxation ?max_rounds g weight_of ~source =
+let run_relaxation ?max_rounds ?trace g weight_of ~source =
   let algo =
     {
       Network.init =
@@ -24,7 +24,8 @@ let run_relaxation ?max_rounds g weight_of ~source =
           if v = source then { d = 0.0; parent = -1; dirty = true }
           else { d = infinity; parent = -1; dirty = false });
       step =
-        (fun ~round:_ ~node:v st ~inbox ->
+        (fun ctx st ~inbox ->
+          let v = Network.node ctx in
           let st =
             List.fold_left
               (fun st (w, payload) ->
@@ -38,31 +39,30 @@ let run_relaxation ?max_rounds g weight_of ~source =
           in
           if st.dirty then begin
             let hi, lo = float_payload st.d in
-            ( { st with dirty = false },
-              Array.to_list (Graph.neighbors g v) |> List.map (fun w -> (w, [| hi; lo |]))
-            )
+            Network.send_all ctx [| hi; lo |];
+            { st with dirty = false }
           end
-          else (st, []))
-      ;
+          else st);
       finished = (fun st -> not st.dirty);
     }
   in
-  let states, stats = Network.run ?max_rounds g algo in
+  let states, stats = Network.run ?max_rounds ?trace g algo in
   {
     dist = Array.map (fun st -> st.d) states;
     parent = Array.map (fun st -> st.parent) states;
     stats;
   }
 
-let unweighted ?max_rounds g ~source = run_relaxation ?max_rounds g (fun _ _ -> 1.0) ~source
+let unweighted ?max_rounds ?trace g ~source =
+  run_relaxation ?max_rounds ?trace g (fun _ _ -> 1.0) ~source
 
-let bellman_ford ?max_rounds g w ~source =
+let bellman_ford ?max_rounds ?trace g w ~source =
   let weight_of v u =
     match Graph.find_edge g v u with
     | Some e -> w.(e)
     | None -> invalid_arg "Sssp: missing edge"
   in
-  run_relaxation ?max_rounds g weight_of ~source
+  run_relaxation ?max_rounds ?trace g weight_of ~source
 
 let verify g w ~source result =
   let reference = Graphlib.Distance.dijkstra g w source in

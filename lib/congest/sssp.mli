@@ -15,10 +15,12 @@ type result = {
   stats : Network.stats;
 }
 
-val unweighted : ?max_rounds:int -> Graphlib.Graph.t -> source:int -> result
+val unweighted :
+  ?max_rounds:int -> ?trace:Trace.t -> Graphlib.Graph.t -> source:int -> result
 
 val bellman_ford :
   ?max_rounds:int ->
+  ?trace:Trace.t ->
   Graphlib.Graph.t ->
   Graphlib.Graph.weights ->
   source:int ->

@@ -1,0 +1,177 @@
+module Graph = Graphlib.Graph
+
+(* growable int array; rounds are append-only *)
+type series = { mutable a : int array; mutable len : int }
+
+let series_make () = { a = Array.make 64 0; len = 0 }
+
+let series_push s x =
+  if s.len = Array.length s.a then begin
+    let a' = Array.make (2 * s.len) 0 in
+    Array.blit s.a 0 a' 0 s.len;
+    s.a <- a'
+  end;
+  s.a.(s.len) <- x;
+  s.len <- s.len + 1
+
+let series_to_array s = Array.sub s.a 0 s.len
+
+type t = {
+  edges : (int * int) array;  (* endpoint table, by undirected edge id *)
+  load : int array;  (* cumulative messages per directed edge id *)
+  mutable max_load : int;
+  mutable argmax : int;  (* directed edge id of a busiest edge, -1 if none *)
+  mutable messages : int;
+  mutable words : int;
+  mutable cur_messages : int;  (* current (open) round *)
+  mutable cur_words : int;
+  per_round_messages : series;
+  per_round_words : series;
+  per_round_max_load : series;
+}
+
+let create g =
+  {
+    edges = Graph.edges g;
+    load = Array.make (2 * Graph.m g) 0;
+    max_load = 0;
+    argmax = -1;
+    messages = 0;
+    words = 0;
+    cur_messages = 0;
+    cur_words = 0;
+    per_round_messages = series_make ();
+    per_round_words = series_make ();
+    per_round_max_load = series_make ();
+  }
+
+let on_send t ~dir_edge ~words =
+  let l = t.load.(dir_edge) + 1 in
+  t.load.(dir_edge) <- l;
+  if l > t.max_load then begin
+    t.max_load <- l;
+    t.argmax <- dir_edge
+  end;
+  t.messages <- t.messages + 1;
+  t.words <- t.words + words;
+  t.cur_messages <- t.cur_messages + 1;
+  t.cur_words <- t.cur_words + words
+
+let on_round_end t =
+  series_push t.per_round_messages t.cur_messages;
+  series_push t.per_round_words t.cur_words;
+  series_push t.per_round_max_load t.max_load;
+  t.cur_messages <- 0;
+  t.cur_words <- 0
+
+let rounds t = t.per_round_messages.len
+let messages t = t.messages
+let words t = t.words
+let dir_edge_load t dir = t.load.(dir)
+let edge_load t e = t.load.(2 * e) + t.load.((2 * e) + 1)
+let max_edge_load t = t.max_load
+
+let endpoints_of_dir t dir =
+  let u, v = t.edges.(dir / 2) in
+  if dir land 1 = 0 then (u, v) else (v, u)
+
+let busiest_edge t =
+  if t.argmax < 0 then None
+  else
+    let u, v = endpoints_of_dir t t.argmax in
+    Some (u, v, t.max_load)
+
+let round_messages t = series_to_array t.per_round_messages
+let round_words t = series_to_array t.per_round_words
+let max_load_series t = series_to_array t.per_round_max_load
+
+type summary = {
+  rounds : int;
+  messages : int;
+  words : int;
+  max_edge_load : int;
+  busiest_edge : (int * int) option;
+  peak_round_messages : int;
+  mean_round_messages : float;
+}
+
+let summary t =
+  let r = rounds t in
+  {
+    rounds = r;
+    messages = t.messages;
+    words = t.words;
+    max_edge_load = t.max_load;
+    busiest_edge =
+      (if t.argmax < 0 then None else Some (endpoints_of_dir t t.argmax));
+    peak_round_messages =
+      Array.fold_left max 0 (series_to_array t.per_round_messages);
+    mean_round_messages =
+      (if r = 0 then 0.0 else float_of_int t.messages /. float_of_int r);
+  }
+
+let summary_to_string s =
+  let edge =
+    match s.busiest_edge with
+    | Some (u, v) -> Printf.sprintf " (%d->%d)" u v
+    | None -> ""
+  in
+  Printf.sprintf
+    "rounds=%d msgs=%d words=%d max_edge_load=%d%s peak_round=%d mean_round=%.1f"
+    s.rounds s.messages s.words s.max_edge_load edge s.peak_round_messages
+    s.mean_round_messages
+
+let json_int_array a =
+  let b = Buffer.create (8 * Array.length a) in
+  Buffer.add_char b '[';
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int x))
+    a;
+  Buffer.add_char b ']';
+  Buffer.contents b
+
+let summary_fields_json s =
+  let edge =
+    match s.busiest_edge with
+    | Some (u, v) -> Printf.sprintf "[%d,%d]" u v
+    | None -> "null"
+  in
+  Printf.sprintf
+    "\"rounds\":%d,\"messages\":%d,\"words\":%d,\"max_edge_load\":%d,\
+     \"busiest_edge\":%s,\"peak_round_messages\":%d,\"mean_round_messages\":%.3f"
+    s.rounds s.messages s.words s.max_edge_load edge s.peak_round_messages
+    s.mean_round_messages
+
+let summary_to_json s = "{" ^ summary_fields_json s ^ "}"
+
+let to_json ?(per_edge = false) t =
+  let b = Buffer.create 1024 in
+  Buffer.add_char b '{';
+  Buffer.add_string b (summary_fields_json (summary t));
+  Buffer.add_string b ",\"per_round\":{\"messages\":";
+  Buffer.add_string b (json_int_array (round_messages t));
+  Buffer.add_string b ",\"words\":";
+  Buffer.add_string b (json_int_array (round_words t));
+  Buffer.add_string b ",\"max_edge_load\":";
+  Buffer.add_string b (json_int_array (max_load_series t));
+  Buffer.add_char b '}';
+  if per_edge then begin
+    Buffer.add_string b ",\"per_edge\":[";
+    let first = ref true in
+    Array.iteri
+      (fun e (u, v) ->
+        let up = t.load.(2 * e) and down = t.load.((2 * e) + 1) in
+        if up + down > 0 then begin
+          if not !first then Buffer.add_char b ',';
+          first := false;
+          Buffer.add_string b
+            (Printf.sprintf "{\"u\":%d,\"v\":%d,\"load\":%d,\"up\":%d,\"down\":%d}"
+               u v (up + down) up down)
+        end)
+      t.edges;
+    Buffer.add_char b ']'
+  end;
+  Buffer.add_char b '}';
+  Buffer.contents b

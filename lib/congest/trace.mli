@@ -1,0 +1,89 @@
+(** Opt-in congestion telemetry for the CONGEST executor.
+
+    The paper's bounds are statements about *per-edge* congestion — the
+    quality [q = b * d_T + c] of a shortcut is realized as the number of
+    rounds a part-wise aggregation needs, and the [c] term is exactly the
+    number of messages the busiest tree edge must serialize. A [Trace.t]
+    threaded through {!Network.run} records that profile instead of the
+    four aggregate counters of {!Network.stats}:
+
+    - per-round message and word counts,
+    - cumulative load per directed edge (edge [e] of the graph owns the
+      directed ids [2e] — endpoint order of [Graph.edge] — and [2e + 1]),
+    - the running max-edge-congestion time series (one entry per round).
+
+    A trace accumulates across runs: threading the same trace through the
+    aggregations of every Boruvka phase yields the congestion profile of
+    the whole MST execution. All recording is O(1) per message. *)
+
+type t
+
+val create : Graphlib.Graph.t -> t
+(** A fresh, empty trace for a graph. The trace only stores the graph's
+    edge count and endpoint table; it never mutates the graph. *)
+
+(** {1 Recording — called by {!Network.run}} *)
+
+val on_send : t -> dir_edge:int -> words:int -> unit
+(** Record one message of [words] payload words crossing directed edge
+    [dir_edge] (= [2 * edge_id + direction]). *)
+
+val on_round_end : t -> unit
+(** Close the current round: pushes the round's message/word counts and the
+    current max cumulative edge load onto the time series. *)
+
+(** {1 Queries} *)
+
+val rounds : t -> int
+val messages : t -> int
+val words : t -> int
+
+val dir_edge_load : t -> int -> int
+(** Cumulative messages sent over one directed edge id. *)
+
+val edge_load : t -> int -> int
+(** Cumulative messages over an undirected edge id, both directions. *)
+
+val max_edge_load : t -> int
+(** The paper's empirical congestion: the busiest directed edge's
+    cumulative message count. 0 on an empty trace. *)
+
+val busiest_edge : t -> (int * int * int) option
+(** [(u, v, load)] for a maximally loaded directed edge (messages flowed
+    [u -> v]), or [None] if nothing was sent. *)
+
+val round_messages : t -> int array
+(** Messages delivered per round, index 0 = first recorded round. Fresh
+    array. *)
+
+val round_words : t -> int array
+
+val max_load_series : t -> int array
+(** After each round, the max cumulative directed-edge load so far — the
+    congestion growth curve; nondecreasing. Fresh array. *)
+
+(** {1 Export} *)
+
+type summary = {
+  rounds : int;
+  messages : int;
+  words : int;
+  max_edge_load : int;
+  busiest_edge : (int * int) option;  (** endpoints, send direction *)
+  peak_round_messages : int;  (** busiest single round *)
+  mean_round_messages : float;
+}
+
+val summary : t -> summary
+
+val summary_to_string : summary -> string
+(** One line, for bench output:
+    ["rounds=.. msgs=.. words=.. max_edge_load=.. (u->v) peak_round=.."]. *)
+
+val to_json : ?per_edge:bool -> t -> string
+(** JSON object with the summary fields plus the three per-round series;
+    with [per_edge] (default false) also a [per_edge] array of
+    [{"u", "v", "load", "up", "down"}] rows for every edge that carried at
+    least one message. *)
+
+val summary_to_json : summary -> string

@@ -55,6 +55,7 @@ module Optimal = Shortcuts.Optimal
 
 (* CONGEST *)
 module Network = Congest.Network
+module Trace = Congest.Trace
 module Dist_bfs = Congest.Bfs
 module Aggregate = Congest.Aggregate
 module Mst = Congest.Mst

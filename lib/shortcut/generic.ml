@@ -53,24 +53,111 @@ let default_kappas max_load =
   let rec loop k acc = if k >= max_load then List.rev (max_load :: acc) else loop (2 * k) (k :: acc) in
   if max_load <= 1 then [ 1 ] else loop 1 []
 
+(* The kappa sweep evaluates (b, c, q) for every threshold without building a
+   full Shortcut.t each time: edge survival is a rank test precomputed once,
+   congestion comes from the load histogram in closed form, and blocks use a
+   version-stamped array union-find. Only the winning kappa pays for
+   Shortcut.make. *)
 let construct_with_stats ?(policy = Keep_kappa) ?kappas tree parts =
+  let g = tree.Spanning.graph in
+  let n = Graphlib.Graph.n g in
   let steiner = Steiner.compute tree parts in
-  let kappas =
-    match kappas with Some ks -> ks | None -> default_kappas (Steiner.max_load steiner)
+  let max_load = Steiner.max_load steiner in
+  let kappas = match kappas with Some ks -> ks | None -> default_kappas max_load in
+  let height = Spanning.height tree in
+  let load e = Option.value (Hashtbl.find_opt steiner.Steiner.load e) ~default:0 in
+  (* Keep_kappa: part i survives on a shared edge iff it ranks among the
+     kappa largest users (edges with load <= kappa never prune) *)
+  let rank : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  (match policy with
+  | Drop_all -> ()
+  | Keep_kappa ->
+      let users = Hashtbl.create 256 in
+      Array.iteri
+        (fun i es ->
+          List.iter
+            (fun e ->
+              if load e > 1 then
+                Hashtbl.replace users e
+                  (i :: Option.value (Hashtbl.find_opt users e) ~default:[]))
+            es)
+        steiner.Steiner.edges;
+      Hashtbl.iter
+        (fun e is ->
+          let sorted =
+            List.sort (fun a b -> compare (Part.size parts b) (Part.size parts a)) is
+          in
+          List.iteri (fun r i -> Hashtbl.replace rank (e, i) r) sorted)
+        users);
+  let kept kappa i e =
+    let l = load e in
+    l <= kappa
+    ||
+    match policy with
+    | Drop_all -> false
+    | Keep_kappa -> (
+        match Hashtbl.find_opt rank (e, i) with Some r -> r < kappa | None -> false)
+  in
+  let loads = Hashtbl.fold (fun _ l acc -> l :: acc) steiner.Steiner.load [] in
+  let congestion_at kappa =
+    match policy with
+    | Keep_kappa -> min kappa max_load
+    | Drop_all ->
+        List.fold_left (fun acc l -> if l <= kappa then max acc l else acc) 0 loads
+  in
+  let uf = Array.make (max 1 n) 0 in
+  let uf_stamp = Array.make (max 1 n) 0 in
+  let version = ref 0 in
+  let rec find v =
+    if uf_stamp.(v) <> !version then begin
+      uf_stamp.(v) <- !version;
+      uf.(v) <- v;
+      v
+    end
+    else if uf.(v) = v then v
+    else begin
+      let r = find uf.(v) in
+      uf.(v) <- r;
+      r
+    end
+  in
+  let roots = Hashtbl.create 64 in
+  let blocks_at kappa i =
+    incr version;
+    List.iter
+      (fun e ->
+        if kept kappa i e then begin
+          let u, v = Graphlib.Graph.edge g e in
+          let ru = find u and rv = find v in
+          if ru <> rv then uf.(ru) <- rv
+        end)
+      steiner.Steiner.edges.(i);
+    Hashtbl.reset roots;
+    Array.iter (fun v -> Hashtbl.replace roots (find v) ()) parts.Part.parts.(i);
+    Hashtbl.length roots
   in
   let best = ref None in
   let curve = ref [] in
   List.iter
     (fun kappa ->
-      let sc = Shortcut.make tree parts (prune policy steiner parts kappa) in
-      let q = Shortcut.quality sc in
+      let b = ref 0 in
+      for i = 0 to Part.count parts - 1 do
+        b := max !b (blocks_at kappa i)
+      done;
+      let q = (!b * height) + congestion_at kappa in
       curve := (kappa, q) :: !curve;
       match !best with
       | Some (_, bq) when bq <= q -> ()
-      | _ -> best := Some (sc, q))
+      | _ -> best := Some (kappa, q))
     kappas;
   match !best with
-  | Some (sc, _) -> (sc, List.rev !curve)
+  | Some (kappa, _) ->
+      let assigned =
+        Array.mapi
+          (fun i es -> List.filter (kept kappa i) es)
+          steiner.Steiner.edges
+      in
+      (Shortcut.make tree parts assigned, List.rev !curve)
   | None -> (Shortcut.empty tree parts, [])
 
 let construct ?policy ?kappas tree parts =

@@ -11,9 +11,10 @@ type row = {
   b : int;
   c : int;
   q : int;
+  obs_c : int option;
 }
 
-let measure ~label sc =
+let measure ~label ?observed_congestion sc =
   let tree = sc.Shortcut.tree in
   let g = tree.Spanning.graph in
   let b = Shortcut.block_parameter sc in
@@ -29,15 +30,17 @@ let measure ~label sc =
     b;
     c;
     q = (b * d_tree) + c;
+    obs_c = observed_congestion;
   }
 
 let header () =
-  Printf.sprintf "%-34s %7s %8s %5s %5s %6s %5s %6s %7s" "workload" "n" "m" "D"
-    "d_T" "parts" "b" "c" "q"
+  Printf.sprintf "%-34s %7s %8s %5s %5s %6s %5s %6s %7s %6s" "workload" "n" "m" "D"
+    "d_T" "parts" "b" "c" "q" "obs_c"
 
 let to_string r =
-  Printf.sprintf "%-34s %7d %8d %5d %5d %6d %5d %6d %7d" r.label r.n r.m r.diameter
+  Printf.sprintf "%-34s %7d %8d %5d %5d %6d %5d %6d %7d %6s" r.label r.n r.m r.diameter
     r.d_tree r.nparts r.b r.c r.q
+    (match r.obs_c with Some x -> string_of_int x | None -> "-")
 
 let print_table rows =
   print_endline (header ());

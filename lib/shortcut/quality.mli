@@ -11,9 +11,13 @@ type row = {
   b : int;  (** block parameter *)
   c : int;  (** congestion *)
   q : int;  (** quality b * d_T + c *)
+  obs_c : int option;
+      (** observed max per-edge load from a traced simulation, when one ran *)
 }
 
-val measure : label:string -> Shortcut.t -> row
+val measure : label:string -> ?observed_congestion:int -> Shortcut.t -> row
+(** [observed_congestion] is typically [Trace.max_edge_load] of a traced
+    aggregation over [sc]; it lands in the [obs_c] column. *)
 
 val header : unit -> string
 val to_string : row -> string

@@ -17,12 +17,15 @@ let test_network_round_counting () =
     {
       Congest.Network.init = (fun _ v -> if v = 0 then `Holding else `Waiting);
       step =
-        (fun ~round:_ ~node:v st ~inbox ->
+        (fun ctx st ~inbox ->
+          let v = Congest.Network.node ctx in
           match st with
-          | `Holding when v < 4 -> (`Done, [ (v + 1, [| 1 |]) ])
-          | `Holding -> (`Done, [])
-          | `Waiting when inbox <> [] -> ((if v = 4 then `Done else `Holding), [])
-          | st -> (st, []));
+          | `Holding when v < 4 ->
+              Congest.Network.send ctx (v + 1) [| 1 |];
+              `Done
+          | `Holding -> `Done
+          | `Waiting when inbox <> [] -> if v = 4 then `Done else `Holding
+          | st -> st);
       finished = (fun st -> st = `Done);
     }
   in
@@ -38,8 +41,10 @@ let test_network_bandwidth_enforced () =
     {
       Congest.Network.init = (fun _ _ -> false);
       step =
-        (fun ~round:_ ~node:v _ ~inbox:_ ->
-          if v = 0 then (true, [ (1, Array.make 10 0) ]) else (true, []));
+        (fun ctx _ ~inbox:_ ->
+          if Congest.Network.node ctx = 0 then
+            Congest.Network.send ctx 1 (Array.make 10 0);
+          true);
       finished = (fun st -> st);
     }
   in
@@ -53,8 +58,9 @@ let test_network_non_neighbor_rejected () =
     {
       Congest.Network.init = (fun _ _ -> false);
       step =
-        (fun ~round:_ ~node:v _ ~inbox:_ ->
-          if v = 0 then (true, [ (2, [| 1 |]) ]) else (true, []));
+        (fun ctx _ ~inbox:_ ->
+          if Congest.Network.node ctx = 0 then Congest.Network.send ctx 2 [| 1 |];
+          true);
       finished = (fun st -> st);
     }
   in
@@ -68,8 +74,12 @@ let test_network_double_send_rejected () =
     {
       Congest.Network.init = (fun _ _ -> false);
       step =
-        (fun ~round:_ ~node:v _ ~inbox:_ ->
-          if v = 0 then (true, [ (1, [| 1 |]); (1, [| 2 |]) ]) else (true, []));
+        (fun ctx _ ~inbox:_ ->
+          if Congest.Network.node ctx = 0 then begin
+            Congest.Network.send ctx 1 [| 1 |];
+            Congest.Network.send ctx 1 [| 2 |]
+          end;
+          true);
       finished = (fun st -> st);
     }
   in
@@ -83,7 +93,7 @@ let test_network_max_rounds_cap () =
   let algo =
     {
       Congest.Network.init = (fun _ _ -> ());
-      step = (fun ~round:_ ~node:_ () ~inbox:_ -> ((), []));
+      step = (fun _ () ~inbox:_ -> ());
       finished = (fun () -> false);
     }
   in

@@ -1,0 +1,186 @@
+(* Tests for the v2 CONGEST executor itself: the edge-indexed message
+   fabric (duplicate-send / non-neighbor / bandwidth enforcement), the
+   active-node worklist (quiescent nodes are skipped, mail reactivates
+   them), and a property check of the distributed BFS against the
+   centralized traversal. *)
+
+open Graphlib
+module N = Congest.Network
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------- fabric violations ---------- *)
+
+let test_bandwidth_violation () =
+  let g = Generators.path 2 in
+  let algo =
+    {
+      N.init = (fun _ _ -> false);
+      step =
+        (fun ctx _ ~inbox:_ ->
+          if N.node ctx = 0 then N.send ctx 1 (Array.make 9 0);
+          true);
+      finished = (fun st -> st);
+    }
+  in
+  Alcotest.check_raises "oversize payload"
+    (Invalid_argument "Congest: message exceeds bandwidth") (fun () ->
+      ignore (N.run ~bandwidth:8 g algo))
+
+let test_duplicate_send () =
+  let g = Generators.star 4 in
+  let algo =
+    {
+      N.init = (fun _ _ -> false);
+      step =
+        (fun ctx _ ~inbox:_ ->
+          if N.node ctx = 0 then begin
+            (* send_all covers the center->1 slot; the explicit resend must
+               trip the occupancy check *)
+            N.send_all ctx [| 1 |];
+            N.send ctx 1 [| 2 |]
+          end;
+          true);
+      finished = (fun st -> st);
+    }
+  in
+  Alcotest.check_raises "slot already occupied"
+    (Invalid_argument "Congest: two messages on one edge in one round") (fun () ->
+      ignore (N.run g algo))
+
+let test_non_neighbor () =
+  let g = Generators.path 4 in
+  let algo =
+    {
+      N.init = (fun _ _ -> false);
+      step =
+        (fun ctx _ ~inbox:_ ->
+          if N.node ctx = 0 then N.send ctx 3 [| 1 |];
+          true);
+      finished = (fun st -> st);
+    }
+  in
+  Alcotest.check_raises "no such edge"
+    (Invalid_argument "Congest: send to a non-neighbor") (fun () ->
+      ignore (N.run g algo))
+
+(* ---------- activity tracking ---------- *)
+
+(* path 0-1-2: node 0 counts three rounds then pings node 1; nodes 1 and 2
+   start finished, so only mail may step them. active_steps counts exactly
+   the steps taken: 3 for node 0, 1 for node 1, 0 for node 2. *)
+let test_quiescent_nodes_skipped () =
+  let g = Generators.path 3 in
+  let algo =
+    {
+      N.init = (fun _ v -> if v = 0 then `Count 0 else `Idle);
+      step =
+        (fun ctx st ~inbox ->
+          match st with
+          | `Count c ->
+              if c + 1 = 3 then begin
+                N.send ctx 1 [| 7 |];
+                `Stop
+              end
+              else `Count (c + 1)
+          | `Idle when inbox <> [] -> `Got
+          | st -> st);
+      finished = (fun st -> match st with `Count _ -> false | _ -> true);
+    }
+  in
+  let states, stats = N.run g algo in
+  check "converged" true stats.N.converged;
+  check "node 1 got the ping" true (states.(1) = `Got);
+  check_int "rounds" 4 stats.N.rounds;
+  check_int "active steps" 4 stats.N.active_steps
+
+(* same shape, but the ping reactivates node 1, which then counts two more
+   rounds on its own before finishing: the worklist must keep it awake
+   after the mail that woke it is gone *)
+let test_mail_reactivates () =
+  let g = Generators.path 3 in
+  let algo =
+    {
+      N.init = (fun _ v -> if v = 0 then `Count 0 else `Idle);
+      step =
+        (fun ctx st ~inbox ->
+          match st with
+          | `Count c ->
+              if c + 1 = 3 then begin
+                N.send ctx 1 [| 7 |];
+                `Stop
+              end
+              else `Count (c + 1)
+          | `Idle when inbox <> [] -> `Wake 0
+          | `Wake k -> if k + 1 = 2 then `Stop else `Wake (k + 1)
+          | st -> st);
+      finished =
+        (fun st -> match st with `Count _ | `Wake _ -> false | _ -> true);
+    }
+  in
+  let states, stats = N.run g algo in
+  check "converged" true stats.N.converged;
+  check "node 1 ran to completion" true (states.(1) = `Stop);
+  check_int "rounds" 6 stats.N.rounds;
+  (* node 0: rounds 1-3; node 1: rounds 4-6 *)
+  check_int "active steps" 6 stats.N.active_steps
+
+let test_max_rounds_cap () =
+  let g = Generators.cycle 5 in
+  let algo =
+    {
+      N.init = (fun _ _ -> ());
+      step = (fun _ () ~inbox:_ -> ());
+      finished = (fun () -> false);
+    }
+  in
+  let _, stats = N.run ~max_rounds:17 g algo in
+  check "not converged" false stats.N.converged;
+  check_int "capped" 17 stats.N.rounds
+
+(* ---------- BFS vs the centralized traversal ---------- *)
+
+let prop_bfs_matches_traversal =
+  QCheck.Test.make ~name:"distributed BFS levels equal Traversal.bfs" ~count:60
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let n = 5 + (seed mod 60) in
+      let g = Generators.erdos_renyi ~seed:(31 * seed) n 0.2 in
+      QCheck.assume (Traversal.is_connected g);
+      let root = seed mod n in
+      let states, stats = Congest.Bfs.run g ~root in
+      let dist = Traversal.bfs g root in
+      stats.N.converged
+      && Array.for_all2
+           (fun st d -> st.Congest.Bfs.dist = d)
+           states dist
+      && Array.for_all
+           (fun st ->
+             st.Congest.Bfs.parent = -1
+             || dist.(st.Congest.Bfs.parent) = st.Congest.Bfs.dist - 1)
+           states)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "network"
+    [
+      ( "fabric",
+        [
+          Alcotest.test_case "bandwidth violation raises" `Quick
+            test_bandwidth_violation;
+          Alcotest.test_case "duplicate send raises" `Quick test_duplicate_send;
+          Alcotest.test_case "non-neighbor send raises" `Quick test_non_neighbor;
+        ] );
+      ( "activity",
+        [
+          Alcotest.test_case "quiescent nodes are skipped" `Quick
+            test_quiescent_nodes_skipped;
+          Alcotest.test_case "mail reactivates a finished node" `Quick
+            test_mail_reactivates;
+          Alcotest.test_case "max_rounds caps divergence" `Quick
+            test_max_rounds_cap;
+        ] );
+      ("bfs", qsuite [ prop_bfs_matches_traversal ]);
+    ]
