@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check bench clean
+.PHONY: all build test fmt check bench bench-smoke clean
 
 all: build
 
@@ -13,14 +13,24 @@ test:
 fmt:
 	dune fmt
 
-# the one gate to run before pushing: formatting, full build, full test suite
+# the one gate to run before pushing: formatting, full build, full test
+# suite, and a smoke run of the observability pipeline
 check:
 	dune build @fmt
 	dune build
 	dune runtest
+	$(MAKE) bench-smoke
 
 bench:
 	dune exec bench/main.exe
+
+# one fast experiment with the JSONL sink on, then validate the stream:
+# every line parses, the required event types are present, and spans cover
+# at least four distinct construction phases
+bench-smoke:
+	dune build bench/main.exe tools/jsonl_check.exe
+	./_build/default/bench/main.exe --only E1 --no-timing --jsonl /tmp/e1.jsonl
+	./_build/default/tools/jsonl_check.exe /tmp/e1.jsonl
 
 clean:
 	dune clean

@@ -7,6 +7,10 @@
      dune exec bench/main.exe -- --list         -- list experiments
      dune exec bench/main.exe -- --no-timing    -- skip the bechamel timing suite
      dune exec bench/main.exe -- --json out.json -- also write rows + traces as JSON
+     dune exec bench/main.exe -- --jsonl out.jsonl -- stream spans/metrics/rows/
+                                                      trace summaries as JSONL events
+     dune exec bench/main.exe -- --full-trace   -- include per-round series in
+                                                   trace events (needs --jsonl)
 *)
 
 module G = Core.Graph
@@ -17,9 +21,15 @@ module Sc = Core.Shortcut
 module Q = Core.Quality
 
 (* --json sink: every quality row and trace summary an experiment prints is
-   also recorded here and written out at exit when --json was given *)
-let json_records : string list ref = ref []
+   also recorded here and written out at exit when --json was given.  Records
+   are structured [Obs.Sink.json] values rendered by the shared encoder, so
+   string fields (section titles, labels) escape correctly — OCaml's [%S]
+   emits decimal [\ddd] escapes, which are not JSON. *)
+let json_records : Obs.Sink.json list ref = ref []
 let current_section = ref ""
+
+(* --full-trace: include the per-round series in every trace record/event *)
+let full_trace = ref false
 
 let section title =
   current_section := title;
@@ -27,21 +37,51 @@ let section title =
 
 let subsection title = Printf.printf "\n-- %s --\n%!" title
 
-let record_row r =
+(* record one document both in the --json array (with a "type" field) and,
+   when a --jsonl sink is installed, as a sink event of the same type *)
+let record ~type_ fields =
+  let fields = ("section", Obs.Sink.String !current_section) :: fields in
   json_records :=
-    Printf.sprintf
-      "{\"type\":\"quality\",\"section\":%S,\"label\":%S,\"n\":%d,\"m\":%d,\"diameter\":%d,\"d_tree\":%d,\"parts\":%d,\"b\":%d,\"c\":%d,\"q\":%d,\"obs_c\":%s}"
-      !current_section r.Q.label r.Q.n r.Q.m r.Q.diameter r.Q.d_tree r.Q.nparts
-      r.Q.b r.Q.c r.Q.q
-      (match r.Q.obs_c with Some x -> string_of_int x | None -> "null")
-    :: !json_records
+    Obs.Sink.Obj (("type", Obs.Sink.String type_) :: fields) :: !json_records;
+  if Obs.Sink.enabled () then Obs.Sink.emit ~type_ fields
+
+let record_row r =
+  record ~type_:"quality"
+    [
+      ("label", Obs.Sink.String r.Q.label);
+      ("n", Obs.Sink.Int r.Q.n);
+      ("m", Obs.Sink.Int r.Q.m);
+      ("diameter", Obs.Sink.Int r.Q.diameter);
+      ("d_tree", Obs.Sink.Int r.Q.d_tree);
+      ("parts", Obs.Sink.Int r.Q.nparts);
+      ("b", Obs.Sink.Int r.Q.b);
+      ("c", Obs.Sink.Int r.Q.c);
+      ("q", Obs.Sink.Int r.Q.q);
+      ( "obs_c",
+        match r.Q.obs_c with Some x -> Obs.Sink.Int x | None -> Obs.Sink.Null );
+    ]
 
 let record_trace ~label tr =
+  let s = Core.Trace.summary tr in
+  let data =
+    if !full_trace then
+      match Core.Trace.summary_json s with
+      | Obs.Sink.Obj fields ->
+          Obs.Sink.Obj (fields @ [ ("per_round", Core.Trace.per_round_to_json tr) ])
+      | other -> other
+    else Core.Trace.summary_json s
+  in
   json_records :=
-    Printf.sprintf "{\"type\":\"trace\",\"section\":%S,\"label\":%S,\"data\":%s}"
-      !current_section label
-      (Core.Trace.summary_to_json (Core.Trace.summary tr))
-    :: !json_records
+    Obs.Sink.Obj
+      [
+        ("type", Obs.Sink.String "trace");
+        ("section", Obs.Sink.String !current_section);
+        ("label", Obs.Sink.String label);
+        ("data", data);
+      ]
+    :: !json_records;
+  (* same summary as a first-class sink event *)
+  Core.Trace.emit ~label ~full:!full_trace tr
 
 let print_rows rows =
   print_endline (Q.header ());
@@ -514,10 +554,25 @@ let e8 () =
     List.partition (fun r -> String.length r.Q.label > 0 && r.Q.label.[0] = 'G') rows
   in
   let pts rs = List.map (fun r -> (float_of_int r.Q.n, float_of_int r.Q.q)) rs in
+  (* fit_exponent_opt is None below two usable points; print an explicit
+     marker and record JSON null rather than leaking a nan *)
+  let fit ~label points =
+    let v = Q.fit_exponent_opt points in
+    record ~type_:"fit_exponent"
+      [
+        ("label", Obs.Sink.String label);
+        ("points", Obs.Sink.Int (List.length points));
+        ( "exponent",
+          match v with Some e -> Obs.Sink.Float e | None -> Obs.Sink.Null );
+      ];
+    match v with
+    | Some e -> Printf.sprintf "%.2f" e
+    | None -> "insufficient points"
+  in
   Printf.printf
-    "fitted exponent of q vs n: Gamma(p) %.2f (theory 0.5) | wheels %.2f (theory 0)\n"
-    (Q.fit_exponent (pts gamma_pts))
-    (Q.fit_exponent (pts wheel_pts))
+    "fitted exponent of q vs n: Gamma(p) %s (theory 0.5) | wheels %s (theory 0)\n"
+    (fit ~label:"gamma" (pts gamma_pts))
+    (fit ~label:"wheels" (pts wheel_pts))
 
 (* ------------------------------------------------------------------ *)
 (* E9: HIZ16a — distributed shortcut construction cost                 *)
@@ -947,38 +1002,60 @@ let experiments =
     ("F7", "Figure 7: torus planarization", f7);
   ]
 
+(* run one experiment under a root span, then print its phase breakdown from
+   the span aggregation table and push a per-experiment metrics snapshot *)
+let run_experiment id run =
+  Obs.Span.reset ();
+  Obs.Metrics.reset ();
+  Obs.Span.with_ id run;
+  let table = Obs.Span.render_table ~min_ms:0.01 () in
+  if table <> "" then begin
+    Printf.printf "\n-- %s timing breakdown --\n" id;
+    print_string table
+  end;
+  if Obs.Sink.enabled () then
+    Obs.Metrics.emit ~extra:[ ("experiment", Obs.Sink.String id) ] ()
+
 let () =
   let args = Array.to_list Sys.argv in
   let has flag = List.mem flag args in
-  let only =
+  let value_of flag =
     let rec find = function
-      | "--only" :: v :: _ -> Some v
+      | f :: v :: _ when f = flag -> Some v
       | _ :: rest -> find rest
       | [] -> None
     in
     find args
   in
-  let json_path =
-    let rec find = function
-      | "--json" :: v :: _ -> Some v
-      | _ :: rest -> find rest
-      | [] -> None
-    in
-    find args
-  in
+  let only = value_of "--only" in
+  let json_path = value_of "--json" in
+  let jsonl_path = value_of "--jsonl" in
+  full_trace := has "--full-trace";
   if has "--list" then
     List.iter (fun (id, desc, _) -> Printf.printf "%-4s %s\n" id desc) experiments
   else begin
+    let sink = Option.map Obs.Sink.open_file jsonl_path in
+    Option.iter Obs.Sink.install sink;
+    Obs.Span.set_enabled true;
     List.iter
-      (fun (id, _, run) -> match only with Some o when o <> id -> () | _ -> run ())
+      (fun (id, _, run) ->
+        match only with Some o when o <> id -> () | _ -> run_experiment id run)
       experiments;
     if (not (has "--no-timing")) && only = None then timing ();
     (match json_path with
     | Some path ->
         let oc = open_out path in
-        Printf.fprintf oc "[\n%s\n]\n" (String.concat ",\n" (List.rev !json_records));
+        let records = List.rev !json_records in
+        Printf.fprintf oc "[\n%s\n]\n"
+          (String.concat ",\n" (List.map Obs.Sink.to_string records));
         close_out oc;
-        Printf.printf "wrote %d records to %s\n" (List.length !json_records) path
+        Printf.printf "wrote %d records to %s\n" (List.length records) path
     | None -> ());
+    (match (sink, jsonl_path) with
+    | Some s, Some path ->
+        let n = Obs.Sink.event_count s in
+        Obs.Sink.close s;
+        Printf.printf "wrote %d events to %s\n" n path
+    | _ -> ());
     print_endline "\nall experiments completed."
   end

@@ -3,12 +3,33 @@
 
      shortcuts-cli gen grid --width 24 --height 24 -o grid.txt
      shortcuts-cli info grid.txt
-     shortcuts-cli quality grid.txt --parts 12
+     shortcuts-cli quality grid.txt --parts 12 --trace out.jsonl
      shortcuts-cli mst grid.txt --algo shortcut
      shortcuts-cli mincut grid.txt --trees 8
+     shortcuts-cli report out.jsonl
 *)
 
 open Cmdliner
+
+(* --trace FILE on the pipeline commands: install a JSONL sink and turn span
+   collection on for the duration of the run, closing with a final metrics
+   snapshot.  [report] below renders the resulting file. *)
+let with_obs trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+      let s = Obs.Sink.open_file path in
+      Obs.Sink.install s;
+      Obs.Span.set_enabled true;
+      Obs.Span.reset ();
+      Obs.Metrics.reset ();
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.Metrics.emit ();
+          let n = Obs.Sink.event_count s in
+          Obs.Sink.close s;
+          Printf.printf "wrote %d events to %s\n" n path)
+        f
 
 let read_graph file =
   let g, w = Core.Io.read_file file in
@@ -81,7 +102,8 @@ let show_info file =
 
 (* ---------- quality ---------- *)
 
-let quality file nparts seed =
+let quality file nparts seed trace_out =
+  with_obs trace_out @@ fun () ->
   let g, _ = read_graph file in
   let parts = Core.Part.voronoi ~seed g ~count:nparts in
   let tree = Core.Spanning.bfs_tree g 0 in
@@ -97,11 +119,13 @@ let quality file nparts seed =
   let rounds0 = Core.Aggregate.rounds_for_parts empty ~seed in
   Printf.printf "aggregation: %d rounds with shortcuts, %d without\n" rounds rounds0;
   Printf.printf "trace: %s\n" (Core.Trace.summary_to_string (Core.Trace.summary trace));
+  Core.Trace.emit ~label:file trace;
   0
 
 (* ---------- mst ---------- *)
 
-let mst file algo =
+let mst file algo trace_out =
+  with_obs trace_out @@ fun () ->
   let g, w = read_graph file in
   let w = weights_of g w in
   let trace = Core.Trace.create g in
@@ -121,14 +145,17 @@ let mst file algo =
   | Error e -> Printf.printf "WARNING: %s\n" e);
   Printf.printf "algorithm = %s\nphases = %d\nrounds = %d\nweight = %.6f\n" algo
     report.Core.Mst.phases report.Core.Mst.rounds report.Core.Mst.mst_weight;
-  if algo <> "pipelined" then
+  if algo <> "pipelined" then begin
     Printf.printf "trace: %s\n"
       (Core.Trace.summary_to_string (Core.Trace.summary trace));
+    Core.Trace.emit ~label:(file ^ " mst/" ^ algo) trace
+  end;
   0
 
 (* ---------- mincut ---------- *)
 
-let mincut file trees seed =
+let mincut file trees seed trace_out =
+  with_obs trace_out @@ fun () ->
   let g, w = read_graph file in
   let w = weights_of g w in
   let r = Core.Mincut.approx ~trees ~seed ~constructor:Core.Mst.shortcut_constructor g w in
@@ -138,10 +165,126 @@ let mincut file trees seed =
     Printf.printf "exact (stoer-wagner) = %.6f\n" (Core.Mincut.stoer_wagner g w);
   0
 
+(* ---------- report ---------- *)
+
+(* aggregate span rows of a JSONL file by path; value = calls, total, self *)
+type span_row = {
+  name : string;
+  depth : int;
+  mutable calls : int;
+  mutable total_ms : float;
+  mutable self_ms : float;
+}
+
+let report file =
+  let module S = Obs.Sink in
+  let spans : (string, span_row) Hashtbl.t = Hashtbl.create 64 in
+  let counters : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let by_type : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let bad = ref 0 and lines = ref 0 in
+  let str field j = Option.bind (S.member field j) S.string_value in
+  let num field j = Option.bind (S.member field j) S.float_value in
+  let handle_span j =
+    match (str "path" j, str "name" j) with
+    | Some path, Some name ->
+        let depth =
+          match Option.bind (S.member "depth" j) S.int_value with
+          | Some d -> d
+          | None -> 0
+        in
+        let row =
+          match Hashtbl.find_opt spans path with
+          | Some r -> r
+          | None ->
+              let r = { name; depth; calls = 0; total_ms = 0.0; self_ms = 0.0 } in
+              Hashtbl.add spans path r;
+              r
+        in
+        row.calls <- row.calls + 1;
+        row.total_ms <- row.total_ms +. Option.value (num "dur_ms" j) ~default:0.0;
+        row.self_ms <- row.self_ms +. Option.value (num "self_ms" j) ~default:0.0
+    | _ -> incr bad
+  in
+  let handle_metrics j =
+    match S.member "counters" j with
+    | Some (S.Obj fields) ->
+        List.iter
+          (fun (k, v) ->
+            match S.int_value v with
+            | Some x ->
+                Hashtbl.replace counters k
+                  (x + Option.value (Hashtbl.find_opt counters k) ~default:0)
+            | None -> ())
+          fields
+    | _ -> ()
+  in
+  let ic = open_in file in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then begin
+         incr lines;
+         match S.parse line with
+         | Error _ -> incr bad
+         | Ok j -> (
+             let t = Option.value (str "type" j) ~default:"?" in
+             Hashtbl.replace by_type t
+               (1 + Option.value (Hashtbl.find_opt by_type t) ~default:0);
+             match t with
+             | "span" -> handle_span j
+             | "metrics" -> handle_metrics j
+             | _ -> ())
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  let census =
+    Hashtbl.fold (fun t n acc -> (t, n) :: acc) by_type []
+    |> List.sort compare
+    |> List.map (fun (t, n) -> Printf.sprintf "%s=%d" t n)
+    |> String.concat " "
+  in
+  Printf.printf "%s: %d events (%s)%s\n" file !lines census
+    (if !bad > 0 then Printf.sprintf ", %d malformed" !bad else "");
+  let rows =
+    Hashtbl.fold (fun path r acc -> (path, r) :: acc) spans []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  if rows <> [] then begin
+    Printf.printf "\n%-48s %8s %11s %11s\n" "span" "calls" "total ms" "self ms";
+    List.iter
+      (fun (_, r) ->
+        Printf.printf "%-48s %8d %11.2f %11.2f\n"
+          (String.make (2 * r.depth) ' ' ^ r.name)
+          r.calls r.total_ms r.self_ms)
+      rows
+  end;
+  let top =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters []
+    |> List.filter (fun (_, v) -> v <> 0)
+    |> List.sort (fun (ka, va) (kb, vb) -> compare (-va, ka) (-vb, kb))
+  in
+  if top <> [] then begin
+    Printf.printf "\n%-40s %12s\n" "counter" "value";
+    let show = List.filteri (fun i _ -> i < 12) top in
+    List.iter (fun (k, v) -> Printf.printf "%-40s %12d\n" k v) show;
+    if List.length top > List.length show then
+      Printf.printf "  ... %d more\n" (List.length top - List.length show)
+  end;
+  0
+
 (* ---------- cmdliner wiring ---------- *)
 
 let file_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a JSONL observability trace (spans, metrics, trace \
+              summaries) to $(docv); inspect it with $(b,report).")
 
 let gen_cmd =
   let family = Arg.(required & pos 0 (some string) None & info [] ~docv:"FAMILY") in
@@ -165,7 +308,7 @@ let quality_cmd =
   let nparts = Arg.(value & opt int 8 & info [ "parts" ] ~doc:"Voronoi part count.") in
   Cmd.v
     (Cmd.info "quality" ~doc:"Construct shortcuts and report b, c, q + rounds.")
-    Term.(const quality $ file_arg $ nparts $ seed_arg)
+    Term.(const quality $ file_arg $ nparts $ seed_arg $ trace_arg)
 
 let mst_cmd =
   let algo =
@@ -176,15 +319,22 @@ let mst_cmd =
   in
   Cmd.v
     (Cmd.info "mst" ~doc:"Run a distributed MST and report simulated rounds.")
-    Term.(const mst $ file_arg $ algo)
+    Term.(const mst $ file_arg $ algo $ trace_arg)
 
 let mincut_cmd =
   let trees = Arg.(value & opt int 8 & info [ "trees" ] ~doc:"Sampled trees.") in
   Cmd.v
     (Cmd.info "mincut" ~doc:"Approximate min-cut; exact verification on small inputs.")
-    Term.(const mincut $ file_arg $ trees $ seed_arg)
+    Term.(const mincut $ file_arg $ trees $ seed_arg $ trace_arg)
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Summarize a JSONL trace (from --trace or bench --jsonl): span \
+             tree with call counts and self/total time, plus top counters.")
+    Term.(const report $ file_arg)
 
 let () =
   let doc = "low-congestion shortcuts on excluded-minor networks" in
-  let main = Cmd.group (Cmd.info "shortcuts-cli" ~doc) [ gen_cmd; info_cmd; quality_cmd; mst_cmd; mincut_cmd ] in
+  let main = Cmd.group (Cmd.info "shortcuts-cli" ~doc) [ gen_cmd; info_cmd; quality_cmd; mst_cmd; mincut_cmd; report_cmd ] in
   exit (Cmd.eval' main)

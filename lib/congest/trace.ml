@@ -121,57 +121,72 @@ let summary_to_string s =
     s.rounds s.messages s.words s.max_edge_load edge s.peak_round_messages
     s.mean_round_messages
 
+(* All JSON below goes through the shared [Obs.Sink] encoder, so escaping and
+   float formatting are uniform with the rest of the repo's output. *)
+
 let json_int_array a =
-  let b = Buffer.create (8 * Array.length a) in
-  Buffer.add_char b '[';
-  Array.iteri
-    (fun i x ->
-      if i > 0 then Buffer.add_char b ',';
-      Buffer.add_string b (string_of_int x))
-    a;
-  Buffer.add_char b ']';
-  Buffer.contents b
+  Obs.Sink.List (Array.to_list (Array.map (fun x -> Obs.Sink.Int x) a))
 
-let summary_fields_json s =
-  let edge =
-    match s.busiest_edge with
-    | Some (u, v) -> Printf.sprintf "[%d,%d]" u v
-    | None -> "null"
-  in
-  Printf.sprintf
-    "\"rounds\":%d,\"messages\":%d,\"words\":%d,\"max_edge_load\":%d,\
-     \"busiest_edge\":%s,\"peak_round_messages\":%d,\"mean_round_messages\":%.3f"
-    s.rounds s.messages s.words s.max_edge_load edge s.peak_round_messages
-    s.mean_round_messages
+let summary_fields s =
+  [
+    ("rounds", Obs.Sink.Int s.rounds);
+    ("messages", Obs.Sink.Int s.messages);
+    ("words", Obs.Sink.Int s.words);
+    ("max_edge_load", Obs.Sink.Int s.max_edge_load);
+    ( "busiest_edge",
+      match s.busiest_edge with
+      | Some (u, v) -> Obs.Sink.List [ Obs.Sink.Int u; Obs.Sink.Int v ]
+      | None -> Obs.Sink.Null );
+    ("peak_round_messages", Obs.Sink.Int s.peak_round_messages);
+    ("mean_round_messages", Obs.Sink.Float s.mean_round_messages);
+  ]
 
-let summary_to_json s = "{" ^ summary_fields_json s ^ "}"
+let summary_json s = Obs.Sink.Obj (summary_fields s)
+let summary_to_json s = Obs.Sink.to_string (summary_json s)
+
+let per_round_to_json t =
+  Obs.Sink.Obj
+    [
+      ("messages", json_int_array (round_messages t));
+      ("words", json_int_array (round_words t));
+      ("max_edge_load", json_int_array (max_load_series t));
+    ]
+
+let per_edge_json t =
+  let rows = ref [] in
+  for e = Array.length t.edges - 1 downto 0 do
+    let u, v = t.edges.(e) in
+    let up = t.load.(2 * e) and down = t.load.((2 * e) + 1) in
+    if up + down > 0 then
+      rows :=
+        Obs.Sink.Obj
+          [
+            ("u", Obs.Sink.Int u);
+            ("v", Obs.Sink.Int v);
+            ("load", Obs.Sink.Int (up + down));
+            ("up", Obs.Sink.Int up);
+            ("down", Obs.Sink.Int down);
+          ]
+        :: !rows
+  done;
+  Obs.Sink.List !rows
 
 let to_json ?(per_edge = false) t =
-  let b = Buffer.create 1024 in
-  Buffer.add_char b '{';
-  Buffer.add_string b (summary_fields_json (summary t));
-  Buffer.add_string b ",\"per_round\":{\"messages\":";
-  Buffer.add_string b (json_int_array (round_messages t));
-  Buffer.add_string b ",\"words\":";
-  Buffer.add_string b (json_int_array (round_words t));
-  Buffer.add_string b ",\"max_edge_load\":";
-  Buffer.add_string b (json_int_array (max_load_series t));
-  Buffer.add_char b '}';
-  if per_edge then begin
-    Buffer.add_string b ",\"per_edge\":[";
-    let first = ref true in
-    Array.iteri
-      (fun e (u, v) ->
-        let up = t.load.(2 * e) and down = t.load.((2 * e) + 1) in
-        if up + down > 0 then begin
-          if not !first then Buffer.add_char b ',';
-          first := false;
-          Buffer.add_string b
-            (Printf.sprintf "{\"u\":%d,\"v\":%d,\"load\":%d,\"up\":%d,\"down\":%d}"
-               u v (up + down) up down)
-        end)
-      t.edges;
-    Buffer.add_char b ']'
-  end;
-  Buffer.add_char b '}';
-  Buffer.contents b
+  let fields =
+    summary_fields (summary t)
+    @ [ ("per_round", per_round_to_json t) ]
+    @ if per_edge then [ ("per_edge", per_edge_json t) ] else []
+  in
+  Obs.Sink.to_string (Obs.Sink.Obj fields)
+
+let emit ?label ?(full = false) t =
+  if Obs.Sink.enabled () then begin
+    let fields =
+      (match label with
+      | Some l -> [ ("label", Obs.Sink.String l) ]
+      | None -> [])
+      @ summary_fields (summary t)
+      @ if full then [ ("per_round", per_round_to_json t) ] else []
+    in
+    Obs.Sink.emit ~type_:"trace_summary" fields
+  end

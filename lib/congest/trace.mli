@@ -84,6 +84,19 @@ val to_json : ?per_edge:bool -> t -> string
 (** JSON object with the summary fields plus the three per-round series;
     with [per_edge] (default false) also a [per_edge] array of
     [{"u", "v", "load", "up", "down"}] rows for every edge that carried at
-    least one message. *)
+    least one message. Rendered by the shared {!Obs.Sink} encoder. *)
+
+val summary_json : summary -> Obs.Sink.json
+(** The summary as a structured JSON value, for embedding into larger
+    documents or sink events. *)
 
 val summary_to_json : summary -> string
+
+val per_round_to_json : t -> Obs.Sink.json
+(** [{"messages": [...], "words": [...], "max_edge_load": [...]}] — the
+    three per-round series as one JSON object. *)
+
+val emit : ?label:string -> ?full:bool -> t -> unit
+(** Emit one ["trace_summary"] event into the installed {!Obs.Sink} (no-op
+    when no sink is active): the summary fields, an optional [label], and —
+    with [full] — the per-round series from {!per_round_to_json}. *)

@@ -11,6 +11,12 @@
     - the top-level helpers below: the end-to-end calls a downstream user
       makes. *)
 
+(* observability: spans, metrics, JSONL sink (DESIGN.md section 8) *)
+module Obs = Obs
+module Span = Obs.Span
+module Metrics = Obs.Metrics
+module Sink = Obs.Sink
+
 (* graph substrate *)
 module Graph = Graphlib.Graph
 module Union_find = Graphlib.Union_find

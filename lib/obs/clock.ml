@@ -1,0 +1,13 @@
+(* One clock for the whole observability layer: CLOCK_MONOTONIC via the
+   bechamel stubs (the same source the bench timing suite reads), so span
+   durations and sink timestamps are immune to wall-clock adjustments. *)
+
+let now_ns : unit -> int64 = Monotonic_clock.now
+
+(* process-relative origin: timestamps in emitted events are seconds since
+   the first use of the observability layer, which keeps them small and
+   diff-friendly across runs *)
+let t0 = now_ns ()
+let elapsed_ns () = Int64.sub (now_ns ()) t0
+let elapsed_s () = Int64.to_float (elapsed_ns ()) /. 1e9
+let ns_to_ms ns = Int64.to_float ns /. 1e6

@@ -1,0 +1,151 @@
+(* Process-global metrics registry: named counters, gauges, and fixed-bucket
+   histograms.
+
+   Instrumented modules register their instruments once (typically in a
+   top-level [let]) and keep the returned record, so the hot path is a bare
+   field update — no hashing, no branching on an enabled flag.  [reset]
+   zeroes values *in place*, preserving those held references. *)
+
+type counter = { name : string; mutable count : int }
+type gauge = { name : string; mutable value : float; mutable touched : bool }
+
+type histogram = {
+  name : string;
+  bounds : float array; (* strictly increasing upper bucket bounds *)
+  counts : int array; (* length = Array.length bounds + 1; last = overflow *)
+  mutable sum : float;
+  mutable observations : int;
+}
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { name; count = 0 } in
+      Hashtbl.replace counters name c;
+      c
+
+let incr c = c.count <- c.count + 1
+let add c k = c.count <- c.count + k
+let count c = c.count
+
+let gauge name =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+      let g = { name; value = 0.0; touched = false } in
+      Hashtbl.replace gauges name g;
+      g
+
+let set g v =
+  g.value <- v;
+  g.touched <- true
+
+let gauge_value g = if g.touched then Some g.value else None
+
+(* powers of two through 65536: a decade-and-a-half of dynamic range that
+   fits loads, round counts, and millisecond durations alike *)
+let default_bounds = Array.init 17 (fun i -> float_of_int (1 lsl i))
+
+let histogram ?(bounds = default_bounds) name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          name;
+          bounds = Array.copy bounds;
+          counts = Array.make (Array.length bounds + 1) 0;
+          sum = 0.0;
+          observations = 0;
+        }
+      in
+      Hashtbl.replace histograms name h;
+      h
+
+let observe h v =
+  (* first bucket whose bound is >= v, by binary search; O(log #buckets) on
+     a fixed small array *)
+  let lo = ref 0 and hi = ref (Array.length h.bounds) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if v <= h.bounds.(mid) then hi := mid else lo := mid + 1
+  done;
+  h.counts.(!lo) <- h.counts.(!lo) + 1;
+  h.sum <- h.sum +. v;
+  h.observations <- h.observations + 1
+
+let observations h = h.observations
+let bucket_counts h = Array.copy h.counts
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
+  Hashtbl.iter
+    (fun _ g ->
+      g.value <- 0.0;
+      g.touched <- false)
+    gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.counts 0 (Array.length h.counts) 0;
+      h.sum <- 0.0;
+      h.observations <- 0)
+    histograms
+
+let top_counters ?(limit = 10) () =
+  Hashtbl.fold (fun _ c acc -> if c.count > 0 then (c.name, c.count) :: acc else acc)
+    counters []
+  |> List.sort (fun (na, a) (nb, b) ->
+         match compare b a with 0 -> compare na nb | c -> c)
+  |> List.filteri (fun i _ -> i < limit)
+
+let to_json () =
+  let counter_fields =
+    Hashtbl.fold
+      (fun _ (c : counter) acc -> (c.name, Sink.Int c.count) :: acc)
+      counters []
+    |> List.sort compare
+  in
+  let gauge_fields =
+    Hashtbl.fold
+      (fun _ g acc ->
+        if g.touched then (g.name, Sink.Float g.value) :: acc else acc)
+      gauges []
+    |> List.sort compare
+  in
+  let histogram_fields =
+    Hashtbl.fold
+      (fun _ h acc ->
+        ( h.name,
+          Sink.Obj
+            [
+              ( "bounds",
+                Sink.List
+                  (Array.to_list h.bounds |> List.map (fun b -> Sink.Float b))
+              );
+              ( "counts",
+                Sink.List
+                  (Array.to_list h.counts |> List.map (fun c -> Sink.Int c)) );
+              ("sum", Sink.Float h.sum);
+              ("count", Sink.Int h.observations);
+            ] )
+        :: acc)
+      histograms []
+    |> List.sort compare
+  in
+  Sink.Obj
+    [
+      ("counters", Sink.Obj counter_fields);
+      ("gauges", Sink.Obj gauge_fields);
+      ("histograms", Sink.Obj histogram_fields);
+    ]
+
+let emit ?(extra = []) () =
+  if Sink.enabled () then
+    match to_json () with
+    | Sink.Obj fields -> Sink.emit ~type_:"metrics" (extra @ fields)
+    | _ -> ()

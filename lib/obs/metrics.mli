@@ -1,0 +1,52 @@
+(** Process-global registry of named counters, gauges, and fixed-bucket
+    histograms.
+
+    Instruments are interned by name: registering the same name twice
+    returns the same record.  The hot path ({!incr}, {!add}, {!set},
+    {!observe}) is a direct field update on the record the caller holds —
+    O(1), no lookup, no enabled check.  {!reset} zeroes values in place so
+    references held by instrumented modules stay valid. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val count : counter -> int
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+
+val gauge_value : gauge -> float option
+(** [None] until the gauge has been {!set} since the last {!reset}. *)
+
+val default_bounds : float array
+(** Powers of two, 1 .. 65536. *)
+
+val histogram : ?bounds:float array -> string -> histogram
+(** [bounds] must be strictly increasing upper bucket bounds; observations
+    above the last bound land in an overflow bucket.  [bounds] is ignored
+    when the name is already registered. *)
+
+val observe : histogram -> float -> unit
+val observations : histogram -> int
+
+val bucket_counts : histogram -> int array
+(** Per-bucket counts; length is [Array.length bounds + 1] (the final entry
+    is the overflow bucket).  Fresh array. *)
+
+val reset : unit -> unit
+(** Zero every registered instrument, keeping registrations intact. *)
+
+val top_counters : ?limit:int -> unit -> (string * int) list
+(** Nonzero counters, largest first (ties by name). *)
+
+val to_json : unit -> Sink.json
+(** [{"counters": {...}, "gauges": {...}, "histograms": {...}}]; untouched
+    gauges are omitted. *)
+
+val emit : ?extra:(string * Sink.json) list -> unit -> unit
+(** Emit one ["metrics"] event carrying {!to_json}'s fields (plus [extra],
+    first) to the installed sink; no-op without a sink. *)

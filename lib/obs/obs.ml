@@ -1,0 +1,25 @@
+(** Observability for the shortcut-construction pipeline.
+
+    Three cooperating pieces (DESIGN.md section 8):
+
+    - {!Span}: hierarchical monotonic-clock spans over pipeline phases
+      ([Obs.Span.with_ "steiner.compute" f]);
+    - {!Metrics}: process-global counters / gauges / histograms with O(1)
+      hot-path updates;
+    - {!Sink}: a structured JSONL event sink plus the repo's one shared,
+      spec-correct JSON encoder.  Spans and metrics emit into the installed
+      sink; {!Congest.Trace} summaries land in the same stream, so one
+      JSONL file covers construction and simulation.
+
+    Everything is off by default: with no sink installed and spans
+    disabled, the instrumentation in library code costs a bool check per
+    call site. *)
+
+module Clock = Clock
+module Sink = Sink
+module Span = Span
+module Metrics = Metrics
+
+let reset_all () =
+  Span.reset ();
+  Metrics.reset ()

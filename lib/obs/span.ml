@@ -1,0 +1,141 @@
+(* Hierarchical monotonic-clock spans.
+
+   A span covers one dynamic extent of a named pipeline phase.  Spans nest:
+   the innermost open span is the parent of any span opened inside it, and a
+   span's "self" time is its duration minus the total duration of its direct
+   children.  Two outputs are maintained:
+
+   - an in-process aggregation table keyed by the span *path* (names of the
+     open ancestors joined with '/'), powering the per-phase breakdown the
+     bench prints after each experiment;
+   - one "span" event per completed span into the installed sink, if any.
+
+   Collection is off by default; [with_] then reduces to running the thunk
+   behind one bool check. *)
+
+type frame = {
+  name : string;
+  path : string;
+  depth : int;
+  start_ns : int64;
+  mutable child_ns : int64;
+  mutable attrs : (string * Sink.json) list; (* reverse order *)
+}
+
+type stat = {
+  path : string;
+  name : string;
+  depth : int;
+  mutable calls : int;
+  mutable total_ns : int64;
+  mutable self_ns : int64;
+}
+
+let on = ref false
+let set_enabled v = on := v
+let enabled () = !on
+
+let stack : frame list ref = ref []
+let table : (string, stat) Hashtbl.t = Hashtbl.create 64
+
+let reset () =
+  Hashtbl.reset table;
+  stack := []
+
+let stat_for (fr : frame) =
+  match Hashtbl.find_opt table fr.path with
+  | Some st -> st
+  | None ->
+      let st =
+        {
+          path = fr.path;
+          name = fr.name;
+          depth = fr.depth;
+          calls = 0;
+          total_ns = 0L;
+          self_ns = 0L;
+        }
+      in
+      Hashtbl.replace table fr.path st;
+      st
+
+let add_attr k v =
+  match !stack with [] -> () | fr :: _ -> fr.attrs <- (k, v) :: fr.attrs
+
+let close fr =
+  let dur = Int64.sub (Clock.now_ns ()) fr.start_ns in
+  (match !stack with
+  | top :: rest when top == fr -> stack := rest
+  | other ->
+      (* unbalanced close (an exception skipped children): drop frames down
+         to and including [fr] so the stack stays consistent *)
+      let rec pop = function
+        | top :: rest -> if top == fr then rest else pop rest
+        | [] -> []
+      in
+      stack := pop other);
+  (match !stack with
+  | parent :: _ -> parent.child_ns <- Int64.add parent.child_ns dur
+  | [] -> ());
+  let self = Int64.sub dur fr.child_ns in
+  let st = stat_for fr in
+  st.calls <- st.calls + 1;
+  st.total_ns <- Int64.add st.total_ns dur;
+  st.self_ns <- Int64.add st.self_ns self;
+  if Sink.enabled () then
+    Sink.emit ~type_:"span"
+      (("name", Sink.String fr.name)
+      :: ("path", Sink.String fr.path)
+      :: ("depth", Sink.Int fr.depth)
+      :: ("dur_ms", Sink.Float (Clock.ns_to_ms dur))
+      :: ("self_ms", Sink.Float (Clock.ns_to_ms self))
+      ::
+      (match List.rev fr.attrs with
+      | [] -> []
+      | attrs -> [ ("attrs", Sink.Obj attrs) ]))
+
+let with_ ?(attrs = []) name f =
+  if not !on then f ()
+  else begin
+    let path, depth =
+      match !stack with
+      | [] -> (name, 0)
+      | parent :: _ -> (parent.path ^ "/" ^ name, parent.depth + 1)
+    in
+    let fr =
+      {
+        name;
+        path;
+        depth;
+        start_ns = Clock.now_ns ();
+        child_ns = 0L;
+        attrs = List.rev attrs;
+      }
+    in
+    stack := fr :: !stack;
+    Fun.protect ~finally:(fun () -> close fr) f
+  end
+
+let stats () =
+  Hashtbl.fold (fun _ st acc -> st :: acc) table []
+  |> List.sort (fun a b -> compare a.path b.path)
+
+(* sorting by path yields tree order: "a" < "a/child" < "ab" because
+   '/' sorts below every path character we use *)
+let render_table ?(min_ms = 0.0) () =
+  let sts = stats () in
+  if sts = [] then "(no spans recorded)\n"
+  else begin
+    let b = Buffer.create 1024 in
+    Printf.bprintf b "%-46s %7s %11s %11s\n" "span" "calls" "total ms" "self ms";
+    List.iter
+      (fun st ->
+        let total = Clock.ns_to_ms st.total_ns in
+        if total >= min_ms then
+          Printf.bprintf b "%-46s %7d %11.2f %11.2f\n"
+            (String.make (2 * st.depth) ' ' ^ st.name)
+            st.calls total
+            (Clock.ns_to_ms st.self_ns))
+      sts;
+    Buffer.contents b
+  end

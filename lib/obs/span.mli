@@ -1,0 +1,42 @@
+(** Hierarchical monotonic-clock spans ([Obs.Span.with_ ~name f] style).
+
+    A span measures one dynamic extent of a named phase.  Spans nest; each
+    completed span updates an in-process aggregation table (keyed by the
+    '/'-joined path of open span names) and, when a sink is installed,
+    emits one ["span"] event carrying name, path, depth, duration, self
+    time, and attributes.
+
+    Collection is disabled by default: [with_ name f] then just runs [f]
+    behind a single bool check, so permanent instrumentation of hot library
+    code is safe. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val with_ : ?attrs:(string * Sink.json) list -> string -> (unit -> 'a) -> 'a
+(** [with_ name f] runs [f] inside a span called [name].  The span closes
+    when [f] returns or raises (the exception propagates). *)
+
+val add_attr : string -> Sink.json -> unit
+(** Attach a key/value attribute to the innermost open span; no-op when
+    collection is off or no span is open. *)
+
+type stat = {
+  path : string;  (** '/'-joined names of the span and its ancestors *)
+  name : string;
+  depth : int;
+  mutable calls : int;
+  mutable total_ns : int64;
+  mutable self_ns : int64;  (** total minus direct children's totals *)
+}
+
+val stats : unit -> stat list
+(** Aggregated per-path stats since the last {!reset}, in tree order
+    (parents immediately before their children). *)
+
+val reset : unit -> unit
+(** Clear the aggregation table and any dangling open frames. *)
+
+val render_table : ?min_ms:float -> unit -> string
+(** Indented calls/total/self table of {!stats}; rows with total below
+    [min_ms] (default 0) are hidden. *)

@@ -35,6 +35,10 @@ let cells_of_tree tree ~apices =
   (cells, roots)
 
 let construct_with_stats ?kappas ~apices tree parts =
+  Obs.Span.with_
+    ~attrs:[ ("apices", Obs.Sink.Int (Array.length apices)) ]
+    "apex_shortcut.construct"
+  @@ fun () ->
   let g = tree.Spanning.graph in
   let n = Graph.n g in
   let is_apex = Array.make n false in
@@ -102,16 +106,19 @@ let construct_with_stats ?kappas ~apices tree parts =
     | None -> Generic.default_kappas (max 1 (Steiner.max_load steiner))
   in
   let best = ref None in
-  List.iter
-    (fun kappa ->
-      let local = Generic.prune Generic.Keep_kappa steiner parts kappa in
-      let assigned = Array.mapi (fun i l -> List.rev_append assigned_global.(i) l) local in
-      let sc = Shortcut.make tree parts assigned in
-      let q = Shortcut.quality sc in
-      match !best with
-      | Some (_, bq) when bq <= q -> ()
-      | _ -> best := Some (sc, q))
-    kappas;
+  Obs.Span.with_ "apex_shortcut.sweep" (fun () ->
+      List.iter
+        (fun kappa ->
+          let local = Generic.prune Generic.Keep_kappa steiner parts kappa in
+          let assigned =
+            Array.mapi (fun i l -> List.rev_append assigned_global.(i) l) local
+          in
+          let sc = Shortcut.make tree parts assigned in
+          let q = Shortcut.quality sc in
+          match !best with
+          | Some (_, bq) when bq <= q -> ()
+          | _ -> best := Some (sc, q))
+        kappas);
   let sc =
     match !best with
     | Some (sc, _) -> sc

@@ -4,8 +4,15 @@ type result = {
   leftover : (int * int list) list;
 }
 
+let g_beta = Obs.Metrics.gauge "assignment.beta"
+
 let assign ~cells ~parts =
   let ncells = Part.count cells and nparts = Part.count parts in
+  Obs.Span.with_
+    ~attrs:
+      [ ("cells", Obs.Sink.Int ncells); ("parts", Obs.Sink.Int nparts) ]
+    "assignment.assign"
+  @@ fun () ->
   (* incidence via shared vertices; cells partition (a subset of) V *)
   let cell_of = cells.Part.part_of in
   let cells_of_part = Array.make nparts [] in
@@ -70,4 +77,5 @@ let assign ~cells ~parts =
   for p = 0 to nparts - 1 do
     if part_alive.(p) then leftover := (p, []) :: !leftover
   done;
+  Obs.Metrics.set g_beta (float_of_int !beta);
   { relation = !relation; beta = !beta; leftover = !leftover }

@@ -40,7 +40,17 @@ let depths fparent =
   done;
   d
 
+let c_global_grants = Obs.Metrics.counter "cs_shortcut.global_grants"
+
 let construct_with_stats ?(use_fold = true) ?kappas cs tree parts =
+  Obs.Span.with_
+    ~attrs:
+      [
+        ("use_fold", Obs.Sink.Bool use_fold);
+        ("bags", Obs.Sink.Int (Array.length cs.Clique_sum.bags));
+      ]
+    "cs_shortcut.construct"
+  @@ fun () ->
   let g = cs.Clique_sum.graph in
   let n = Graph.n g in
   let folded =
@@ -153,17 +163,21 @@ let construct_with_stats ?(use_fold = true) ?kappas cs tree parts =
     | Some ks -> ks
     | None -> Generic.default_kappas (max 1 (Steiner.max_load steiner))
   in
+  Obs.Metrics.add c_global_grants !global_grants;
   let best = ref None in
-  List.iter
-    (fun kappa ->
-      let local = Generic.prune Generic.Keep_kappa steiner parts kappa in
-      let assigned = Array.mapi (fun i l -> List.rev_append global.(i) l) local in
-      let sc = Shortcut.make tree parts assigned in
-      let q = Shortcut.quality sc in
-      match !best with
-      | Some (_, bq) when bq <= q -> ()
-      | _ -> best := Some (sc, q))
-    kappas;
+  Obs.Span.with_ "cs_shortcut.sweep" (fun () ->
+      List.iter
+        (fun kappa ->
+          let local = Generic.prune Generic.Keep_kappa steiner parts kappa in
+          let assigned =
+            Array.mapi (fun i l -> List.rev_append global.(i) l) local
+          in
+          let sc = Shortcut.make tree parts assigned in
+          let q = Shortcut.quality sc in
+          match !best with
+          | Some (_, bq) when bq <= q -> ()
+          | _ -> best := Some (sc, q))
+        kappas);
   let sc =
     match !best with
     | Some (sc, _) -> sc

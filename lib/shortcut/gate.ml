@@ -77,7 +77,13 @@ let tree_path parent depth a b =
   (* path: a .. lca .. b *)
   List.rev !left @ [ !xa ] @ !right
 
+let c_gates_built = Obs.Metrics.counter "gate.gates_built"
+
 let build g ~coords ~cells =
+  Obs.Span.with_
+    ~attrs:[ ("cells", Obs.Sink.Int (Part.count cells)) ]
+    "gate.build"
+  @@ fun () ->
   let nc = Part.count cells in
   let cell_of = cells.Part.part_of in
   let trees = Array.map (fun c -> cell_tree g c) cells.Part.parts in
@@ -224,6 +230,7 @@ let build g ~coords ~cells =
                 Array.exists (fun (u, _) -> not (Hashtbl.mem gate_set u)) (Graph.adj g v))
               gate_vs)
       in
+      Obs.Metrics.incr c_gates_built;
       { cell_pair = (ci, cj); fence; gate = gate_vs; cycle = cyc })
     raw_gates
 

@@ -2,7 +2,13 @@ module Spanning = Graphlib.Spanning
 
 type policy = Drop_all | Keep_kappa
 
+let c_kappas_tried = Obs.Metrics.counter "generic.kappas_tried"
+let c_prunes = Obs.Metrics.counter "generic.prunes"
+
 let prune policy steiner parts kappa =
+  Obs.Metrics.incr c_prunes;
+  Obs.Span.with_ ~attrs:[ ("kappa", Obs.Sink.Int kappa) ] "generic.prune"
+  @@ fun () ->
   let open Steiner in
   match policy with
   | Drop_all ->
@@ -46,6 +52,7 @@ let prune policy steiner parts kappa =
         steiner.edges
 
 let with_threshold ?(policy = Keep_kappa) tree parts ~kappa =
+  Obs.Span.with_ "generic.construct" @@ fun () ->
   let steiner = Steiner.compute tree parts in
   Shortcut.make tree parts (prune policy steiner parts kappa)
 
@@ -59,11 +66,13 @@ let default_kappas max_load =
    version-stamped array union-find. Only the winning kappa pays for
    Shortcut.make. *)
 let construct_with_stats ?(policy = Keep_kappa) ?kappas tree parts =
+  Obs.Span.with_ "generic.construct" @@ fun () ->
   let g = tree.Spanning.graph in
   let n = Graphlib.Graph.n g in
   let steiner = Steiner.compute tree parts in
   let max_load = Steiner.max_load steiner in
   let kappas = match kappas with Some ks -> ks | None -> default_kappas max_load in
+  Obs.Metrics.add c_kappas_tried (List.length kappas);
   let height = Spanning.height tree in
   let load e = Option.value (Hashtbl.find_opt steiner.Steiner.load e) ~default:0 in
   (* Keep_kappa: part i survives on a shared edge iff it ranks among the
@@ -138,24 +147,27 @@ let construct_with_stats ?(policy = Keep_kappa) ?kappas tree parts =
   in
   let best = ref None in
   let curve = ref [] in
-  List.iter
-    (fun kappa ->
-      let b = ref 0 in
-      for i = 0 to Part.count parts - 1 do
-        b := max !b (blocks_at kappa i)
-      done;
-      let q = (!b * height) + congestion_at kappa in
-      curve := (kappa, q) :: !curve;
-      match !best with
-      | Some (_, bq) when bq <= q -> ()
-      | _ -> best := Some (kappa, q))
-    kappas;
+  Obs.Span.with_ "generic.sweep" (fun () ->
+      List.iter
+        (fun kappa ->
+          let b = ref 0 in
+          for i = 0 to Part.count parts - 1 do
+            b := max !b (blocks_at kappa i)
+          done;
+          let q = (!b * height) + congestion_at kappa in
+          curve := (kappa, q) :: !curve;
+          match !best with
+          | Some (_, bq) when bq <= q -> ()
+          | _ -> best := Some (kappa, q))
+        kappas);
   match !best with
   | Some (kappa, _) ->
       let assigned =
-        Array.mapi
-          (fun i es -> List.filter (kept kappa i) es)
-          steiner.Steiner.edges
+        Obs.Span.with_ ~attrs:[ ("kappa", Obs.Sink.Int kappa) ] "generic.prune"
+          (fun () ->
+            Array.mapi
+              (fun i es -> List.filter (kept kappa i) es)
+              steiner.Steiner.edges)
       in
       (Shortcut.make tree parts assigned, List.rev !curve)
   | None -> (Shortcut.empty tree parts, [])
@@ -171,6 +183,7 @@ type frontier_point = {
 }
 
 let frontier ?(policy = Keep_kappa) ?kappas tree parts =
+  Obs.Span.with_ "generic.frontier" @@ fun () ->
   let steiner = Steiner.compute tree parts in
   let kappas =
     match kappas with Some ks -> ks | None -> default_kappas (max 1 (Steiner.max_load steiner))

@@ -65,7 +65,19 @@ let max_part_diameter g t =
     t.parts;
   !best
 
+let c_partitions = Obs.Metrics.counter "part.partitions_built"
+
+let partition_span ~kind ~count body =
+  Obs.Span.with_
+    ~attrs:
+      [ ("kind", Obs.Sink.String kind); ("count", Obs.Sink.Int count) ]
+    "part.partition"
+    (fun () ->
+      Obs.Metrics.incr c_partitions;
+      body ())
+
 let voronoi ~seed g ~count =
+  partition_span ~kind:"voronoi" ~count @@ fun () ->
   let n = Graph.n g in
   let st = Random.State.make [| seed |] in
   let count = min count n in
@@ -83,10 +95,12 @@ let voronoi ~seed g ~count =
   build n (Array.to_list buckets |> List.filter (fun l -> l <> []))
 
 let grid_rows w h =
+  partition_span ~kind:"grid_rows" ~count:h @@ fun () ->
   let rows = List.init h (fun y -> List.init w (fun x -> (y * w) + x)) in
   build (w * h) rows
 
 let boruvka_fragments g w ~level =
+  partition_span ~kind:"boruvka_fragments" ~count:level @@ fun () ->
   let n = Graph.n g in
   let uf = Union_find.create n in
   for _ = 1 to level do

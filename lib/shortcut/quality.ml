@@ -15,6 +15,10 @@ type row = {
 }
 
 let measure ~label ?observed_congestion sc =
+  Obs.Span.with_
+    ~attrs:[ ("label", Obs.Sink.String label) ]
+    "quality.measure"
+  @@ fun () ->
   let tree = sc.Shortcut.tree in
   let g = tree.Spanning.graph in
   let b = Shortcut.block_parameter sc in
@@ -48,10 +52,10 @@ let print_table rows =
 
 let ratio r bound = float_of_int r.q /. bound
 
-let fit_exponent points =
+let fit_exponent_opt points =
   let usable = List.filter (fun (x, y) -> x > 0.0 && y > 0.0) points in
   let k = List.length usable in
-  if k < 2 then nan
+  if k < 2 then None
   else begin
     let logs = List.map (fun (x, y) -> (log x, log y)) usable in
     let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 logs in
@@ -59,5 +63,8 @@ let fit_exponent points =
     let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 logs in
     let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 logs in
     let kf = float_of_int k in
-    ((kf *. sxy) -. (sx *. sy)) /. ((kf *. sxx) -. (sx *. sx))
+    Some (((kf *. sxy) -. (sx *. sy)) /. ((kf *. sxx) -. (sx *. sx)))
   end
+
+let fit_exponent points =
+  match fit_exponent_opt points with Some e -> e | None -> nan

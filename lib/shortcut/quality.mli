@@ -27,7 +27,13 @@ val ratio : row -> float -> float
 (** [ratio row bound] is [q / bound]: constant across a sweep iff the bound's
     shape is right. *)
 
-val fit_exponent : (float * float) list -> float
+val fit_exponent_opt : (float * float) list -> float option
 (** Least-squares slope of log y against log x: the measured growth exponent
     of a sweep (e.g. q against n). Points with non-positive coordinates are
-    ignored; returns [nan] with fewer than two usable points. *)
+    ignored; [None] with fewer than two usable points — callers should print
+    an explicit "insufficient points" marker (and JSON [null]) rather than a
+    [nan]. *)
+
+val fit_exponent : (float * float) list -> float
+(** {!fit_exponent_opt} collapsed to [nan] on insufficient data. Prefer the
+    [_opt] form anywhere the result is printed or serialized. *)

@@ -6,6 +6,9 @@ type t = {
   load : (int, int) Hashtbl.t;
 }
 
+let c_computes = Obs.Metrics.counter "steiner.computes"
+let c_loaded_edges = Obs.Metrics.counter "steiner.loaded_edges"
+
 let compute_sets tree nparts membership totals =
   (* membership: vertex -> part ids containing it (usually 0 or 1) *)
   let g = tree.Spanning.graph in
@@ -60,27 +63,37 @@ let compute_sets tree nparts membership totals =
   done;
   { edges; load }
 
+let traced ~nparts body =
+  Obs.Span.with_ ~attrs:[ ("nparts", Obs.Sink.Int nparts) ] "steiner.compute"
+    (fun () ->
+      let s = body () in
+      Obs.Metrics.incr c_computes;
+      Obs.Metrics.add c_loaded_edges (Hashtbl.length s.load);
+      s)
+
 let compute tree parts =
-  let n = Graph.n tree.Spanning.graph in
-  let membership = Array.make n [] in
-  Array.iteri
-    (fun i p -> Array.iter (fun v -> membership.(v) <- i :: membership.(v)) p)
-    parts.Part.parts;
-  let totals = Array.map Array.length parts.Part.parts in
-  compute_sets tree (Part.count parts) membership totals
+  traced ~nparts:(Part.count parts) (fun () ->
+      let n = Graph.n tree.Spanning.graph in
+      let membership = Array.make n [] in
+      Array.iteri
+        (fun i p -> Array.iter (fun v -> membership.(v) <- i :: membership.(v)) p)
+        parts.Part.parts;
+      let totals = Array.map Array.length parts.Part.parts in
+      compute_sets tree (Part.count parts) membership totals)
 
 let compute_restricted tree parts ~members =
-  let n = Graph.n tree.Spanning.graph in
   let nparts = Part.count parts in
   if Array.length members <> nparts then
     invalid_arg "Steiner.compute_restricted: size mismatch";
-  let membership = Array.make n [] in
-  let totals = Array.make nparts 0 in
-  Array.iteri
-    (fun i vs ->
-      totals.(i) <- List.length vs;
-      List.iter (fun v -> membership.(v) <- i :: membership.(v)) vs)
-    members;
-  compute_sets tree nparts membership totals
+  traced ~nparts (fun () ->
+      let n = Graph.n tree.Spanning.graph in
+      let membership = Array.make n [] in
+      let totals = Array.make nparts 0 in
+      Array.iteri
+        (fun i vs ->
+          totals.(i) <- List.length vs;
+          List.iter (fun v -> membership.(v) <- i :: membership.(v)) vs)
+        members;
+      compute_sets tree nparts membership totals)
 
 let max_load t = Hashtbl.fold (fun _ c acc -> max c acc) t.load 0

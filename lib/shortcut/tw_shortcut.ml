@@ -1,4 +1,5 @@
 let construct ?decomposition ?kappas g tree parts =
+  Obs.Span.with_ "tw_shortcut.construct" @@ fun () ->
   let td =
     match decomposition with
     | Some td -> td

@@ -36,6 +36,11 @@ let random_clique st g size =
 
 let compose ~seed ~k ?(drop_prob = 0.0) ~shape pieces =
   if pieces = [] then invalid_arg "Clique_sum.compose: no pieces";
+  Obs.Span.with_
+    ~attrs:
+      [ ("pieces", Obs.Sink.Int (List.length pieces)); ("k", Obs.Sink.Int k) ]
+    "clique_sum.compose"
+  @@ fun () ->
   let st = Random.State.make [| seed |] in
   let nb = List.length pieces in
   let pieces = Array.of_list pieces in
@@ -100,6 +105,8 @@ let compose ~seed ~k ?(drop_prob = 0.0) ~shape pieces =
 let of_tree_decomposition g td =
   let open Tree_decomposition in
   let nb = nbags td in
+  Obs.Span.with_ ~attrs:[ ("bags", Obs.Sink.Int nb) ] "clique_sum.of_td"
+  @@ fun () ->
   let separators =
     Array.init nb (fun i ->
         let p = td.parent.(i) in

@@ -31,6 +31,7 @@ let trivial ~parent =
 
 let fold ~parent =
   let n = Array.length parent in
+  Obs.Span.with_ ~attrs:[ ("n", Obs.Sink.Int n) ] "fold.fold" @@ fun () ->
   if n = 0 then { groups = [||]; fparent = [||]; group_of = [||] }
   else begin
     let root = ref (-1) in

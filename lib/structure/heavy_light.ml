@@ -7,6 +7,8 @@ type t = {
 }
 
 let create ~parent ~root ~n =
+  Obs.Span.with_ ~attrs:[ ("n", Obs.Sink.Int n) ] "heavy_light.create"
+  @@ fun () ->
   (* children lists and subtree sizes *)
   let kids = Array.make n [] in
   Array.iteri (fun v p -> if p >= 0 then kids.(p) <- v :: kids.(p)) parent;

@@ -262,6 +262,7 @@ let planar_biconnected g =
 
 let is_planar g =
   let n = Graph.n g and m = Graph.m g in
+  Obs.Span.with_ ~attrs:[ ("n", Obs.Sink.Int n) ] "planarity.check" @@ fun () ->
   if n <= 4 then true
   else if m > (3 * n) - 6 then false
   else

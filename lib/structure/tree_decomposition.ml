@@ -18,6 +18,8 @@ let bags_of_vertex t ~n =
 let check g t =
   let n = Graph.n g in
   let nb = Array.length t.bags in
+  Obs.Span.with_ ~attrs:[ ("bags", Obs.Sink.Int nb) ] "tree_decomposition.check"
+  @@ fun () ->
   let fail msg = Error msg in
   if Array.length t.parent <> nb then fail "parent array size mismatch"
   else begin
@@ -67,6 +69,8 @@ let check g t =
 let of_elimination_order g order =
   let n = Graph.n g in
   if Array.length order <> n then invalid_arg "of_elimination_order: bad order";
+  Obs.Span.with_ ~attrs:[ ("n", Obs.Sink.Int n) ] "tree_decomposition.build"
+  @@ fun () ->
   let pos = Array.make n 0 in
   Array.iteri (fun i v -> pos.(v) <- i) order;
   (* simulate elimination with fill-in, via adjacency sets *)

@@ -59,6 +59,16 @@ let fill_count adj alive v =
 let min_fill_order g = eliminate_with fill_count g
 
 let decompose ?(heuristic = `Min_degree) g =
+  Obs.Span.with_
+    ~attrs:
+      [
+        ( "heuristic",
+          Obs.Sink.String
+            (match heuristic with `Min_degree -> "min_degree" | `Min_fill -> "min_fill")
+        );
+      ]
+    "treewidth.decompose"
+  @@ fun () ->
   let order =
     match heuristic with `Min_degree -> min_degree_order g | `Min_fill -> min_fill_order g
   in

@@ -1,0 +1,91 @@
+(* Validate a JSONL observability stream (bench --jsonl / shortcuts-cli
+   --trace output): every line must parse as a JSON object with a "type"
+   field, the required event types must be present, and span events must
+   cover a minimum number of distinct construction phases.
+
+     jsonl_check out.jsonl
+     jsonl_check --require span,metrics,quality,trace_summary --min-spans 4 out.jsonl
+
+   Exit status 0 iff all checks hold; wired into `make bench-smoke`. *)
+
+let default_required = [ "span"; "metrics"; "quality"; "trace_summary" ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse required min_spans file = function
+    | "--require" :: v :: rest ->
+        parse (String.split_on_char ',' v) min_spans file rest
+    | "--min-spans" :: v :: rest -> parse required (int_of_string v) file rest
+    | f :: rest -> parse required min_spans (Some f) rest
+    | [] -> (required, min_spans, file)
+  in
+  let required, min_spans, file = parse default_required 4 None args in
+  let file =
+    match file with
+    | Some f -> f
+    | None ->
+        prerr_endline
+          "usage: jsonl_check [--require t1,t2] [--min-spans N] FILE";
+        exit 2
+  in
+  let ic = open_in file in
+  let seen_types = Hashtbl.create 8 in
+  let span_names = Hashtbl.create 16 in
+  let lineno = ref 0 in
+  let errors = ref 0 in
+  let err fmt =
+    Printf.ksprintf
+      (fun msg ->
+        incr errors;
+        Printf.eprintf "%s:%d: %s\n" file !lineno msg)
+      fmt
+  in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then
+         match Obs.Sink.parse line with
+         | Error e -> err "parse error: %s" e
+         | Ok j -> (
+             match
+               Option.bind (Obs.Sink.member "type" j) Obs.Sink.string_value
+             with
+             | None -> err "event without a \"type\" field"
+             | Some t ->
+                 Hashtbl.replace seen_types t ();
+                 if t = "span" then (
+                   match
+                     Option.bind (Obs.Sink.member "name" j)
+                       Obs.Sink.string_value
+                   with
+                   | Some name -> Hashtbl.replace span_names name ()
+                   | None -> err "span event without a \"name\" field"))
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.iter
+    (fun t ->
+      if not (Hashtbl.mem seen_types t) then begin
+        incr errors;
+        Printf.eprintf "%s: no \"%s\" events\n" file t
+      end)
+    required;
+  let distinct_spans = Hashtbl.length span_names in
+  if distinct_spans < min_spans then begin
+    incr errors;
+    Printf.eprintf "%s: only %d distinct span names (need >= %d): %s\n" file
+      distinct_spans min_spans
+      (Hashtbl.fold (fun k () acc -> k :: acc) span_names []
+      |> List.sort compare |> String.concat ", ")
+  end;
+  if !errors = 0 then begin
+    Printf.printf
+      "%s: OK — %d lines, %d event types, %d distinct span phases\n" file
+      !lineno (Hashtbl.length seen_types) distinct_spans;
+    exit 0
+  end
+  else begin
+    Printf.eprintf "%s: %d problem(s)\n" file !errors;
+    exit 1
+  end
