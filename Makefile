@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check bench bench-smoke clean
+.PHONY: all build test fmt check bench bench-smoke bench-par-check clean
 
 all: build
 
@@ -20,6 +20,7 @@ check:
 	dune build
 	dune runtest
 	$(MAKE) bench-smoke
+	$(MAKE) bench-par-check
 
 bench:
 	dune exec bench/main.exe
@@ -31,6 +32,20 @@ bench-smoke:
 	dune build bench/main.exe tools/jsonl_check.exe
 	./_build/default/bench/main.exe --only E1 --no-timing --jsonl /tmp/e1.jsonl
 	./_build/default/tools/jsonl_check.exe /tmp/e1.jsonl
+
+# determinism gate for the domain pool: the same experiment must print
+# byte-identical output at --jobs 1 and --jobs 2 (span timing tables are
+# suppressed — they are the one legitimately nondeterministic block — and
+# both runs write the same --jsonl path so the footer matches), and the
+# JSONL stream produced under worker domains must still validate
+bench-par-check:
+	dune build bench/main.exe tools/jsonl_check.exe
+	./_build/default/bench/main.exe --only E1 --no-timing --no-breakdown \
+	  --jsonl /tmp/e1-par.jsonl --jobs 1 > /tmp/e1-par-j1.out
+	./_build/default/bench/main.exe --only E1 --no-timing --no-breakdown \
+	  --jsonl /tmp/e1-par.jsonl --jobs 2 > /tmp/e1-par-j2.out
+	diff /tmp/e1-par-j1.out /tmp/e1-par-j2.out
+	./_build/default/tools/jsonl_check.exe /tmp/e1-par.jsonl
 
 clean:
 	dune clean

@@ -11,6 +11,11 @@
                                                       trace summaries as JSONL events
      dune exec bench/main.exe -- --full-trace   -- include per-round series in
                                                    trace events (needs --jsonl)
+     dune exec bench/main.exe -- --jobs 4       -- run sweep cells on 4 domains
+                                                   (output identical to --jobs 1)
+     dune exec bench/main.exe -- --no-breakdown -- skip the per-experiment span
+                                                   timing tables (the only
+                                                   nondeterministic stdout)
 *)
 
 module G = Core.Graph
@@ -96,15 +101,29 @@ let log2 x = log (float_of_int (max 2 x)) /. log 2.0
 (* measured aggregation rounds for a shortcut, the empirical q *)
 let agg_rounds ?trace sc = Core.Aggregate.rounds_for_parts ?trace sc ~seed:11
 
-(* run one traced aggregation over [sc]: record + print the congestion
-   profile and return the busiest edge's load for the obs_c column *)
-let observed_congestion ~label g sc =
+(* --jobs N: each experiment below declares its parameter sweep as a list of
+   independent cells and maps it through a domain pool.  Cells carry their
+   own seeds and return data — rows, traces, preformatted lines; printing
+   and --json/--jsonl recording happen back on this domain, in canonical
+   cell order, so stdout and record order are byte-identical whatever the
+   job count (the determinism contract in DESIGN.md section 9). *)
+let pool : Exec.Pool.t option ref = ref None
+
+let sweep cells f =
+  match !pool with Some p -> Exec.Pool.map_list p ~f cells | None -> List.map f cells
+
+(* worker half of a congestion observation: run one traced aggregation over
+   [sc]; pure data out, safe inside a sweep cell *)
+let traced_congestion g sc =
   let tr = Core.Trace.create g in
   ignore (agg_rounds ~trace:tr sc);
+  tr
+
+(* main-domain half: record the trace and print the congestion profile *)
+let report_congestion ~label tr =
   record_trace ~label tr;
   Printf.printf "trace %-28s %s\n" label
-    (Core.Trace.summary_to_string (Core.Trace.summary tr));
-  Core.Trace.max_edge_load tr
+    (Core.Trace.summary_to_string (Core.Trace.summary tr))
 
 (* ------------------------------------------------------------------ *)
 (* E1: Theorem 4 [GH16] — planar graphs, b = O(log d), c = O(d log d)  *)
@@ -113,36 +132,43 @@ let observed_congestion ~label g sc =
 let e1 () =
   section "E1 (Theorem 4): planar graphs admit quality O(d log d) shortcuts";
   Printf.printf "prediction: q / (d log2 d) stays bounded as n grows\n";
-  let rows = ref [] in
-  List.iter
-    (fun side ->
-      let gp = Gen.grid side side in
-      let g = gp.Gen.graph in
-      let tree = Sp.bfs_tree g 0 in
-      List.iter
-        (fun (wname, parts) ->
-          let sc = Core.Generic.construct tree parts in
-          let label = Printf.sprintf "grid %dx%d %s" side side wname in
-          (* per-edge telemetry on the small instances: obs_c is the busiest
-             edge of an actual traced aggregation, to hold against c *)
-          let obs =
-            if side <= 24 then Some (observed_congestion ~label g sc) else None
-          in
-          rows := Q.measure ~label ?observed_congestion:obs sc :: !rows)
-        [
-          ("rows", P.grid_rows side side);
-          ("voronoi", P.voronoi ~seed:side g ~count:(max 2 (side * side / 48)));
-        ])
-    [ 16; 24; 32; 48; 64 ];
-  List.iter
-    (fun n ->
-      let gp = Gen.apollonian ~seed:n n in
-      let tree = Sp.bfs_tree gp.Gen.graph 0 in
-      let parts = P.voronoi ~seed:3 gp.Gen.graph ~count:(max 2 (n / 40)) in
-      let sc = Core.Generic.construct tree parts in
-      rows := Q.measure ~label:(Printf.sprintf "apollonian n=%d voronoi" n) sc :: !rows)
-    [ 500; 1000; 2000; 4000 ];
-  let rows = List.rev !rows in
+  let grid_cells =
+    sweep [ 16; 24; 32; 48; 64 ] (fun side ->
+        let gp = Gen.grid side side in
+        let g = gp.Gen.graph in
+        let tree = Sp.bfs_tree g 0 in
+        List.map
+          (fun (wname, parts) ->
+            let sc = Core.Generic.construct tree parts in
+            let label = Printf.sprintf "grid %dx%d %s" side side wname in
+            (* per-edge telemetry on the small instances: obs_c is the busiest
+               edge of an actual traced aggregation, to hold against c *)
+            let trace =
+              if side <= 24 then Some (traced_congestion g sc) else None
+            in
+            let obs = Option.map Core.Trace.max_edge_load trace in
+            (label, trace, Q.measure ~label ?observed_congestion:obs sc))
+          [
+            ("rows", P.grid_rows side side);
+            ("voronoi", P.voronoi ~seed:side g ~count:(max 2 (side * side / 48)));
+          ])
+  in
+  let apollonian_rows =
+    sweep [ 500; 1000; 2000; 4000 ] (fun n ->
+        let gp = Gen.apollonian ~seed:n n in
+        let tree = Sp.bfs_tree gp.Gen.graph 0 in
+        let parts = P.voronoi ~seed:3 gp.Gen.graph ~count:(max 2 (n / 40)) in
+        let sc = Core.Generic.construct tree parts in
+        Q.measure ~label:(Printf.sprintf "apollonian n=%d voronoi" n) sc)
+  in
+  let grid_rows =
+    List.concat_map
+      (List.map (fun (label, trace, row) ->
+           Option.iter (report_congestion ~label) trace;
+           row))
+      grid_cells
+  in
+  let rows = grid_rows @ apollonian_rows in
   print_rows rows;
   Printf.printf "%-34s %10s\n" "workload" "q/(d lg d)";
   List.iter
@@ -158,24 +184,30 @@ let e1 () =
 let e2 () =
   section "E2 (Theorem 5): treewidth-k graphs, b = O(k), c = O(k log n)";
   Printf.printf "prediction: b flat in n (depends only on k); c/(k log2 n) bounded\n";
-  let rows = ref [] in
-  List.iter
-    (fun k ->
-      List.iter
-        (fun n ->
-          let g, elim = Gen.k_tree ~seed:(n + k) ~k n in
-          let td = Core.Tree_decomposition.of_elimination_order g elim in
-          let tree = Sp.bfs_tree g 0 in
-          let parts = P.voronoi ~seed:k g ~count:(max 2 (n / 64)) in
-          let sc = Core.Tw_shortcut.construct ~decomposition:td g tree parts in
-          let label = Printf.sprintf "k-tree k=%d n=%d" k n in
-          let obs =
-            if n = 512 then Some (observed_congestion ~label g sc) else None
-          in
-          rows := (k, Q.measure ~label ?observed_congestion:obs sc) :: !rows)
-        [ 512; 1024; 2048 ])
-    [ 2; 3; 5 ];
-  let rows = List.rev !rows in
+  let cells =
+    List.concat_map
+      (fun k -> List.map (fun n -> (k, n)) [ 512; 1024; 2048 ])
+      [ 2; 3; 5 ]
+  in
+  let results =
+    sweep cells (fun (k, n) ->
+        let g, elim = Gen.k_tree ~seed:(n + k) ~k n in
+        let td = Core.Tree_decomposition.of_elimination_order g elim in
+        let tree = Sp.bfs_tree g 0 in
+        let parts = P.voronoi ~seed:k g ~count:(max 2 (n / 64)) in
+        let sc = Core.Tw_shortcut.construct ~decomposition:td g tree parts in
+        let label = Printf.sprintf "k-tree k=%d n=%d" k n in
+        let trace = if n = 512 then Some (traced_congestion g sc) else None in
+        let obs = Option.map Core.Trace.max_edge_load trace in
+        (k, label, trace, Q.measure ~label ?observed_congestion:obs sc))
+  in
+  let rows =
+    List.map
+      (fun (k, label, trace, row) ->
+        Option.iter (report_congestion ~label) trace;
+        (k, row))
+      results
+  in
   print_rows (List.map snd rows);
   Printf.printf "%-34s %6s %12s\n" "workload" "b/k" "c/(k lg n)";
   List.iter
@@ -201,8 +233,7 @@ let e3 () =
   List.iter
     (fun (sname, shape) ->
       subsection (Printf.sprintf "decomposition shape: %s" sname);
-      List.iter
-        (fun nbags ->
+      sweep [ 10; 20; 40 ] (fun nbags ->
           let cs = make_cs shape nbags in
           let g = cs.Core.Clique_sum.graph in
           let tree = Sp.bfs_tree g 0 in
@@ -214,15 +245,14 @@ let e3 () =
             Core.Cs_shortcut.construct_with_stats ~use_fold:false cs tree parts
           in
           let generic = Core.Generic.construct tree parts in
-          print_rows
-            [
-              Q.measure
-                ~label:(Printf.sprintf "%d bags, folded (dDT %d->%d)" nbags draw dfold)
-                folded;
-              Q.measure ~label:(Printf.sprintf "%d bags, unfolded" nbags) raw;
-              Q.measure ~label:(Printf.sprintf "%d bags, uniform constr." nbags) generic;
-            ])
-        [ 10; 20; 40 ])
+          [
+            Q.measure
+              ~label:(Printf.sprintf "%d bags, folded (dDT %d->%d)" nbags draw dfold)
+              folded;
+            Q.measure ~label:(Printf.sprintf "%d bags, unfolded" nbags) raw;
+            Q.measure ~label:(Printf.sprintf "%d bags, uniform constr." nbags) generic;
+          ])
+      |> List.iter print_rows)
     [ ("path", Core.Clique_sum.Path); ("random tree", Core.Clique_sum.Random_tree) ]
 
 (* ------------------------------------------------------------------ *)
@@ -233,8 +263,7 @@ let e4 () =
   section "E4 (Theorem 8/9, Lemmas 9-10): almost-embeddable graphs, b,c = O(d)";
   Printf.printf "prediction: quality ~ d for fixed (q,g,k,l); apex collapse handled\n";
   subsection "apex diameter collapse (cycle + apex, Lemma 9's hard case)";
-  List.iter
-    (fun n ->
+  sweep [ 129; 257; 513; 1025 ] (fun n ->
       let g = Gen.cycle_with_apex n in
       let tree = Sp.bfs_tree g (n - 1) in
       let half = (n - 1) / 2 in
@@ -245,41 +274,42 @@ let e4 () =
       let apex = Core.Apex_shortcut.construct ~apices:[| n - 1 |] tree parts in
       let generic = Core.Generic.construct tree parts in
       let flood = Sc.empty tree parts in
-      Printf.printf
+      Printf.sprintf
         "wheel n=%4d (D=2): apex-construction q=%3d (agg %3d rds) | uniform q=%3d | \
-         flooding agg %4d rds\n"
+         flooding agg %4d rds"
         n (Sc.quality apex) (agg_rounds apex) (Sc.quality generic) (agg_rounds flood))
-    [ 129; 257; 513; 1025 ];
+  |> List.iter print_endline;
   subsection "(q,g,k,l)-almost-embeddable sweep";
-  let rows = ref [] in
-  List.iter
-    (fun (handles, vortices, apices, width, height) ->
-      let ae =
-        Core.Almost_embeddable.make ~seed:(width + handles) ~width ~height ~handles
-          ~vortices ~vortex_depth:2 ~vortex_nodes:5 ~apices ~apex_fanout:8
-      in
-      let g = ae.Core.Almost_embeddable.graph in
-      let tree = Sp.bfs_tree g 0 in
-      let parts = P.voronoi ~seed:7 g ~count:(max 4 (G.n g / 60)) in
-      let sc =
-        Core.Apex_shortcut.construct ~apices:ae.Core.Almost_embeddable.apices tree parts
-      in
-      let label =
-        Printf.sprintf "AE(q=%d,g=%d,k=2,l=%d) %dx%d" apices handles vortices width
-          height
-      in
-      rows := Q.measure ~label sc :: !rows)
-    [
-      (0, 0, 1, 20, 10);
-      (1, 1, 1, 30, 12);
-      (2, 2, 2, 40, 14);
-      (2, 2, 2, 60, 20);
-      (3, 3, 3, 80, 24);
-    ];
-  print_rows (List.rev !rows);
+  let rows =
+    sweep
+      [
+        (0, 0, 1, 20, 10);
+        (1, 1, 1, 30, 12);
+        (2, 2, 2, 40, 14);
+        (2, 2, 2, 60, 20);
+        (3, 3, 3, 80, 24);
+      ]
+      (fun (handles, vortices, apices, width, height) ->
+        let ae =
+          Core.Almost_embeddable.make ~seed:(width + handles) ~width ~height ~handles
+            ~vortices ~vortex_depth:2 ~vortex_nodes:5 ~apices ~apex_fanout:8
+        in
+        let g = ae.Core.Almost_embeddable.graph in
+        let tree = Sp.bfs_tree g 0 in
+        let parts = P.voronoi ~seed:7 g ~count:(max 4 (G.n g / 60)) in
+        let sc =
+          Core.Apex_shortcut.construct ~apices:ae.Core.Almost_embeddable.apices tree
+            parts
+        in
+        let label =
+          Printf.sprintf "AE(q=%d,g=%d,k=2,l=%d) %dx%d" apices handles vortices width
+            height
+        in
+        Q.measure ~label sc)
+  in
+  print_rows rows;
   subsection "Theorem 9 pipeline: genus+vortex treewidth bound (Lemma 2/3)";
-  List.iter
-    (fun (w, h, holes) ->
+  sweep [ (20, 14, 1); (30, 14, 2); (40, 16, 3) ] (fun (w, h, holes) ->
       let base, rings =
         Core.Almost_embeddable.grid_with_holes w h ~holes ~hole_size:5
       in
@@ -297,14 +327,14 @@ let e4 () =
       let tree = Sp.bfs_tree g 0 in
       let parts = P.voronoi ~seed:3 g ~count:(max 4 (G.n g / 60)) in
       let sc = Core.Tw_shortcut.construct ~decomposition:td g tree parts in
-      Printf.printf
+      Printf.sprintf
         "grid %dx%d, %d vortices: width=%d (Lemma 3 bound %d, valid=%b) | \
-         Thm 9 shortcut b=%d c=%d q=%d\n"
+         Thm 9 shortcut b=%d c=%d q=%d"
         w h holes
         (Core.Tree_decomposition.width td)
         (Core.Genus_vortex.width_bound ~g:0 ~k:2 ~l:holes ~d)
         valid (Sc.block_parameter sc) (Sc.congestion sc) (Sc.quality sc))
-    [ (20, 14, 1); (30, 14, 2); (40, 16, 3) ]
+  |> List.iter print_endline
 
 (* ------------------------------------------------------------------ *)
 (* E5: Theorem 6 (Main) — excluded-minor families, q(d) = O~(d^2)      *)
@@ -315,35 +345,45 @@ let e5 () =
   Printf.printf
     "prediction: q / d^2 bounded (in practice q ~ d: the paper's introduction\n\
      expects the O~(D) behaviour on most instances)\n";
-  let rows = ref [] in
-  List.iter
-    (fun pieces_count ->
-      let pieces =
-        List.init pieces_count (fun i ->
-            (Core.Almost_embeddable.make ~seed:(i * 31) ~width:24 ~height:10 ~handles:1
-               ~vortices:1 ~vortex_depth:2 ~vortex_nodes:4 ~apices:1 ~apex_fanout:5)
-              .Core.Almost_embeddable.graph)
-      in
-      let cs =
-        Core.Clique_sum.compose ~seed:pieces_count ~k:3
-          ~shape:Core.Clique_sum.Random_tree pieces
-      in
-      (match Core.Clique_sum.check cs with
-      | Ok () -> ()
-      | Error e -> Printf.printf "WARNING: decomposition invalid: %s\n" e);
-      let g = cs.Core.Clique_sum.graph in
-      let tree = Sp.bfs_tree g 0 in
-      let parts = P.voronoi ~seed:2 g ~count:(max 4 (G.n g / 80)) in
-      let certified = Core.Cs_shortcut.construct cs tree parts in
-      let generic = Core.Generic.construct tree parts in
-      rows :=
-        Q.measure ~label:(Printf.sprintf "L_3 %d pieces, uniform" pieces_count) generic
-        :: Q.measure
-             ~label:(Printf.sprintf "L_3 %d pieces, certified" pieces_count)
-             certified
-        :: !rows)
-    [ 4; 8; 16 ];
-  let rows = List.rev !rows in
+  let results =
+    sweep [ 4; 8; 16 ] (fun pieces_count ->
+        let pieces =
+          List.init pieces_count (fun i ->
+              (Core.Almost_embeddable.make ~seed:(i * 31) ~width:24 ~height:10
+                 ~handles:1 ~vortices:1 ~vortex_depth:2 ~vortex_nodes:4 ~apices:1
+                 ~apex_fanout:5)
+                .Core.Almost_embeddable.graph)
+        in
+        let cs =
+          Core.Clique_sum.compose ~seed:pieces_count ~k:3
+            ~shape:Core.Clique_sum.Random_tree pieces
+        in
+        let warning =
+          match Core.Clique_sum.check cs with
+          | Ok () -> None
+          | Error e -> Some (Printf.sprintf "WARNING: decomposition invalid: %s" e)
+        in
+        let g = cs.Core.Clique_sum.graph in
+        let tree = Sp.bfs_tree g 0 in
+        let parts = P.voronoi ~seed:2 g ~count:(max 4 (G.n g / 80)) in
+        let certified = Core.Cs_shortcut.construct cs tree parts in
+        let generic = Core.Generic.construct tree parts in
+        ( warning,
+          [
+            Q.measure
+              ~label:(Printf.sprintf "L_3 %d pieces, certified" pieces_count)
+              certified;
+            Q.measure ~label:(Printf.sprintf "L_3 %d pieces, uniform" pieces_count)
+              generic;
+          ] ))
+  in
+  let rows =
+    List.concat_map
+      (fun (warning, rs) ->
+        Option.iter print_endline warning;
+        rs)
+      results
+  in
   print_rows rows;
   Printf.printf "%-34s %8s %8s\n" "workload" "q/d" "q/d^2";
   List.iter
@@ -364,7 +404,10 @@ let e6 () =
      flooding (which pays fragment diameter) and pipelining (which pays sqrt n)\n";
   Printf.printf "%-28s %6s %5s | %9s %9s %9s\n" "network" "n" "D" "shortcut" "flooding"
     "pipelined";
+  (* each cell returns its full output block as a string (warnings first),
+     so worker domains never print *)
   let run name g w =
+    let b = Buffer.create 128 in
     let r1 = Core.Mst.boruvka ~constructor:Core.Mst.shortcut_constructor g w in
     let r2 = Core.Mst.boruvka ~constructor:Core.Mst.no_shortcut_constructor g w in
     let r3 = Core.Mst.pipelined g w in
@@ -372,90 +415,107 @@ let e6 () =
       (fun (r : Core.Mst.report) ->
         match Core.Mst.check g w r with
         | Ok () -> ()
-        | Error e -> Printf.printf "  WARNING %s: %s\n" name e)
+        | Error e -> Printf.bprintf b "  WARNING %s: %s\n" name e)
       [ r1; r2; r3 ];
-    Printf.printf "%-28s %6d %5d | %9d %9d %9d\n" name (G.n g)
+    Printf.bprintf b "%-28s %6d %5d | %9d %9d %9d" name (G.n g)
       (Core.Distance.diameter_double_sweep g)
-      r1.Core.Mst.rounds r2.Core.Mst.rounds r3.Core.Mst.rounds
+      r1.Core.Mst.rounds r2.Core.Mst.rounds r3.Core.Mst.rounds;
+    Buffer.contents b
   in
-  (* wheels with heavy spokes: fragments are long rim arcs *)
-  List.iter
-    (fun n ->
-      let g = Gen.cycle_with_apex n in
-      let st = Random.State.make [| n |] in
-      let w =
-        Array.init (G.m g) (fun e ->
-            let u, v = G.edge g e in
-            if u = n - 1 || v = n - 1 then 10.0 +. Random.State.float st 1.0
-            else Random.State.float st 1.0)
-      in
-      run (Printf.sprintf "wheel (heavy spokes) %d" n) g w)
-    [ 129; 257; 513; 1025 ];
-  (* planar grids *)
-  List.iter
-    (fun side ->
-      let g = (Gen.grid side side).Gen.graph in
-      run
-        (Printf.sprintf "grid %dx%d" side side)
-        g
-        (G.random_weights ~state:(Random.State.make [| side |]) g))
-    [ 16; 24; 32 ];
-  (* random planar *)
-  List.iter
-    (fun n ->
-      let g = (Gen.apollonian ~seed:n n).Gen.graph in
-      run
-        (Printf.sprintf "apollonian %d" n)
-        g
-        (G.random_weights ~state:(Random.State.make [| n |]) g))
-    [ 512; 2048 ];
-  (* excluded-minor L_k *)
-  let pieces =
-    List.init 6 (fun i ->
-        (Core.Almost_embeddable.make ~seed:(i * 7) ~width:20 ~height:10 ~handles:1
-           ~vortices:1 ~vortex_depth:2 ~vortex_nodes:4 ~apices:1 ~apex_fanout:5)
-          .Core.Almost_embeddable.graph)
-  in
-  let cs =
-    Core.Clique_sum.compose ~seed:3 ~k:3 ~shape:Core.Clique_sum.Random_tree pieces
-  in
-  let g = cs.Core.Clique_sum.graph in
-  run "L_3 clique-sum" g (G.random_weights g);
-  (* the lower-bound family: nobody escapes sqrt n here *)
-  List.iter
-    (fun p ->
-      let g, _ = Gen.lower_bound p in
-      run
-        (Printf.sprintf "lower-bound p=%d" p)
-        g
-        (G.random_weights ~state:(Random.State.make [| p |]) g))
-    [ 8; 16 ];
+  sweep
+    ((* wheels with heavy spokes: fragments are long rim arcs *)
+     List.map (fun n -> `Wheel n) [ 129; 257; 513; 1025 ]
+    (* planar grids *)
+    @ List.map (fun side -> `Grid side) [ 16; 24; 32 ]
+    (* random planar *)
+    @ List.map (fun n -> `Apollonian n) [ 512; 2048 ]
+    (* excluded-minor L_k *)
+    @ [ `Clique_sum ]
+    (* the lower-bound family: nobody escapes sqrt n here *)
+    @ List.map (fun p -> `Lower_bound p) [ 8; 16 ])
+    (function
+      | `Wheel n ->
+          let g = Gen.cycle_with_apex n in
+          let st = Random.State.make [| n |] in
+          let w =
+            Array.init (G.m g) (fun e ->
+                let u, v = G.edge g e in
+                if u = n - 1 || v = n - 1 then 10.0 +. Random.State.float st 1.0
+                else Random.State.float st 1.0)
+          in
+          run (Printf.sprintf "wheel (heavy spokes) %d" n) g w
+      | `Grid side ->
+          let g = (Gen.grid side side).Gen.graph in
+          run
+            (Printf.sprintf "grid %dx%d" side side)
+            g
+            (G.random_weights ~state:(Random.State.make [| side |]) g)
+      | `Apollonian n ->
+          let g = (Gen.apollonian ~seed:n n).Gen.graph in
+          run
+            (Printf.sprintf "apollonian %d" n)
+            g
+            (G.random_weights ~state:(Random.State.make [| n |]) g)
+      | `Clique_sum ->
+          let pieces =
+            List.init 6 (fun i ->
+                (Core.Almost_embeddable.make ~seed:(i * 7) ~width:20 ~height:10
+                   ~handles:1 ~vortices:1 ~vortex_depth:2 ~vortex_nodes:4 ~apices:1
+                   ~apex_fanout:5)
+                  .Core.Almost_embeddable.graph)
+          in
+          let cs =
+            Core.Clique_sum.compose ~seed:3 ~k:3 ~shape:Core.Clique_sum.Random_tree
+              pieces
+          in
+          let g = cs.Core.Clique_sum.graph in
+          run "L_3 clique-sum" g (G.random_weights g)
+      | `Lower_bound p ->
+          let g, _ = Gen.lower_bound p in
+          run
+            (Printf.sprintf "lower-bound p=%d" p)
+            g
+            (G.random_weights ~state:(Random.State.make [| p |]) g))
+  |> List.iter print_endline;
   subsection "message complexity (same runs, total simulated messages)";
-  List.iter
-    (fun (name, g) ->
+  sweep
+    [
+      ("wheel (heavy spokes) 513", `Wheel513);
+      ("grid 24x24", `Grid24);
+    ]
+    (fun (name, which) ->
+      let g =
+        match which with
+        | `Wheel513 -> Gen.cycle_with_apex 513
+        | `Grid24 -> (Gen.grid 24 24).Gen.graph
+      in
       let w = G.random_weights ~state:(Random.State.make [| 5 |]) g in
       let r1 = Core.Mst.boruvka ~constructor:Core.Mst.shortcut_constructor g w in
       let r2 = Core.Mst.boruvka ~constructor:Core.Mst.no_shortcut_constructor g w in
-      Printf.printf "%-28s shortcut: %7d msgs | flooding: %7d msgs\n" name
+      Printf.sprintf "%-28s shortcut: %7d msgs | flooding: %7d msgs" name
         r1.Core.Mst.messages r2.Core.Mst.messages)
-    [
-      ("wheel (heavy spokes) 513", Gen.cycle_with_apex 513);
-      ("grid 24x24", (Gen.grid 24 24).Gen.graph);
-    ];
+  |> List.iter print_endline;
   subsection "charged vs fully-simulated phases (echo & rename floods run live)";
-  List.iter
-    (fun (name, g) ->
+  sweep
+    [
+      ("grid 16x16", `Grid16);
+      ("wheel 257", `Wheel257);
+      ("apollonian 512", `Ap512);
+    ]
+    (fun (name, which) ->
+      let g =
+        match which with
+        | `Grid16 -> (Gen.grid 16 16).Gen.graph
+        | `Wheel257 -> Gen.cycle_with_apex 257
+        | `Ap512 -> (Gen.apollonian ~seed:2 512).Gen.graph
+      in
       let w = G.random_weights ~state:(Random.State.make [| 3 |]) g in
       let charged = Core.Mst.boruvka ~constructor:Core.Mst.shortcut_constructor g w in
       let full = Core.Mst.boruvka_full ~constructor:Core.Mst.shortcut_constructor g w in
-      Printf.printf "%-28s charged=%5d  fully-simulated=%5d  (both exact: %b)\n" name
+      Printf.sprintf "%-28s charged=%5d  fully-simulated=%5d  (both exact: %b)" name
         charged.Core.Mst.rounds full.Core.Mst.rounds
         (Core.Mst.check g w charged = Ok () && Core.Mst.check g w full = Ok ()))
-    [
-      ("grid 16x16", (Gen.grid 16 16).Gen.graph);
-      ("wheel 257", Gen.cycle_with_apex 257);
-      ("apollonian 512", (Gen.apollonian ~seed:2 512).Gen.graph);
-    ]
+  |> List.iter print_endline
 
 (* ------------------------------------------------------------------ *)
 (* E7: Corollary 1 — (1+eps)-approximate min-cut                       *)
@@ -465,29 +525,37 @@ let e7 () =
   section "E7 (Corollary 1): distributed approximate min-cut vs Stoer-Wagner";
   Printf.printf "%-28s %6s | %8s %9s %7s %8s\n" "network" "n" "exact" "estimate" "ratio"
     "rounds";
-  let run name g w =
-    let exact = Core.Mincut.stoer_wagner g w in
-    let r =
-      Core.Mincut.approx ~trees:8 ~seed:23 ~constructor:Core.Mst.shortcut_constructor g
-        w
-    in
-    Printf.printf "%-28s %6d | %8.2f %9.2f %7.3f %8d\n" name (G.n g) exact
-      r.Core.Mincut.estimate
-      (r.Core.Mincut.estimate /. exact)
-      r.Core.Mincut.rounds
-  in
-  let grid10 = (Gen.grid 10 10).Gen.graph in
-  run "grid 10x10" grid10 (G.unit_weights grid10);
-  let ap = (Gen.apollonian ~seed:4 200).Gen.graph in
-  run "apollonian 200" ap (G.unit_weights ap);
-  let kt, _ = Gen.k_tree ~seed:5 ~k:3 150 in
-  run "3-tree 150" kt (G.unit_weights kt);
-  let er = Gen.erdos_renyi ~seed:8 120 0.08 in
-  run "G(120, .08)" er (G.unit_weights er);
-  let gw = (Gen.grid 12 12).Gen.graph in
-  let st = Random.State.make [| 9 |] in
-  let w = Array.init (G.m gw) (fun _ -> 0.5 +. Random.State.float st 2.0) in
-  run "grid 12x12 weighted" gw w;
+  sweep [ `Grid10; `Ap200; `Ktree; `Er; `GridW ] (fun which ->
+      let name, g, w =
+        match which with
+        | `Grid10 ->
+            let g = (Gen.grid 10 10).Gen.graph in
+            ("grid 10x10", g, G.unit_weights g)
+        | `Ap200 ->
+            let g = (Gen.apollonian ~seed:4 200).Gen.graph in
+            ("apollonian 200", g, G.unit_weights g)
+        | `Ktree ->
+            let g, _ = Gen.k_tree ~seed:5 ~k:3 150 in
+            ("3-tree 150", g, G.unit_weights g)
+        | `Er ->
+            let g = Gen.erdos_renyi ~seed:8 120 0.08 in
+            ("G(120, .08)", g, G.unit_weights g)
+        | `GridW ->
+            let g = (Gen.grid 12 12).Gen.graph in
+            let st = Random.State.make [| 9 |] in
+            let w = Array.init (G.m g) (fun _ -> 0.5 +. Random.State.float st 2.0) in
+            ("grid 12x12 weighted", g, w)
+      in
+      let exact = Core.Mincut.stoer_wagner g w in
+      let r =
+        Core.Mincut.approx ~trees:8 ~seed:23 ~constructor:Core.Mst.shortcut_constructor
+          g w
+      in
+      Printf.sprintf "%-28s %6d | %8.2f %9.2f %7.3f %8d" name (G.n g) exact
+        r.Core.Mincut.estimate
+        (r.Core.Mincut.estimate /. exact)
+        r.Core.Mincut.rounds)
+  |> List.iter print_endline;
   subsection "1-respecting vs 2-respecting cuts (Karger's full guarantee)";
   (* the star+bond instance where the min cut 2-respects but never 1-respects *)
   let g = G.of_edges 4 [ (0, 1); (0, 2); (0, 3); (1, 2) ] in
@@ -521,28 +589,29 @@ let e8 () =
     "prediction: on Gamma(p) (D = O(log n)) the best achievable quality grows\n\
      like p = sqrt n, while excluded-minor graphs of similar diameter stay at\n\
      polylog quality: the separation motivating the whole paper\n";
-  let rows = ref [] in
-  List.iter
-    (fun p ->
-      let g, path_parts = Gen.lower_bound_parts p in
-      let tree = Sp.bfs_tree g (G.n g - 1) in
-      let parts = P.of_list g path_parts in
-      let sc = Core.Generic.construct tree parts in
-      rows := Q.measure ~label:(Printf.sprintf "Gamma(%d) sqrt(n)=%d" p p) sc :: !rows)
-    [ 8; 12; 16; 24; 32 ];
-  List.iter
-    (fun n ->
-      let g = Gen.cycle_with_apex n in
-      let tree = Sp.bfs_tree g (n - 1) in
-      let half = (n - 1) / 2 in
-      let parts =
-        P.of_list g
-          [ List.init half (fun i -> i); List.init (n - 1 - half) (fun i -> half + i) ]
-      in
-      let sc = Core.Generic.construct tree parts in
-      rows := Q.measure ~label:(Printf.sprintf "wheel n=%d (minor-free)" n) sc :: !rows)
-    [ 65; 145; 257; 577; 1025 ];
-  let rows = List.rev !rows in
+  let gamma_rows =
+    sweep [ 8; 12; 16; 24; 32 ] (fun p ->
+        let g, path_parts = Gen.lower_bound_parts p in
+        let tree = Sp.bfs_tree g (G.n g - 1) in
+        let parts = P.of_list g path_parts in
+        let sc = Core.Generic.construct tree parts in
+        Q.measure ~label:(Printf.sprintf "Gamma(%d) sqrt(n)=%d" p p) sc)
+  in
+  let wheel_rows =
+    sweep [ 65; 145; 257; 577; 1025 ] (fun n ->
+        let g = Gen.cycle_with_apex n in
+        let tree = Sp.bfs_tree g (n - 1) in
+        let half = (n - 1) / 2 in
+        let parts =
+          P.of_list g
+            [
+              List.init half (fun i -> i); List.init (n - 1 - half) (fun i -> half + i);
+            ]
+        in
+        let sc = Core.Generic.construct tree parts in
+        Q.measure ~label:(Printf.sprintf "wheel n=%d (minor-free)" n) sc)
+  in
+  let rows = gamma_rows @ wheel_rows in
   print_rows rows;
   Printf.printf "%-34s %10s\n" "workload" "q/sqrt(n)";
   List.iter
@@ -586,22 +655,30 @@ let e9 () =
      shortcut — construction is never the bottleneck\n";
   Printf.printf "%-30s %6s %6s | %12s %10s %10s\n" "network" "n" "d_T" "construction"
     "max load" "agg rounds";
-  List.iter
-    (fun (name, g, nparts) ->
+  sweep
+    [
+      ("grid 16x16", `Grid 16, 10);
+      ("grid 32x32", `Grid 32, 20);
+      ("apollonian 1000", `Apollonian, 25);
+      ("wheel 513", `Wheel, 2);
+      ("lower-bound p=16", `Lower_bound, 16);
+    ]
+    (fun (name, which, nparts) ->
+      let g =
+        match which with
+        | `Grid side -> (Gen.grid side side).Gen.graph
+        | `Apollonian -> (Gen.apollonian ~seed:1 1000).Gen.graph
+        | `Wheel -> Gen.cycle_with_apex 513
+        | `Lower_bound -> fst (Gen.lower_bound 16)
+      in
       let tree = Sp.bfs_tree g 0 in
       let parts = P.voronoi ~seed:9 g ~count:nparts in
       let r = Core.Construct.distributed_generic tree parts in
       let agg = agg_rounds r.Core.Construct.shortcut in
-      Printf.printf "%-30s %6d %6d | %12d %10d %10d\n" name (G.n g)
+      Printf.sprintf "%-30s %6d %6d | %12d %10d %10d" name (G.n g)
         (Sp.height tree) r.Core.Construct.construction_rounds
         r.Core.Construct.max_load agg)
-    [
-      ("grid 16x16", (Gen.grid 16 16).Gen.graph, 10);
-      ("grid 32x32", (Gen.grid 32 32).Gen.graph, 20);
-      ("apollonian 1000", (Gen.apollonian ~seed:1 1000).Gen.graph, 25);
-      ("wheel 513", Gen.cycle_with_apex 513, 2);
-      ("lower-bound p=16", fst (Gen.lower_bound 16), 16);
-    ]
+  |> List.iter print_endline
 
 (* ------------------------------------------------------------------ *)
 (* E10: the full distributed pipeline, primitive by primitive          *)
@@ -614,8 +691,21 @@ let e10 () =
      construction (E9 schedule), one MIN aggregation, one SUM aggregation\n";
   Printf.printf "%-24s %6s %4s | %6s %10s %10s %6s %6s\n" "network" "n" "D" "bfs"
     "partition" "construct" "min" "sum";
-  List.iter
-    (fun (name, g, nseeds) ->
+  sweep
+    [
+      ("grid 24x24", `Grid, 12);
+      ("apollonian 1000", `Apollonian, 20);
+      ("wheel 513", `Wheel, 8);
+      ("torus 16x16", `Torus, 10);
+    ]
+    (fun (name, which, nseeds) ->
+      let g =
+        match which with
+        | `Grid -> (Gen.grid 24 24).Gen.graph
+        | `Apollonian -> (Gen.apollonian ~seed:3 1000).Gen.graph
+        | `Wheel -> Gen.cycle_with_apex 513
+        | `Torus -> Gen.torus_grid 16 16
+      in
       let _, bfs_stats = Core.Dist_bfs.run g ~root:0 in
       let st = Random.State.make [| 7 |] in
       let seeds =
@@ -635,31 +725,32 @@ let e10 () =
       let values = Array.init (G.n g) (fun _ -> Some (Random.State.float st 1.0)) in
       let sres = Core.Aggregate.sum sc ~values in
       assert (Core.Aggregate.verify_sum sc ~values sres);
-      Printf.printf "%-24s %6d %4d | %6d %10d %10d %6d %6d\n" name (G.n g)
+      Printf.sprintf "%-24s %6d %4d | %6d %10d %10d %6d %6d" name (G.n g)
         (Core.Distance.diameter_double_sweep g)
         bfs_stats.Core.Network.rounds pres.Core.Partition.stats.Core.Network.rounds
         cres.Core.Construct.construction_rounds min_rounds
         sres.Core.Aggregate.rounds)
-    [
-      ("grid 24x24", (Gen.grid 24 24).Gen.graph, 12);
-      ("apollonian 1000", (Gen.apollonian ~seed:3 1000).Gen.graph, 20);
-      ("wheel 513", Gen.cycle_with_apex 513, 8);
-      ("torus 16x16", Gen.torus_grid 16 16, 10);
-    ];
+  |> List.iter print_endline;
   subsection "near-optimality audit (brute-force ground truth, tiny instances)";
+  let ratios =
+    sweep
+      (List.init 40 (fun i -> i + 1))
+      (fun seed ->
+        let g = Gen.erdos_renyi ~seed:(seed * 71) (8 + (seed mod 8)) 0.35 in
+        let tree = Sp.bfs_tree g 0 in
+        let parts = P.voronoi ~seed g ~count:3 in
+        match Core.Optimal.optimal_quality tree parts with
+        | Some opt ->
+            let q = Sc.quality (Core.Generic.construct tree parts) in
+            Some (float_of_int q /. float_of_int (max 1 opt))
+        | None -> None)
+  in
   let worst = ref 1.0 and count = ref 0 in
-  for seed = 1 to 40 do
-    let g = Gen.erdos_renyi ~seed:(seed * 71) (8 + (seed mod 8)) 0.35 in
-    let tree = Sp.bfs_tree g 0 in
-    let parts = P.voronoi ~seed g ~count:3 in
-    match Core.Optimal.optimal_quality tree parts with
-    | Some opt ->
-        incr count;
-        let q = Sc.quality (Core.Generic.construct tree parts) in
-        let r = float_of_int q /. float_of_int (max 1 opt) in
-        if r > !worst then worst := r
-    | None -> ()
-  done;
+  List.iter
+    (Option.iter (fun r ->
+         incr count;
+         if r > !worst then worst := r))
+    ratios;
   Printf.printf
     "uniform construction vs exact optimum on %d instances: worst ratio %.2f\n" !count
     !worst
@@ -673,7 +764,12 @@ let a1 () =
   subsection "pruning policy: Keep_kappa vs Drop_all (grid 32x32, voronoi)";
   let gp = Gen.grid 32 32 in
   let tree = Sp.bfs_tree gp.Gen.graph 0 in
-  List.iter
+  sweep
+    [
+      ("rows", P.grid_rows 32 32);
+      ("voronoi", P.voronoi ~seed:4 gp.Gen.graph ~count:24);
+      ("fragments", P.boruvka_fragments gp.Gen.graph (G.random_weights gp.Gen.graph) ~level:3);
+    ]
     (fun (wname, parts) ->
       let q_keep =
         Sc.quality (Core.Generic.construct ~policy:Core.Generic.Keep_kappa tree parts)
@@ -681,12 +777,8 @@ let a1 () =
       let q_drop =
         Sc.quality (Core.Generic.construct ~policy:Core.Generic.Drop_all tree parts)
       in
-      Printf.printf "%-12s keep_kappa q=%-5d drop_all q=%-5d\n" wname q_keep q_drop)
-    [
-      ("rows", P.grid_rows 32 32);
-      ("voronoi", P.voronoi ~seed:4 gp.Gen.graph ~count:24);
-      ("fragments", P.boruvka_fragments gp.Gen.graph (G.random_weights gp.Gen.graph) ~level:3);
-    ];
+      Printf.sprintf "%-12s keep_kappa q=%-5d drop_all q=%-5d" wname q_keep q_drop)
+  |> List.iter print_endline;
   subsection "the kappa tradeoff curve (lower-bound Gamma(16), path parts)";
   let g, path_parts = Gen.lower_bound_parts 16 in
   let t = Sp.bfs_tree g (G.n g - 1) in
@@ -723,27 +815,35 @@ let op1 () =
      if b could be O~(1) at c = O~(d), the vortex frontier would bend like\n\
      the planar one\n";
   let show name g parts =
+    let b = Buffer.create 256 in
     let tree = Sp.bfs_tree g 0 in
     let pts = Core.Generic.frontier tree parts in
-    Printf.printf "%s (d_T=%d):\n" name (Sp.height tree);
+    Printf.bprintf b "%s (d_T=%d):\n" name (Sp.height tree);
     List.iter
       (fun p ->
-        Printf.printf "  kappa=%-5d b=%-4d c=%-5d q=%d\n" p.Core.Generic.kappa
+        Printf.bprintf b "  kappa=%-5d b=%-4d c=%-5d q=%d\n" p.Core.Generic.kappa
           p.Core.Generic.b p.Core.Generic.c p.Core.Generic.q)
-      pts
+      pts;
+    Buffer.contents b
   in
-  let plain = (Gen.grid 30 14).Gen.graph in
-  show "plain grid 30x14" plain (P.voronoi ~seed:4 plain ~count:10);
-  let base, rings = Core.Almost_embeddable.grid_with_holes 30 14 ~holes:2 ~hole_size:5 in
-  let gv, _ =
-    Array.to_list rings
-    |> List.fold_left
-         (fun (g, acc) ring ->
-           let g', v = Core.Vortex.add ~seed:7 g ~cycle:ring ~nodes:6 ~depth:3 in
-           (g', v :: acc))
-         (base, [])
-  in
-  show "grid 30x14 + 2 depth-3 vortices" gv (P.voronoi ~seed:4 gv ~count:10)
+  sweep [ `Plain; `Vortex ] (function
+    | `Plain ->
+        let plain = (Gen.grid 30 14).Gen.graph in
+        show "plain grid 30x14" plain (P.voronoi ~seed:4 plain ~count:10)
+    | `Vortex ->
+        let base, rings =
+          Core.Almost_embeddable.grid_with_holes 30 14 ~holes:2 ~hole_size:5
+        in
+        let gv, _ =
+          Array.to_list rings
+          |> List.fold_left
+               (fun (g, acc) ring ->
+                 let g', v = Core.Vortex.add ~seed:7 g ~cycle:ring ~nodes:6 ~depth:3 in
+                 (g', v :: acc))
+               (base, [])
+        in
+        show "grid 30x14 + 2 depth-3 vortices" gv (P.voronoi ~seed:4 gv ~count:10))
+  |> List.iter print_string
 
 (* ------------------------------------------------------------------ *)
 (* F1: Figure 1 — the three GST ingredients                            *)
@@ -808,27 +908,25 @@ let f23 () =
 let f4 () =
   section "F4 (Figure 4): heavy-light folding compresses DT depth to O(log^2 n)";
   Printf.printf "%-22s %10s %12s %14s\n" "tree" "bags" "raw depth" "folded depth";
-  List.iter
-    (fun n ->
+  sweep [ 64; 256; 1024; 4096 ] (fun n ->
       let parent = Array.init n (fun i -> i - 1) in
       let f = Core.Fold.fold ~parent in
-      Printf.printf "%-22s %10d %12d %14d\n"
+      Printf.sprintf "%-22s %10d %12d %14d"
         (Printf.sprintf "path(%d)" n)
         n
         (Core.Fold.tree_depth parent)
         (Core.Fold.depth f))
-    [ 64; 256; 1024; 4096 ];
-  List.iter
-    (fun n ->
+  |> List.iter print_endline;
+  sweep [ 256; 1024; 4096 ] (fun n ->
       let g = Gen.random_tree ~seed:(n + 1) n in
       let t = Sp.bfs_tree g 0 in
       let f = Core.Fold.fold ~parent:t.Sp.parent in
-      Printf.printf "%-22s %10d %12d %14d\n"
+      Printf.sprintf "%-22s %10d %12d %14d"
         (Printf.sprintf "random tree(%d)" n)
         n
         (Core.Fold.tree_depth t.Sp.parent)
         (Core.Fold.depth f))
-    [ 256; 1024; 4096 ];
+  |> List.iter print_endline;
   let n = 2048 in
   let parent =
     Array.init n (fun i -> if i = 0 then -1 else if i mod 2 = 0 then i - 2 else i - 1)
@@ -845,46 +943,34 @@ let f56 () =
   section "F5/F6 (Figures 5-6): combinatorial gates on embedded planar graphs";
   Printf.printf "%-26s %6s %6s %8s %10s %12s\n" "instance" "cells" "gates" "d(cell)"
     "sum|F|" "s = sum/|C|";
-  List.iter
+  let gate_line ~name gp k seed =
+    let cells = P.voronoi ~seed gp.Gen.graph ~count:k in
+    let gates = Core.Gate.build gp.Gen.graph ~coords:gp.Gen.coords ~cells in
+    let status =
+      match Core.Gate.check gp.Gen.graph ~cells gates with
+      | Ok () -> ""
+      | Error e -> "  CHECK FAILED: " ^ e
+    in
+    let d = Core.Cell.diameter gp.Gen.graph cells in
+    let sum = Core.Gate.fence_total gates in
+    Printf.sprintf "%-26s %6d %6d %8d %10d %12.1f%s" name (P.count cells)
+      (List.length gates) d sum
+      (float_of_int sum /. float_of_int (P.count cells))
+      status
+  in
+  sweep [ (12, 5, 1); (16, 8, 2); (24, 10, 3); (32, 16, 4); (32, 8, 5) ]
     (fun (side, k, seed) ->
-      let gp = Gen.grid side side in
-      let cells = P.voronoi ~seed gp.Gen.graph ~count:k in
-      let gates = Core.Gate.build gp.Gen.graph ~coords:gp.Gen.coords ~cells in
-      let status =
-        match Core.Gate.check gp.Gen.graph ~cells gates with
-        | Ok () -> ""
-        | Error e -> "  CHECK FAILED: " ^ e
-      in
-      let d = Core.Cell.diameter gp.Gen.graph cells in
-      let sum = Core.Gate.fence_total gates in
-      Printf.printf "%-26s %6d %6d %8d %10d %12.1f%s\n"
-        (Printf.sprintf "grid %dx%d" side side)
-        (P.count cells) (List.length gates) d sum
-        (float_of_int sum /. float_of_int (P.count cells))
-        status)
-    [ (12, 5, 1); (16, 8, 2); (24, 10, 3); (32, 16, 4); (32, 8, 5) ];
-  List.iter
-    (fun (n, k, seed) ->
-      let gp = Gen.apollonian ~seed n in
-      let cells = P.voronoi ~seed:(seed + 1) gp.Gen.graph ~count:k in
-      let gates = Core.Gate.build gp.Gen.graph ~coords:gp.Gen.coords ~cells in
-      let status =
-        match Core.Gate.check gp.Gen.graph ~cells gates with
-        | Ok () -> ""
-        | Error e -> "  CHECK FAILED: " ^ e
-      in
-      let d = Core.Cell.diameter gp.Gen.graph cells in
-      let sum = Core.Gate.fence_total gates in
-      Printf.printf "%-26s %6d %6d %8d %10d %12.1f%s\n"
-        (Printf.sprintf "apollonian %d" n)
-        (P.count cells) (List.length gates) d sum
-        (float_of_int sum /. float_of_int (P.count cells))
-        status)
-    [ (150, 6, 7); (300, 9, 8) ];
+      gate_line ~name:(Printf.sprintf "grid %dx%d" side side) (Gen.grid side side) k
+        seed)
+  |> List.iter print_endline;
+  sweep [ (150, 6, 7); (300, 9, 8) ] (fun (n, k, seed) ->
+      gate_line
+        ~name:(Printf.sprintf "apollonian %d" n)
+        (Gen.apollonian ~seed n) k (seed + 1))
+  |> List.iter print_endline;
   Printf.printf "Lemma 7 bound: s <= 36 d\n";
   subsection "Lemma 4 tie-in: peeling beta vs the 2s gate bound";
-  List.iter
-    (fun (side, kcells, kparts) ->
+  sweep [ (16, 6, 10); (24, 8, 16); (32, 12, 24) ] (fun (side, kcells, kparts) ->
       let gp = Gen.grid side side in
       let cells = P.voronoi ~seed:11 gp.Gen.graph ~count:kcells in
       let parts = P.voronoi ~seed:23 gp.Gen.graph ~count:kparts in
@@ -893,10 +979,10 @@ let f56 () =
         float_of_int (Core.Gate.fence_total gates) /. float_of_int (P.count cells)
       in
       let r = Core.Assignment.assign ~cells ~parts in
-      Printf.printf "grid %dx%d, %d cells, %d parts: beta=%d  2s=%.1f  (beta <= 2s: %b)\n"
+      Printf.sprintf "grid %dx%d, %d cells, %d parts: beta=%d  2s=%.1f  (beta <= 2s: %b)"
         side side (P.count cells) (P.count parts) r.Core.Assignment.beta (2.0 *. s)
         (float_of_int r.Core.Assignment.beta <= 2.0 *. s))
-    [ (16, 6, 10); (24, 8, 16); (32, 12, 24) ]
+  |> List.iter print_endline
 
 (* ------------------------------------------------------------------ *)
 (* F7: Figure 7 — planarizing a torus by cutting generators            *)
@@ -906,19 +992,18 @@ let f7 () =
   section "F7 (Figure 7): cutting a torus grid along its generating cycles";
   Printf.printf "%-14s %6s %6s | %6s %6s %10s %8s\n" "torus" "n" "m" "cut" "n'"
     "duplicates" "planar";
-  List.iter
-    (fun (w, h) ->
+  sweep [ (5, 5); (8, 6); (10, 10); (16, 12) ] (fun (w, h) ->
       let emb = Core.Embedding.torus_grid w h in
       let g = emb.Core.Embedding.graph in
       let tree = Sp.bfs_tree g 0 in
       let pg, proj, gens = Core.Embedding.planarize emb tree in
       let dup = G.n pg - G.n g in
-      Printf.printf "%-14s %6d %6d | %6d %6d %10d %8b\n"
+      ignore proj;
+      Printf.sprintf "%-14s %6d %6d | %6d %6d %10d %8b"
         (Printf.sprintf "%dx%d" w h)
         (G.n g) (G.m g) gens (G.n pg) dup
-        (Core.Planarity.is_planar pg);
-      ignore proj)
-    [ (5, 5); (8, 6); (10, 10); (16, 12) ];
+        (Core.Planarity.is_planar pg))
+  |> List.iter print_endline;
   Printf.printf "genus check: every torus embedding above reports genus %d\n"
     (Core.Embedding.genus (Core.Embedding.torus_grid 6 6))
 
@@ -1003,15 +1088,21 @@ let experiments =
   ]
 
 (* run one experiment under a root span, then print its phase breakdown from
-   the span aggregation table and push a per-experiment metrics snapshot *)
+   the span aggregation table and push a per-experiment metrics snapshot.
+   The breakdown rows are wall-clock times — the one nondeterministic part
+   of stdout — so --no-breakdown suppresses them for byte-exact diffing *)
+let no_breakdown = ref false
+
 let run_experiment id run =
   Obs.Span.reset ();
   Obs.Metrics.reset ();
   Obs.Span.with_ id run;
-  let table = Obs.Span.render_table ~min_ms:0.01 () in
-  if table <> "" then begin
-    Printf.printf "\n-- %s timing breakdown --\n" id;
-    print_string table
+  if not !no_breakdown then begin
+    let table = Obs.Span.render_table ~min_ms:0.01 () in
+    if table <> "" then begin
+      Printf.printf "\n-- %s timing breakdown --\n" id;
+      print_string table
+    end
   end;
   if Obs.Sink.enabled () then
     Obs.Metrics.emit ~extra:[ ("experiment", Obs.Sink.String id) ] ()
@@ -1030,17 +1121,33 @@ let () =
   let only = value_of "--only" in
   let json_path = value_of "--json" in
   let jsonl_path = value_of "--jsonl" in
+  let jobs =
+    match value_of "--jobs" with
+    | None -> 1
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some j when j >= 1 -> j
+        | _ ->
+            prerr_endline "bench: --jobs expects a positive integer";
+            exit 2)
+  in
   full_trace := has "--full-trace";
+  no_breakdown := has "--no-breakdown";
   if has "--list" then
     List.iter (fun (id, desc, _) -> Printf.printf "%-4s %s\n" id desc) experiments
   else begin
     let sink = Option.map Obs.Sink.open_file jsonl_path in
     Option.iter Obs.Sink.install sink;
     Obs.Span.set_enabled true;
-    List.iter
-      (fun (id, _, run) ->
-        match only with Some o when o <> id -> () | _ -> run_experiment id run)
-      experiments;
+    (* the pool is created after the sink is installed and spans enabled, so
+       worker domains inherit both through the task-handoff ordering *)
+    Exec.Pool.with_pool ~jobs (fun p ->
+        pool := Some p;
+        List.iter
+          (fun (id, _, run) ->
+            match only with Some o when o <> id -> () | _ -> run_experiment id run)
+          experiments);
+    pool := None;
     if (not (has "--no-timing")) && only = None then timing ();
     (match json_path with
     | Some path ->

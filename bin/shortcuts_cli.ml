@@ -102,65 +102,129 @@ let show_info file =
 
 (* ---------- quality ---------- *)
 
-let quality file nparts seed trace_out =
+(* --trials N runs N independent repetitions (seed, seed+1, ...) and --jobs
+   spreads them over a domain pool; each trial is a pool cell that returns
+   its data, printed here in trial order, so output does not depend on the
+   job count (and a single trial prints exactly what it always did) *)
+
+let quality file nparts seed trials jobs trace_out =
   with_obs trace_out @@ fun () ->
   let g, _ = read_graph file in
-  let parts = Core.Part.voronoi ~seed g ~count:nparts in
   let tree = Core.Spanning.bfs_tree g 0 in
-  let sc = Core.Generic.construct tree parts in
-  let trace = Core.Trace.create g in
-  let rounds = Core.Aggregate.rounds_for_parts sc ~seed ~trace in
+  let results =
+    Exec.Pool.with_pool ~jobs @@ fun pool ->
+    Exec.Pool.map_list pool
+      ~f:(fun s ->
+        let parts = Core.Part.voronoi ~seed:s g ~count:nparts in
+        let sc = Core.Generic.construct tree parts in
+        let trace = Core.Trace.create g in
+        let rounds = Core.Aggregate.rounds_for_parts sc ~seed:s ~trace in
+        let empty = Core.Shortcut.empty tree parts in
+        let rounds0 = Core.Aggregate.rounds_for_parts empty ~seed:s in
+        let label =
+          if trials = 1 then file else Printf.sprintf "%s seed=%d" file s
+        in
+        let row =
+          Core.Quality.measure ~label
+            ~observed_congestion:(Core.Trace.max_edge_load trace) sc
+        in
+        (label, row, rounds, rounds0, trace))
+      (List.init trials (fun i -> seed + i))
+  in
   print_endline (Core.Quality.header ());
-  print_endline
-    (Core.Quality.to_string
-       (Core.Quality.measure ~label:file
-          ~observed_congestion:(Core.Trace.max_edge_load trace) sc));
-  let empty = Core.Shortcut.empty tree parts in
-  let rounds0 = Core.Aggregate.rounds_for_parts empty ~seed in
-  Printf.printf "aggregation: %d rounds with shortcuts, %d without\n" rounds rounds0;
-  Printf.printf "trace: %s\n" (Core.Trace.summary_to_string (Core.Trace.summary trace));
-  Core.Trace.emit ~label:file trace;
+  List.iter
+    (fun (_, row, _, _, _) -> print_endline (Core.Quality.to_string row))
+    results;
+  List.iter
+    (fun (label, _, rounds, rounds0, trace) ->
+      if trials = 1 then begin
+        Printf.printf "aggregation: %d rounds with shortcuts, %d without\n" rounds
+          rounds0;
+        Printf.printf "trace: %s\n"
+          (Core.Trace.summary_to_string (Core.Trace.summary trace))
+      end
+      else
+        Printf.printf "%s: %d rounds with shortcuts, %d without; trace %s\n" label
+          rounds rounds0
+          (Core.Trace.summary_to_string (Core.Trace.summary trace));
+      Core.Trace.emit ~label trace)
+    results;
   0
 
 (* ---------- mst ---------- *)
 
-let mst file algo trace_out =
+let mst file algo trials jobs trace_out =
   with_obs trace_out @@ fun () ->
   let g, w = read_graph file in
-  let w = weights_of g w in
-  let trace = Core.Trace.create g in
-  let report =
-    match algo with
-    | "shortcut" ->
-        Core.Mst.boruvka ~trace ~constructor:Core.Mst.shortcut_constructor g w
-    | "flooding" ->
-        Core.Mst.boruvka ~trace ~constructor:Core.Mst.no_shortcut_constructor g w
-    | "pipelined" -> Core.Mst.pipelined g w
-    | "full" ->
-        Core.Mst.boruvka_full ~trace ~constructor:Core.Mst.shortcut_constructor g w
-    | a -> failwith ("unknown algorithm: " ^ a)
+  let results =
+    Exec.Pool.with_pool ~jobs @@ fun pool ->
+    Exec.Pool.map_list pool
+      ~f:(fun i ->
+        (* trial 0 reproduces the default weights exactly; later trials
+           reseed so repetitions are independent *)
+        let w =
+          match w with
+          | Some w -> w
+          | None ->
+              Core.Graph.random_weights ~state:(Random.State.make [| 42 + i |]) g
+        in
+        let trace = Core.Trace.create g in
+        let report =
+          match algo with
+          | "shortcut" ->
+              Core.Mst.boruvka ~trace ~constructor:Core.Mst.shortcut_constructor g w
+          | "flooding" ->
+              Core.Mst.boruvka ~trace ~constructor:Core.Mst.no_shortcut_constructor g
+                w
+          | "pipelined" -> Core.Mst.pipelined g w
+          | "full" ->
+              Core.Mst.boruvka_full ~trace
+                ~constructor:Core.Mst.shortcut_constructor g w
+          | a -> failwith ("unknown algorithm: " ^ a)
+        in
+        let warning =
+          match Core.Mst.check g w report with Ok () -> None | Error e -> Some e
+        in
+        (i, warning, report, trace))
+      (List.init trials (fun i -> i))
   in
-  (match Core.Mst.check g w report with
-  | Ok () -> ()
-  | Error e -> Printf.printf "WARNING: %s\n" e);
-  Printf.printf "algorithm = %s\nphases = %d\nrounds = %d\nweight = %.6f\n" algo
-    report.Core.Mst.phases report.Core.Mst.rounds report.Core.Mst.mst_weight;
-  if algo <> "pipelined" then begin
-    Printf.printf "trace: %s\n"
-      (Core.Trace.summary_to_string (Core.Trace.summary trace));
-    Core.Trace.emit ~label:(file ^ " mst/" ^ algo) trace
-  end;
+  List.iter
+    (fun (i, warning, (report : Core.Mst.report), trace) ->
+      if trials > 1 then Printf.printf "-- trial %d --\n" i;
+      (match warning with
+      | None -> ()
+      | Some e -> Printf.printf "WARNING: %s\n" e);
+      Printf.printf "algorithm = %s\nphases = %d\nrounds = %d\nweight = %.6f\n" algo
+        report.Core.Mst.phases report.Core.Mst.rounds report.Core.Mst.mst_weight;
+      if algo <> "pipelined" then begin
+        Printf.printf "trace: %s\n"
+          (Core.Trace.summary_to_string (Core.Trace.summary trace));
+        Core.Trace.emit ~label:(file ^ " mst/" ^ algo) trace
+      end)
+    results;
   0
 
 (* ---------- mincut ---------- *)
 
-let mincut file trees seed trace_out =
+let mincut file trees seed trials jobs trace_out =
   with_obs trace_out @@ fun () ->
   let g, w = read_graph file in
   let w = weights_of g w in
-  let r = Core.Mincut.approx ~trees ~seed ~constructor:Core.Mst.shortcut_constructor g w in
-  Printf.printf "estimate = %.6f\nrounds = %d\ntrees = %d\n" r.Core.Mincut.estimate
-    r.Core.Mincut.rounds r.Core.Mincut.trees;
+  let results =
+    Exec.Pool.with_pool ~jobs @@ fun pool ->
+    Exec.Pool.map_list pool
+      ~f:(fun s ->
+        ( s,
+          Core.Mincut.approx ~trees ~seed:s
+            ~constructor:Core.Mst.shortcut_constructor g w ))
+      (List.init trials (fun i -> seed + i))
+  in
+  List.iter
+    (fun (s, (r : Core.Mincut.report)) ->
+      if trials > 1 then Printf.printf "-- trial seed=%d --\n" s;
+      Printf.printf "estimate = %.6f\nrounds = %d\ntrees = %d\n"
+        r.Core.Mincut.estimate r.Core.Mincut.rounds r.Core.Mincut.trees)
+    results;
   if Core.Graph.n g <= 400 then
     Printf.printf "exact (stoer-wagner) = %.6f\n" (Core.Mincut.stoer_wagner g w);
   0
@@ -278,6 +342,20 @@ let report file =
 let file_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
 
+let trials_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "trials" ]
+        ~doc:"Independent repetitions (seeded seed, seed+1, ...), reported in \
+              trial order.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ]
+        ~doc:"Worker domains to spread trials over; output is identical to \
+              --jobs 1.")
+
 let trace_arg =
   Arg.(
     value
@@ -308,7 +386,7 @@ let quality_cmd =
   let nparts = Arg.(value & opt int 8 & info [ "parts" ] ~doc:"Voronoi part count.") in
   Cmd.v
     (Cmd.info "quality" ~doc:"Construct shortcuts and report b, c, q + rounds.")
-    Term.(const quality $ file_arg $ nparts $ seed_arg $ trace_arg)
+    Term.(const quality $ file_arg $ nparts $ seed_arg $ trials_arg $ jobs_arg $ trace_arg)
 
 let mst_cmd =
   let algo =
@@ -319,13 +397,13 @@ let mst_cmd =
   in
   Cmd.v
     (Cmd.info "mst" ~doc:"Run a distributed MST and report simulated rounds.")
-    Term.(const mst $ file_arg $ algo $ trace_arg)
+    Term.(const mst $ file_arg $ algo $ trials_arg $ jobs_arg $ trace_arg)
 
 let mincut_cmd =
   let trees = Arg.(value & opt int 8 & info [ "trees" ] ~doc:"Sampled trees.") in
   Cmd.v
     (Cmd.info "mincut" ~doc:"Approximate min-cut; exact verification on small inputs.")
-    Term.(const mincut $ file_arg $ trees $ seed_arg $ trace_arg)
+    Term.(const mincut $ file_arg $ trees $ seed_arg $ trials_arg $ jobs_arg $ trace_arg)
 
 let report_cmd =
   Cmd.v

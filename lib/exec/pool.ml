@@ -1,0 +1,163 @@
+(* Fixed-size domain pool, stdlib-only (Domain + Mutex + Condition).
+
+   Workers are spawned once at [create] and parked on a condition variable;
+   each [map_cells] hands every worker at most one closure (its whole
+   contiguous chunk), so scheduling is static and deterministic — no work
+   stealing, no atomics on the data path.  The mailbox mutex provides the
+   happens-before edges both ways: everything the caller wrote before
+   submitting (cell array, obs enable flags, installed sink) is visible to
+   the worker, and everything the worker wrote (results, captured obs
+   state) is visible to the caller after the join. *)
+
+type mailbox = {
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable work : (unit -> unit) option;
+  mutable stop : bool;
+}
+
+type t = {
+  jobs : int;
+  boxes : mailbox array; (* length jobs - 1 *)
+  domains : unit Domain.t array;
+  mutable live : bool;
+}
+
+let jobs t = t.jobs
+
+let worker_loop box =
+  let rec loop () =
+    let task =
+      Mutex.protect box.m (fun () ->
+          while box.work = None && not box.stop do
+            Condition.wait box.cv box.m
+          done;
+          box.work)
+    in
+    match task with
+    | Some f ->
+        f ();
+        Mutex.protect box.m (fun () ->
+            box.work <- None;
+            Condition.broadcast box.cv);
+        loop ()
+    | None -> (* stop *) ()
+  in
+  loop ()
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let boxes =
+    Array.init (jobs - 1) (fun _ ->
+        {
+          m = Mutex.create ();
+          cv = Condition.create ();
+          work = None;
+          stop = false;
+        })
+  in
+  let domains =
+    Array.map (fun box -> Domain.spawn (fun () -> worker_loop box)) boxes
+  in
+  { jobs; boxes; domains; live = true }
+
+let shutdown t =
+  if t.live then begin
+    t.live <- false;
+    Array.iter
+      (fun box ->
+        Mutex.protect box.m (fun () ->
+            box.stop <- true;
+            Condition.broadcast box.cv))
+      t.boxes;
+    Array.iter Domain.join t.domains
+  end
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let submit box task =
+  Mutex.protect box.m (fun () ->
+      while box.work <> None do
+        Condition.wait box.cv box.m
+      done;
+      box.work <- Some task;
+      Condition.broadcast box.cv)
+
+let await box =
+  Mutex.protect box.m (fun () ->
+      while box.work <> None do
+        Condition.wait box.cv box.m
+      done)
+
+(* contiguous balanced chunks: chunk [s] covers [off s, off (s+1)) and the
+   first [n mod slices] chunks get one extra cell *)
+let chunk_offset n slices s =
+  let q = n / slices and r = n mod slices in
+  (s * q) + min s r
+
+let map_cells (type b) t ~f (cells : 'a array) : b array =
+  if not t.live then invalid_arg "Pool.map_cells: pool is shut down";
+  let n = Array.length cells in
+  if n = 0 then [||]
+  else begin
+    let slices = min t.jobs n in
+    if slices = 1 then Array.mapi f cells
+    else begin
+      let results : b option array = Array.make n None in
+      let fails : (int * exn * Printexc.raw_backtrace) option array =
+        Array.make slices None
+      in
+      let snaps : Obs.domain_state option array = Array.make slices None in
+      let ctx = Obs.Span.fork_context () in
+      let run_chunk s =
+        let lo = chunk_offset n slices s and hi = chunk_offset n slices (s + 1) in
+        let i = ref lo in
+        (try
+           while !i < hi do
+             results.(!i) <- Some (f !i cells.(!i));
+             incr i
+           done
+         with e ->
+           fails.(s) <- Some (!i, e, Printexc.get_raw_backtrace ()));
+        if s > 0 then snaps.(s) <- Some (Obs.capture_domain ())
+      in
+      (* dispatch chunks 1.. to the workers, run chunk 0 here *)
+      for s = 1 to slices - 1 do
+        let box = t.boxes.(s - 1) in
+        submit box (fun () ->
+            Obs.Span.adopt ctx;
+            run_chunk s)
+      done;
+      run_chunk 0;
+      for s = 1 to slices - 1 do
+        await t.boxes.(s - 1)
+      done;
+      (* merge worker obs state in chunk order: deterministic, and equal to
+         the sequential accumulation order *)
+      Array.iter (Option.iter Obs.absorb_domain) snaps;
+      (* re-raise the failure of the lowest-indexed raising cell, matching
+         what a sequential left-to-right loop would have thrown *)
+      let first_fail =
+        Array.fold_left
+          (fun acc fo ->
+            match (acc, fo) with
+            | None, f -> f
+            | Some (i, _, _), Some ((j, _, _) as f) when j < i -> Some f
+            | acc, _ -> acc)
+          None fails
+      in
+      match first_fail with
+      | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+      | None ->
+          Array.map
+            (function
+              | Some r -> r
+              | None -> assert false (* no failure => every cell filled *))
+            results
+    end
+  end
+
+let map_list t ~f cells =
+  Array.to_list (map_cells t ~f:(fun _ c -> f c) (Array.of_list cells))

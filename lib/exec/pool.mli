@@ -1,0 +1,56 @@
+(** Fixed-size domain pool with deterministic chunked scheduling.
+
+    The experiment fabric: a sweep is a list of independent cells (one
+    graph/parameter/seed combination each); {!map_cells} slices the cell
+    array into [jobs] contiguous, balanced chunks, runs chunk 0 on the
+    calling domain and the rest on persistent worker domains, and returns
+    results indexed exactly like the input.  Determinism contract: every
+    cell computes from its own inputs (its own seed, no shared mutable
+    state), so the result array — and anything the caller prints from it in
+    index order — is byte-identical whatever the job count.
+
+    Observability integrates at the join: workers adopt the caller's open
+    span context before running ({!Obs.Span.adopt}) and their span tables,
+    metric stores, and buffered sink lines are captured when their chunk
+    ends and absorbed into the calling domain in chunk order
+    ({!Obs.capture_domain}/{!Obs.absorb_domain}), so counters, histograms
+    and last-writer gauges merge to the same values sequential execution
+    produces.
+
+    With [jobs = 1] (or a single cell) no domain is ever involved: the
+    cells run inline on the calling domain, making [-j 1] bit-identical to
+    code that never heard of the pool. *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn [jobs - 1] persistent worker domains ([jobs] is clamped to at
+    least 1).  The workers idle on a condition variable between sweeps.
+    Call {!shutdown} when done — live workers keep the process alive. *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent; the pool must not be
+    used afterwards. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and shuts it down when
+    [f] returns or raises. *)
+
+val map_cells : t -> f:(int -> 'a -> 'b) -> 'a array -> 'b array
+(** [map_cells t ~f cells] computes [f i cells.(i)] for every [i] and
+    returns the results in input order.  [f] runs on the calling domain for
+    chunk 0 and on worker domains otherwise; it must not touch mutable
+    state shared with other cells (print, grow caller-side refs, use the
+    global [Random] state, ...) — return data instead and let the caller
+    emit it in order.  Observability (spans, metrics, sink events) is safe
+    anywhere.
+
+    If cells raise, the exception of the lowest-indexed raising cell is
+    re-raised (with its backtrace) after all chunks finish and worker
+    observability state is absorbed. *)
+
+val map_list : t -> f:('a -> 'b) -> 'a list -> 'b list
+(** List-flavored {!map_cells} (cell index dropped), for callers whose
+    sweeps are lists. *)

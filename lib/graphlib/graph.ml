@@ -2,6 +2,12 @@ type t = {
   n : int;
   edges : (int * int) array;
   adj : (int * int) array array;
+  (* [adj] sorted by neighbor id, built once at construction: the lookup
+     index behind [find_edge]/[mem_edge].  Kept separate from [adj] so
+     adjacency *iteration* order (edge-insertion order) — which BFS tie
+     breaking, Voronoi growth and hence every recorded experiment number
+     depends on — is unchanged. *)
+  adj_sorted : (int * int) array array;
 }
 
 let n g = g.n
@@ -18,15 +24,21 @@ let other_endpoint g e v =
   else if v = w then u
   else invalid_arg "Graph.other_endpoint: vertex not on edge"
 
+(* the sorted index makes adjacency queries a binary search, O(log degree)
+   instead of O(degree); neighbor ids are unique per vertex (no parallel
+   edges), so the search key is total *)
 let find_edge g u v =
-  let a = g.adj.(u) in
-  let rec loop i =
-    if i >= Array.length a then None
-    else
-      let w, e = a.(i) in
-      if w = v then Some e else loop (i + 1)
-  in
-  loop 0
+  let a = g.adj_sorted.(u) in
+  let lo = ref 0 and hi = ref (Array.length a) in
+  let found = ref None in
+  while !found = None && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let w, e = a.(mid) in
+    if w = v then found := Some e
+    else if w < v then lo := mid + 1
+    else hi := mid
+  done;
+  !found
 
 let mem_edge g u v = find_edge g u v <> None
 
@@ -64,7 +76,15 @@ let of_edges n raw =
       adj.(v).(fill.(v)) <- (u, e);
       fill.(v) <- fill.(v) + 1)
     edges;
-  { n; edges; adj }
+  let adj_sorted =
+    Array.map
+      (fun a ->
+        let s = Array.copy a in
+        Array.sort (fun (w1, _) (w2, _) -> compare w1 w2) s;
+        s)
+      adj
+  in
+  { n; edges; adj; adj_sorted }
 
 let complete n =
   let acc = ref [] in

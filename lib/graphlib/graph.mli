@@ -22,8 +22,8 @@ val edges : t -> (int * int) array
     do not mutate. *)
 
 val adj : t -> int -> (int * int) array
-(** [adj g v] lists [(neighbor, edge_id)] pairs incident to [v]. Owned by the
-    graph; do not mutate. *)
+(** [adj g v] lists [(neighbor, edge_id)] pairs incident to [v], in edge
+    insertion order. Owned by the graph; do not mutate. *)
 
 val neighbors : t -> int -> int array
 (** [neighbors g v] is the neighbor list of [v] (fresh array). *)
@@ -35,7 +35,7 @@ val other_endpoint : t -> int -> int -> int
     @raise Invalid_argument if [v] is not an endpoint of [e]. *)
 
 val mem_edge : t -> int -> int -> bool
-(** [mem_edge g u v] tests adjacency (linear in [degree g u]). *)
+(** [mem_edge g u v] tests adjacency (binary search, O(log (degree g u))). *)
 
 val find_edge : t -> int -> int -> int option
 (** Edge id joining [u] and [v], if any. *)

@@ -1,137 +1,275 @@
-(* Process-global metrics registry: named counters, gauges, and fixed-bucket
-   histograms.
+(* Metrics registry with domain-safe collection.
 
-   Instrumented modules register their instruments once (typically in a
-   top-level [let]) and keep the returned record, so the hot path is a bare
-   field update — no hashing, no branching on an enabled flag.  [reset]
-   zeroes values *in place*, preserving those held references. *)
+   Instrument *identities* (name -> dense id per kind) live in a global,
+   mutex-protected registry that is only touched at registration time —
+   typically a top-level [let] in the instrumented module.  Instrument
+   *values* live in per-domain stores (domain-local storage), so the hot
+   path — incr/add/set/observe through a handle the caller already holds —
+   is a bare array update on this domain's store: no lock, no hashing, no
+   enabled check.
 
-type counter = { name : string; mutable count : int }
-type gauge = { name : string; mutable value : float; mutable touched : bool }
+   [Exec.Pool] detaches each worker domain's store at join ([capture]) and
+   folds the snapshots into the pool-owning domain's store ([absorb]) in
+   canonical slice order, so merged values are deterministic and match what
+   sequential execution would have produced.  Readers ([count], [to_json],
+   ...) see the calling domain's store; after a pool join the owning
+   domain's store is the authoritative aggregate. *)
+
+type counter = { cid : int; cname : string }
+type gauge = { gid : int; gname : string }
 
 type histogram = {
-  name : string;
-  bounds : float array; (* strictly increasing upper bucket bounds *)
-  counts : int array; (* length = Array.length bounds + 1; last = overflow *)
-  mutable sum : float;
-  mutable observations : int;
+  hid : int;
+  hname : string;
+  hbounds : float array; (* strictly increasing upper bucket bounds *)
 }
 
+(* ---------------- global registry (cold path) ---------------- *)
+
+let reg_lock = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
 let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
-let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-      let c = { name; count = 0 } in
-      Hashtbl.replace counters name c;
-      c
+let intern tbl make name =
+  Mutex.protect reg_lock (fun () ->
+      match Hashtbl.find_opt tbl name with
+      | Some x -> x
+      | None ->
+          let x = make (Hashtbl.length tbl) in
+          Hashtbl.replace tbl name x;
+          x)
 
-let incr c = c.count <- c.count + 1
-let add c k = c.count <- c.count + k
-let count c = c.count
-
-let gauge name =
-  match Hashtbl.find_opt gauges name with
-  | Some g -> g
-  | None ->
-      let g = { name; value = 0.0; touched = false } in
-      Hashtbl.replace gauges name g;
-      g
-
-let set g v =
-  g.value <- v;
-  g.touched <- true
-
-let gauge_value g = if g.touched then Some g.value else None
+let counter name = intern counters (fun cid -> { cid; cname = name }) name
+let gauge name = intern gauges (fun gid -> { gid; gname = name }) name
 
 (* powers of two through 65536: a decade-and-a-half of dynamic range that
    fits loads, round counts, and millisecond durations alike *)
 let default_bounds = Array.init 17 (fun i -> float_of_int (1 lsl i))
 
 let histogram ?(bounds = default_bounds) name =
-  match Hashtbl.find_opt histograms name with
-  | Some h -> h
+  intern histograms
+    (fun hid -> { hid; hname = name; hbounds = Array.copy bounds })
+    name
+
+(* ---------------- per-domain value store ---------------- *)
+
+type hstate = {
+  hcounts : int array; (* length = bounds + 1; last = overflow *)
+  mutable hsum : float;
+  mutable hobs : int;
+}
+
+type store = {
+  mutable counts : int array; (* indexed by cid; 0 beyond length *)
+  mutable gvals : float array; (* indexed by gid *)
+  mutable gtouched : bool array;
+  mutable hists : hstate option array; (* indexed by hid *)
+}
+
+type snapshot = store
+
+let fresh_store () =
+  { counts = [||]; gvals = [||]; gtouched = [||]; hists = [||] }
+
+let store_key = Domain.DLS.new_key fresh_store
+
+let grown len old fill =
+  let b = Array.make (max len ((2 * Array.length old) + 8)) fill in
+  Array.blit old 0 b 0 (Array.length old);
+  b
+
+let ensure_counter s id =
+  if Array.length s.counts <= id then s.counts <- grown (id + 1) s.counts 0
+
+let ensure_gauge s id =
+  if Array.length s.gvals <= id then begin
+    s.gvals <- grown (id + 1) s.gvals 0.0;
+    s.gtouched <- grown (id + 1) s.gtouched false
+  end
+
+let ensure_hist s id =
+  if Array.length s.hists <= id then s.hists <- grown (id + 1) s.hists None
+
+let hstate_for s h =
+  ensure_hist s h.hid;
+  match s.hists.(h.hid) with
+  | Some hs -> hs
   | None ->
-      let h =
+      let hs =
         {
-          name;
-          bounds = Array.copy bounds;
-          counts = Array.make (Array.length bounds + 1) 0;
-          sum = 0.0;
-          observations = 0;
+          hcounts = Array.make (Array.length h.hbounds + 1) 0;
+          hsum = 0.0;
+          hobs = 0;
         }
       in
-      Hashtbl.replace histograms name h;
-      h
+      s.hists.(h.hid) <- Some hs;
+      hs
+
+(* ---------------- hot path ---------------- *)
+
+let add c k =
+  let s = Domain.DLS.get store_key in
+  ensure_counter s c.cid;
+  s.counts.(c.cid) <- s.counts.(c.cid) + k
+
+let incr c = add c 1
+
+let count c =
+  let s = Domain.DLS.get store_key in
+  if c.cid < Array.length s.counts then s.counts.(c.cid) else 0
+
+let set g v =
+  let s = Domain.DLS.get store_key in
+  ensure_gauge s g.gid;
+  s.gvals.(g.gid) <- v;
+  s.gtouched.(g.gid) <- true
+
+let gauge_value g =
+  let s = Domain.DLS.get store_key in
+  if g.gid < Array.length s.gvals && s.gtouched.(g.gid) then
+    Some s.gvals.(g.gid)
+  else None
 
 let observe h v =
+  let s = Domain.DLS.get store_key in
+  let hs = hstate_for s h in
   (* first bucket whose bound is >= v, by binary search; O(log #buckets) on
      a fixed small array *)
-  let lo = ref 0 and hi = ref (Array.length h.bounds) in
+  let lo = ref 0 and hi = ref (Array.length h.hbounds) in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
-    if v <= h.bounds.(mid) then hi := mid else lo := mid + 1
+    if v <= h.hbounds.(mid) then hi := mid else lo := mid + 1
   done;
-  h.counts.(!lo) <- h.counts.(!lo) + 1;
-  h.sum <- h.sum +. v;
-  h.observations <- h.observations + 1
+  hs.hcounts.(!lo) <- hs.hcounts.(!lo) + 1;
+  hs.hsum <- hs.hsum +. v;
+  hs.hobs <- hs.hobs + 1
 
-let observations h = h.observations
-let bucket_counts h = Array.copy h.counts
+let observations h =
+  let s = Domain.DLS.get store_key in
+  if h.hid < Array.length s.hists then
+    match s.hists.(h.hid) with Some hs -> hs.hobs | None -> 0
+  else 0
 
-let reset () =
-  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
-  Hashtbl.iter
-    (fun _ g ->
-      g.value <- 0.0;
-      g.touched <- false)
-    gauges;
-  Hashtbl.iter
-    (fun _ h ->
-      Array.fill h.counts 0 (Array.length h.counts) 0;
-      h.sum <- 0.0;
-      h.observations <- 0)
-    histograms
+let bucket_counts h =
+  let s = Domain.DLS.get store_key in
+  if h.hid < Array.length s.hists then
+    match s.hists.(h.hid) with
+    | Some hs -> Array.copy hs.hcounts
+    | None -> Array.make (Array.length h.hbounds + 1) 0
+  else Array.make (Array.length h.hbounds + 1) 0
+
+let reset () = Domain.DLS.set store_key (fresh_store ())
+
+(* ---------------- capture / absorb (pool-join merge) ---------------- *)
+
+let capture () =
+  let s = Domain.DLS.get store_key in
+  Domain.DLS.set store_key (fresh_store ());
+  s
+
+let absorb (snap : snapshot) =
+  let s = Domain.DLS.get store_key in
+  Array.iteri
+    (fun i v ->
+      if v <> 0 then begin
+        ensure_counter s i;
+        s.counts.(i) <- s.counts.(i) + v
+      end)
+    snap.counts;
+  (* a touched gauge overrides: absorbing snapshots in canonical slice order
+     reproduces the last-writer-wins outcome of sequential execution *)
+  Array.iteri
+    (fun i touched ->
+      if touched then begin
+        ensure_gauge s i;
+        s.gvals.(i) <- snap.gvals.(i);
+        s.gtouched.(i) <- true
+      end)
+    snap.gtouched;
+  Array.iteri
+    (fun i hso ->
+      match hso with
+      | None -> ()
+      | Some hs ->
+          ensure_hist s i;
+          let own =
+            match s.hists.(i) with
+            | Some own -> own
+            | None ->
+                let own =
+                  {
+                    hcounts = Array.make (Array.length hs.hcounts) 0;
+                    hsum = 0.0;
+                    hobs = 0;
+                  }
+                in
+                s.hists.(i) <- Some own;
+                own
+          in
+          Array.iteri
+            (fun b c -> own.hcounts.(b) <- own.hcounts.(b) + c)
+            hs.hcounts;
+          own.hsum <- own.hsum +. hs.hsum;
+          own.hobs <- own.hobs + hs.hobs)
+    snap.hists
+
+(* ---------------- reporting (cold path) ---------------- *)
 
 let top_counters ?(limit = 10) () =
-  Hashtbl.fold (fun _ c acc -> if c.count > 0 then (c.name, c.count) :: acc else acc)
+  let s = Domain.DLS.get store_key in
+  Hashtbl.fold
+    (fun _ c acc ->
+      let v = if c.cid < Array.length s.counts then s.counts.(c.cid) else 0 in
+      if v > 0 then (c.cname, v) :: acc else acc)
     counters []
   |> List.sort (fun (na, a) (nb, b) ->
          match compare b a with 0 -> compare na nb | c -> c)
   |> List.filteri (fun i _ -> i < limit)
 
 let to_json () =
+  let s = Domain.DLS.get store_key in
   let counter_fields =
     Hashtbl.fold
-      (fun _ (c : counter) acc -> (c.name, Sink.Int c.count) :: acc)
+      (fun _ c acc ->
+        let v =
+          if c.cid < Array.length s.counts then s.counts.(c.cid) else 0
+        in
+        (c.cname, Sink.Int v) :: acc)
       counters []
     |> List.sort compare
   in
   let gauge_fields =
     Hashtbl.fold
       (fun _ g acc ->
-        if g.touched then (g.name, Sink.Float g.value) :: acc else acc)
+        if g.gid < Array.length s.gvals && s.gtouched.(g.gid) then
+          (g.gname, Sink.Float s.gvals.(g.gid)) :: acc
+        else acc)
       gauges []
     |> List.sort compare
   in
   let histogram_fields =
     Hashtbl.fold
       (fun _ h acc ->
-        ( h.name,
+        let hcounts, hsum, hobs =
+          if h.hid < Array.length s.hists then
+            match s.hists.(h.hid) with
+            | Some hs -> (hs.hcounts, hs.hsum, hs.hobs)
+            | None -> (Array.make (Array.length h.hbounds + 1) 0, 0.0, 0)
+          else (Array.make (Array.length h.hbounds + 1) 0, 0.0, 0)
+        in
+        ( h.hname,
           Sink.Obj
             [
               ( "bounds",
                 Sink.List
-                  (Array.to_list h.bounds |> List.map (fun b -> Sink.Float b))
+                  (Array.to_list h.hbounds |> List.map (fun b -> Sink.Float b))
               );
               ( "counts",
                 Sink.List
-                  (Array.to_list h.counts |> List.map (fun c -> Sink.Int c)) );
-              ("sum", Sink.Float h.sum);
-              ("count", Sink.Int h.observations);
+                  (Array.to_list hcounts |> List.map (fun c -> Sink.Int c)) );
+              ("sum", Sink.Float hsum);
+              ("count", Sink.Int hobs);
             ] )
         :: acc)
       histograms []

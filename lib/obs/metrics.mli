@@ -1,11 +1,17 @@
-(** Process-global registry of named counters, gauges, and fixed-bucket
-    histograms.
+(** Registry of named counters, gauges, and fixed-bucket histograms, with
+    domain-safe collection.
 
-    Instruments are interned by name: registering the same name twice
-    returns the same record.  The hot path ({!incr}, {!add}, {!set},
-    {!observe}) is a direct field update on the record the caller holds —
-    O(1), no lookup, no enabled check.  {!reset} zeroes values in place so
-    references held by instrumented modules stay valid. *)
+    Instruments are interned by name in a process-global registry (a mutex
+    is taken at registration only): registering the same name twice returns
+    the same handle.  Values are collected in a per-domain store, so the
+    hot path ({!incr}, {!add}, {!set}, {!observe}) is a bare array update
+    on the calling domain's store — O(1), no lock, no enabled check.
+
+    Readers ({!count}, {!gauge_value}, {!to_json}, ...) report the calling
+    domain's store.  [Exec.Pool] moves worker values to the pool-owning
+    domain with {!capture}/{!absorb} at join, in canonical slice order, so
+    after a join the owning domain's store holds the deterministic
+    aggregate — identical to what sequential execution would produce. *)
 
 type counter
 type gauge
@@ -20,7 +26,8 @@ val gauge : string -> gauge
 val set : gauge -> float -> unit
 
 val gauge_value : gauge -> float option
-(** [None] until the gauge has been {!set} since the last {!reset}. *)
+(** [None] until the gauge has been {!set} (in this domain or an absorbed
+    snapshot) since the last {!reset}. *)
 
 val default_bounds : float array
 (** Powers of two, 1 .. 65536. *)
@@ -38,7 +45,23 @@ val bucket_counts : histogram -> int array
     is the overflow bucket).  Fresh array. *)
 
 val reset : unit -> unit
-(** Zero every registered instrument, keeping registrations intact. *)
+(** Zero the calling domain's values; registrations (and handles held by
+    instrumented modules) stay valid. *)
+
+(** {1 Pool-join merge}
+
+    Used by [Exec.Pool]; see {!Obs.capture_domain}. *)
+
+type snapshot
+
+val capture : unit -> snapshot
+(** Detach the calling domain's store (leaving it empty) for later
+    {!absorb} on another domain. *)
+
+val absorb : snapshot -> unit
+(** Fold a captured store into the calling domain's: counters and histogram
+    buckets add; a gauge set in the snapshot overrides, so absorbing in
+    canonical order reproduces sequential last-writer-wins. *)
 
 val top_counters : ?limit:int -> unit -> (string * int) list
 (** Nonzero counters, largest first (ties by name). *)

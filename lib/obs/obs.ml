@@ -13,7 +13,13 @@
 
     Everything is off by default: with no sink installed and spans
     disabled, the instrumentation in library code costs a bool check per
-    call site. *)
+    call site.
+
+    All three pieces are domain-safe: values accumulate in per-domain state
+    and [Exec.Pool] merges worker state into the pool-owning domain at join
+    via {!capture_domain}/{!absorb_domain} — the only synchronization on
+    the instrumentation hot path is the sink's per-line-buffer mutex, taken
+    when a 64 KiB buffer drains. *)
 
 module Clock = Clock
 module Sink = Sink
@@ -23,3 +29,16 @@ module Metrics = Metrics
 let reset_all () =
   Span.reset ();
   Metrics.reset ()
+
+(** Everything a worker domain accumulated, bundled for the pool join. *)
+type domain_state = { spans : Span.snapshot; metrics : Metrics.snapshot }
+
+let capture_domain () =
+  (* push buffered sink lines out first: the sink counts and orders events
+     at the channel, not in the snapshot *)
+  Sink.flush_local ();
+  { spans = Span.capture (); metrics = Metrics.capture () }
+
+let absorb_domain { spans; metrics } =
+  Span.absorb spans;
+  Metrics.absorb metrics

@@ -288,29 +288,62 @@ let float_value = function
 
 type t = {
   chan : out_channel;
-  buf : Buffer.t;
+  lock : Mutex.t; (* guards [chan], [events] and [closed] *)
   mutable events : int;
   mutable closed : bool;
 }
 
+(* Per-domain line buffer (domain-local storage): the hot path appends
+   complete lines here without taking any lock; [lock] is only taken when a
+   full buffer — or a flush at pool join — pushes its lines to the channel.
+   Because a buffer always ends at a line boundary, concurrent writer
+   domains can never interleave bytes mid-line, so the JSONL stream stays
+   valid under [Exec.Pool] fan-out. *)
+type slot = {
+  mutable owner : t option;
+  slot_buf : Buffer.t;
+  mutable pending : int; (* buffered-but-not-yet-counted events *)
+}
+
+let slot_key =
+  Domain.DLS.new_key (fun () ->
+      { owner = None; slot_buf = Buffer.create 4096; pending = 0 })
+
 let flush_threshold = 1 lsl 16
 
 let of_channel chan =
-  { chan; buf = Buffer.create 4096; events = 0; closed = false }
+  { chan; lock = Mutex.create (); events = 0; closed = false }
 
 let open_file path = of_channel (open_out path)
 
-let flush t =
-  if Buffer.length t.buf > 0 then begin
-    Buffer.output_buffer t.chan t.buf;
-    Buffer.clear t.buf
-  end;
-  Stdlib.flush t.chan
+let flush_slot slot =
+  (match slot.owner with
+  | Some t when Buffer.length slot.slot_buf > 0 ->
+      Mutex.protect t.lock (fun () ->
+          if not t.closed then begin
+            Buffer.output_buffer t.chan slot.slot_buf;
+            t.events <- t.events + slot.pending
+          end)
+  | _ -> ());
+  Buffer.clear slot.slot_buf;
+  slot.pending <- 0
 
-let event_count t = t.events
+let flush_local () = flush_slot (Domain.DLS.get slot_key)
+
+let flush t =
+  let slot = Domain.DLS.get slot_key in
+  (match slot.owner with Some o when o == t -> flush_slot slot | _ -> ());
+  Mutex.protect t.lock (fun () -> if not t.closed then Stdlib.flush t.chan)
+
+let event_count t =
+  let slot = Domain.DLS.get slot_key in
+  t.events
+  + (match slot.owner with Some o when o == t -> slot.pending | _ -> 0)
 
 (* the global installation point; [active] mirrors [current <> None] so the
-   disabled-path check in hot code is one bool load *)
+   disabled-path check in hot code is one bool load.  Both refs are written
+   only while no worker domain is running; workers see the values through
+   the happens-before edge of the pool's task handoff. *)
 let current : t option ref = ref None
 let active = ref false
 let enabled () = !active
@@ -326,20 +359,28 @@ let uninstall () =
 
 let write t j =
   if not t.closed then begin
-    to_buffer t.buf j;
-    Buffer.add_char t.buf '\n';
-    t.events <- t.events + 1;
-    if Buffer.length t.buf >= flush_threshold then begin
-      Buffer.output_buffer t.chan t.buf;
-      Buffer.clear t.buf
-    end
+    let slot = Domain.DLS.get slot_key in
+    (match slot.owner with
+    | Some o when o == t -> ()
+    | _ ->
+        (* first write to [t] from this domain: hand any lines buffered for
+           a previous sink to their owner, then adopt [t] *)
+        flush_slot slot;
+        slot.owner <- Some t);
+    to_buffer slot.slot_buf j;
+    Buffer.add_char slot.slot_buf '\n';
+    slot.pending <- slot.pending + 1;
+    if Buffer.length slot.slot_buf >= flush_threshold then flush_slot slot
   end
 
 let close t =
   if not t.closed then begin
     flush t;
-    close_out t.chan;
-    t.closed <- true;
+    Mutex.protect t.lock (fun () ->
+        if not t.closed then begin
+          close_out t.chan;
+          t.closed <- true
+        end);
     match !current with
     | Some c when c == t ->
         current := None;

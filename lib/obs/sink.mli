@@ -9,7 +9,15 @@
     A sink writes one event per line.  Installing a sink makes it the
     process-global destination for {!emit}; with no sink installed, [emit]
     costs a single bool check, so instrumented library code pays ~nothing
-    when observability is off. *)
+    when observability is off.
+
+    Sinks are domain-safe: each domain buffers complete event lines in
+    domain-local storage and hands them to the shared channel under the
+    sink's mutex only when a buffer fills (or at {!flush}/{!flush_local}),
+    so concurrent writers from an [Exec.Pool] can never interleave bytes
+    mid-line and the output remains valid JSONL.  The hot path takes no
+    lock.  Install/uninstall/close must happen while no worker domain is
+    writing (the pool's task handoff provides the needed ordering). *)
 
 type json =
   | Null
@@ -55,15 +63,24 @@ val of_channel : out_channel -> t
 val open_file : string -> t
 
 val write : t -> json -> unit
-(** Append one event line (buffered; flushed at 64 KiB boundaries). *)
+(** Append one event line (buffered per domain; a domain's buffer is pushed
+    to the channel at 64 KiB boundaries). *)
 
 val flush : t -> unit
+(** Push the calling domain's buffered lines and flush the channel. *)
+
+val flush_local : unit -> unit
+(** Hand the calling domain's buffered lines to their sink without flushing
+    the channel.  Called by [Exec.Pool] on each worker before it parks, and
+    usable from any domain that is about to stop writing. *)
 
 val close : t -> unit
 (** Flush, close the underlying channel, and uninstall the sink if it is
     the installed one.  Idempotent. *)
 
 val event_count : t -> int
+(** Events written so far, counting the calling domain's buffered lines;
+    lines still buffered by *other* domains are counted once they flush. *)
 
 (** {1 Global installation} *)
 

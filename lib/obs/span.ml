@@ -10,8 +10,18 @@
      bench prints after each experiment;
    - one "span" event per completed span into the installed sink, if any.
 
+   The open-frame stack and the aggregation table are per-domain (domain-
+   local storage), so worker domains spawned by [Exec.Pool] record spans
+   without any locking.  A worker inherits the spawning domain's innermost
+   open path as its *base* ([fork_context]/[adopt]), so span paths and
+   depths recorded inside a pool are identical to sequential execution; at
+   join the pool captures each worker's table and folds it into the owning
+   domain's ([capture]/[absorb]).
+
    Collection is off by default; [with_] then reduces to running the thunk
-   behind one bool check. *)
+   behind one bool check.  The [on] flag is written only from the pool-
+   owning domain while no worker runs; workers read it through the pool's
+   task-handoff ordering. *)
 
 type frame = {
   name : string;
@@ -35,14 +45,24 @@ let on = ref false
 let set_enabled v = on := v
 let enabled () = !on
 
-let stack : frame list ref = ref []
-let table : (string, stat) Hashtbl.t = Hashtbl.create 64
+type dstate = {
+  mutable stack : frame list;
+  mutable table : (string, stat) Hashtbl.t;
+  mutable base_path : string; (* inherited parent path; "" = none *)
+  mutable base_depth : int; (* depth of the inherited parent; -1 = none *)
+}
+
+let fresh () =
+  { stack = []; table = Hashtbl.create 64; base_path = ""; base_depth = -1 }
+
+let key = Domain.DLS.new_key fresh
 
 let reset () =
-  Hashtbl.reset table;
-  stack := []
+  let st = Domain.DLS.get key in
+  Hashtbl.reset st.table;
+  st.stack <- []
 
-let stat_for (fr : frame) =
+let stat_for table (fr : frame) =
   match Hashtbl.find_opt table fr.path with
   | Some st -> st
   | None ->
@@ -60,12 +80,13 @@ let stat_for (fr : frame) =
       st
 
 let add_attr k v =
-  match !stack with [] -> () | fr :: _ -> fr.attrs <- (k, v) :: fr.attrs
+  let ds = Domain.DLS.get key in
+  match ds.stack with [] -> () | fr :: _ -> fr.attrs <- (k, v) :: fr.attrs
 
-let close fr =
+let close ds fr =
   let dur = Int64.sub (Clock.now_ns ()) fr.start_ns in
-  (match !stack with
-  | top :: rest when top == fr -> stack := rest
+  (match ds.stack with
+  | top :: rest when top == fr -> ds.stack <- rest
   | other ->
       (* unbalanced close (an exception skipped children): drop frames down
          to and including [fr] so the stack stays consistent *)
@@ -73,12 +94,12 @@ let close fr =
         | top :: rest -> if top == fr then rest else pop rest
         | [] -> []
       in
-      stack := pop other);
-  (match !stack with
+      ds.stack <- pop other);
+  (match ds.stack with
   | parent :: _ -> parent.child_ns <- Int64.add parent.child_ns dur
   | [] -> ());
   let self = Int64.sub dur fr.child_ns in
-  let st = stat_for fr in
+  let st = stat_for ds.table fr in
   st.calls <- st.calls + 1;
   st.total_ns <- Int64.add st.total_ns dur;
   st.self_ns <- Int64.add st.self_ns self;
@@ -97,10 +118,14 @@ let close fr =
 let with_ ?(attrs = []) name f =
   if not !on then f ()
   else begin
+    let ds = Domain.DLS.get key in
     let path, depth =
-      match !stack with
-      | [] -> (name, 0)
+      match ds.stack with
       | parent :: _ -> (parent.path ^ "/" ^ name, parent.depth + 1)
+      | [] ->
+          if ds.base_depth >= 0 then
+            (ds.base_path ^ "/" ^ name, ds.base_depth + 1)
+          else (name, 0)
     in
     let fr =
       {
@@ -112,12 +137,64 @@ let with_ ?(attrs = []) name f =
         attrs = List.rev attrs;
       }
     in
-    stack := fr :: !stack;
-    Fun.protect ~finally:(fun () -> close fr) f
+    ds.stack <- fr :: ds.stack;
+    Fun.protect ~finally:(fun () -> close ds fr) f
   end
 
+(* ---------------- pool support ---------------- *)
+
+type fork_ctx = (string * int) option
+
+let fork_context () =
+  if not !on then None
+  else
+    let ds = Domain.DLS.get key in
+    match ds.stack with
+    | fr :: _ -> Some (fr.path, fr.depth)
+    | [] ->
+        if ds.base_depth >= 0 then Some (ds.base_path, ds.base_depth)
+        else None
+
+let adopt ctx =
+  let ds = Domain.DLS.get key in
+  match ctx with
+  | Some (p, d) ->
+      ds.base_path <- p;
+      ds.base_depth <- d
+  | None ->
+      ds.base_path <- "";
+      ds.base_depth <- -1
+
+type snapshot = (string, stat) Hashtbl.t
+
+let capture () =
+  let ds = Domain.DLS.get key in
+  let t = ds.table in
+  ds.table <- Hashtbl.create 64;
+  ds.stack <- [];
+  ds.base_path <- "";
+  ds.base_depth <- -1;
+  t
+
+let absorb (snap : snapshot) =
+  let ds = Domain.DLS.get key in
+  Hashtbl.iter
+    (fun path st ->
+      match Hashtbl.find_opt ds.table path with
+      | None ->
+          (* the snapshot is detached — its records can be adopted as-is *)
+          Hashtbl.replace ds.table path st
+      | Some own ->
+          own.calls <- own.calls + st.calls;
+          own.total_ns <- Int64.add own.total_ns st.total_ns;
+          own.self_ns <- Int64.add own.self_ns st.self_ns)
+    snap
+
+(* ---------------- reporting ---------------- *)
+
 let stats () =
-  Hashtbl.fold (fun _ st acc -> st :: acc) table []
+  let ds = Domain.DLS.get key in
+  Hashtbl.fold (fun _ st acc -> st :: acc) ds.table []
   |> List.sort (fun a b -> compare a.path b.path)
 
 (* sorting by path yields tree order: "a" < "a/child" < "ab" because

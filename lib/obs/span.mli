@@ -8,7 +8,13 @@
 
     Collection is disabled by default: [with_ name f] then just runs [f]
     behind a single bool check, so permanent instrumentation of hot library
-    code is safe. *)
+    code is safe.
+
+    The open-frame stack and aggregation table are per-domain, so worker
+    domains record spans lock-free.  [Exec.Pool] seeds each worker with the
+    spawning domain's innermost open path ({!fork_context}/{!adopt}) — so
+    paths and depths match sequential execution — and merges worker tables
+    back at join ({!capture}/{!absorb}). *)
 
 val set_enabled : bool -> unit
 val enabled : unit -> bool
@@ -35,7 +41,31 @@ val stats : unit -> stat list
     (parents immediately before their children). *)
 
 val reset : unit -> unit
-(** Clear the aggregation table and any dangling open frames. *)
+(** Clear the calling domain's aggregation table and any dangling open
+    frames. *)
+
+(** {1 Pool support}
+
+    Used by [Exec.Pool]; see {!Obs.capture_domain}. *)
+
+type fork_ctx
+
+val fork_context : unit -> fork_ctx
+(** The calling domain's innermost open span path, to seed workers with. *)
+
+val adopt : fork_ctx -> unit
+(** Make spans opened on this domain's empty stack nest under the given
+    context, as if they had been opened where {!fork_context} was called. *)
+
+type snapshot
+
+val capture : unit -> snapshot
+(** Detach the calling domain's aggregation table (clearing stack and
+    adopted context) for later {!absorb} on another domain. *)
+
+val absorb : snapshot -> unit
+(** Merge a captured table into the calling domain's, summing calls and
+    times per path. *)
 
 val render_table : ?min_ms:float -> unit -> string
 (** Indented calls/total/self table of {!stats}; rows with total below

@@ -53,18 +53,22 @@ let print_table rows =
 let ratio r bound = float_of_int r.q /. bound
 
 let fit_exponent_opt points =
-  let usable = List.filter (fun (x, y) -> x > 0.0 && y > 0.0) points in
-  let k = List.length usable in
+  (* single pass: filter, log-transform, and accumulate all four sums at
+     once (left-to-right, so the float sums match the former multi-pass
+     folds bit for bit) *)
+  let k, sx, sy, sxx, sxy =
+    List.fold_left
+      (fun ((k, sx, sy, sxx, sxy) as acc) (x, y) ->
+        if x > 0.0 && y > 0.0 then
+          let lx = log x and ly = log y in
+          (k + 1, sx +. lx, sy +. ly, sxx +. (lx *. lx), sxy +. (lx *. ly))
+        else acc)
+      (0, 0.0, 0.0, 0.0, 0.0) points
+  in
   if k < 2 then None
-  else begin
-    let logs = List.map (fun (x, y) -> (log x, log y)) usable in
-    let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 logs in
-    let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 logs in
-    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 logs in
-    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 logs in
+  else
     let kf = float_of_int k in
     Some (((kf *. sxy) -. (sx *. sy)) /. ((kf *. sxx) -. (sx *. sx)))
-  end
 
 let fit_exponent points =
   match fit_exponent_opt points with Some e -> e | None -> nan

@@ -29,7 +29,10 @@ let random_clique st g size =
     match !cands with
     | [] -> continue_ := false
     | cs ->
-        let pick = List.nth cs (Random.State.int st (List.length cs)) in
+        (* one O(len) conversion, then O(1) indexing; [Array.of_list] keeps
+           list order, so the picked element matches what [List.nth] chose *)
+        let arr = Array.of_list cs in
+        let pick = arr.(Random.State.int st (Array.length arr)) in
         clique := pick :: !clique
   done;
   Array.of_list !clique

@@ -1,0 +1,241 @@
+(* Tests for the domain-pool experiment fabric (lib/exec): deterministic
+   chunked scheduling, exception propagation from worker domains, the
+   jobs=1 inline bypass, and the pool-join merge of per-domain
+   observability state (metrics and spans). *)
+
+module Pool = Exec.Pool
+module Span = Obs.Span
+module Metrics = Obs.Metrics
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A cell function with some per-cell pseudo-random work: every cell seeds
+   its own [Random.State], the determinism contract the pool documents. *)
+let cell_value i x =
+  let st = Random.State.make [| 7919 * (i + 1); x |] in
+  let acc = ref 0 in
+  for _ = 1 to 200 + (i mod 7) do
+    acc := (!acc * 31) + Random.State.int st 1000
+  done;
+  (i, x, !acc land 0xFFFFFF)
+
+let run_with_jobs jobs cells =
+  Pool.with_pool ~jobs (fun p -> Pool.map_cells p ~f:cell_value cells)
+
+(* ---------- determinism and ordering ---------- *)
+
+let test_map_identity () =
+  let cells = Array.init 23 (fun i -> i * i) in
+  let r = run_with_jobs 1 cells in
+  Array.iteri
+    (fun i (j, x, _) ->
+      check_int "index" i j;
+      check_int "input" cells.(i) x)
+    r
+
+let test_jobs_equivalence () =
+  let cells = Array.init 37 (fun i -> (i * 13) + 5) in
+  let seq = run_with_jobs 1 cells in
+  List.iter
+    (fun jobs ->
+      let par = run_with_jobs jobs cells in
+      check
+        (Printf.sprintf "jobs=%d matches jobs=1" jobs)
+        true (par = seq))
+    [ 2; 3; 4; 8 ]
+
+let test_small_and_empty () =
+  (* fewer cells than jobs, one cell, zero cells *)
+  check "empty" true (run_with_jobs 4 [||] = [||]);
+  List.iter
+    (fun n ->
+      let cells = Array.init n (fun i -> i + 100) in
+      check
+        (Printf.sprintf "n=%d under jobs=4" n)
+        true
+        (run_with_jobs 4 cells = run_with_jobs 1 cells))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_map_list () =
+  let cells = [ 3; 1; 4; 1; 5; 9; 2; 6 ] in
+  Pool.with_pool ~jobs:3 (fun p ->
+      let r = Pool.map_list p ~f:(fun x -> x * x) cells in
+      check "map_list order" true (r = List.map (fun x -> x * x) cells))
+
+(* ---------- exception propagation ---------- *)
+
+exception Boom of int
+
+let test_exception_propagation () =
+  let cells = Array.init 20 (fun i -> i) in
+  let f _ x = if x mod 6 = 5 then raise (Boom x) else x in
+  (* cells 5, 11, 17 raise; the lowest-indexed one must win whatever the
+     chunk layout assigns to workers *)
+  List.iter
+    (fun jobs ->
+      let got =
+        try
+          ignore (Pool.with_pool ~jobs (fun p -> Pool.map_cells p ~f cells));
+          None
+        with Boom v -> Some v
+      in
+      check
+        (Printf.sprintf "lowest raising cell wins at jobs=%d" jobs)
+        true
+        (got = Some 5))
+    [ 1; 2; 4; 7 ]
+
+let test_shutdown () =
+  let p = Pool.create ~jobs:3 in
+  check_int "jobs" 3 (Pool.jobs p);
+  Pool.shutdown p;
+  Pool.shutdown p (* idempotent *);
+  check "map_cells after shutdown rejected" true
+    (try
+       ignore (Pool.map_cells p ~f:(fun _ x -> x) [| 1; 2; 3 |]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- jobs=1 runs inline, jobs>1 really uses other domains ---------- *)
+
+let test_inline_bypass () =
+  let main = Domain.self () in
+  let cells = Array.init 6 (fun i -> i) in
+  let doms =
+    Pool.with_pool ~jobs:1 (fun p ->
+        Pool.map_cells p ~f:(fun _ _ -> Domain.self ()) cells)
+  in
+  Array.iter (fun d -> check "jobs=1 stays on caller" true (d = main)) doms;
+  (* single cell never leaves the caller either, whatever the pool size *)
+  let doms1 =
+    Pool.with_pool ~jobs:4 (fun p ->
+        Pool.map_cells p ~f:(fun _ _ -> Domain.self ()) [| 0 |])
+  in
+  check "single cell stays on caller" true (doms1.(0) = main)
+
+let test_workers_used () =
+  let main = Domain.self () in
+  let cells = Array.init 8 (fun i -> i) in
+  let doms =
+    Pool.with_pool ~jobs:4 (fun p ->
+        Pool.map_cells p ~f:(fun _ _ -> Domain.self ()) cells)
+  in
+  let off_main =
+    Array.fold_left (fun n d -> if d = main then n else n + 1) 0 doms
+  in
+  check "some cells ran off the caller domain" true (off_main > 0);
+  (* chunk 0 always runs on the caller *)
+  check "cell 0 on caller" true (doms.(0) = main)
+
+(* ---------- observability merge at pool join ---------- *)
+
+let test_metrics_merge () =
+  Metrics.reset ();
+  let c = Metrics.counter "exec.test.cells" in
+  let g = Metrics.gauge "exec.test.last" in
+  let h = Metrics.histogram ~bounds:[| 4.; 8.; 16. |] "exec.test.sizes" in
+  let cells = Array.init 19 (fun i -> i) in
+  let f _ x =
+    Metrics.add c (x + 1);
+    Metrics.set g (float_of_int x);
+    Metrics.observe h (float_of_int x);
+    x
+  in
+  ignore (Pool.with_pool ~jobs:4 (fun p -> Pool.map_cells p ~f cells));
+  (* counters sum across domains: 1 + 2 + ... + 19 *)
+  check_int "counter total" 190 (Metrics.count c);
+  (* gauge: absorbing snapshots in chunk order reproduces sequential
+     last-writer-wins, i.e. the highest-indexed cell *)
+  check "gauge last writer" true (Metrics.gauge_value g = Some 18.);
+  check_int "histogram observations" 19 (Metrics.observations h);
+  (* buckets: <=4 -> 0..4 (5), <=8 -> 5..8 (4), <=16 -> 9..16 (8),
+     overflow -> 17,18 (2) *)
+  check "histogram buckets" true
+    (Metrics.bucket_counts h = [| 5; 4; 8; 2 |]);
+  Metrics.reset ()
+
+let span_stat path =
+  List.find_opt (fun (s : Span.stat) -> s.path = path) (Span.stats ())
+
+let test_span_merge () =
+  Span.reset ();
+  Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Span.set_enabled false;
+      Span.reset ())
+    (fun () ->
+      let cells = Array.init 12 (fun i -> i) in
+      let f _ x =
+        Span.with_ "cell" (fun () -> Span.with_ "inner" (fun () -> x))
+      in
+      Span.with_ "sweep" (fun () ->
+          ignore
+            (Pool.with_pool ~jobs:3 (fun p -> Pool.map_cells p ~f cells)));
+      (* worker spans adopt the caller's open path, so the merged table
+         looks exactly like a sequential run: every cell span nests under
+         "sweep" with the right depth and call counts *)
+      (match span_stat "sweep/cell" with
+      | None -> Alcotest.fail "sweep/cell missing from merged stats"
+      | Some s ->
+          check_int "cell calls" 12 s.calls;
+          check_int "cell depth" 1 s.depth);
+      match span_stat "sweep/cell/inner" with
+      | None -> Alcotest.fail "sweep/cell/inner missing from merged stats"
+      | Some s ->
+          check_int "inner calls" 12 s.calls;
+          check_int "inner depth" 2 s.depth)
+
+let test_span_merge_matches_sequential () =
+  let shape jobs =
+    Span.reset ();
+    Span.set_enabled true;
+    let cells = Array.init 9 (fun i -> i) in
+    let f i x = Span.with_ "work" (fun () -> i + x) in
+    Span.with_ "outer" (fun () ->
+        ignore (Pool.with_pool ~jobs (fun p -> Pool.map_cells p ~f cells)));
+    let s =
+      List.map
+        (fun (s : Span.stat) -> (s.path, s.name, s.depth, s.calls))
+        (Span.stats ())
+    in
+    Span.set_enabled false;
+    Span.reset ();
+    s
+  in
+  check "span shape jobs=4 = jobs=1" true (shape 4 = shape 1)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map_cells indexes and inputs" `Quick
+            test_map_identity;
+          Alcotest.test_case "results identical across job counts" `Quick
+            test_jobs_equivalence;
+          Alcotest.test_case "small and empty sweeps" `Quick
+            test_small_and_empty;
+          Alcotest.test_case "map_list preserves order" `Quick test_map_list;
+          Alcotest.test_case "lowest-index exception propagates" `Quick
+            test_exception_propagation;
+          Alcotest.test_case "shutdown is idempotent and final" `Quick
+            test_shutdown;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "jobs=1 never leaves the caller" `Quick
+            test_inline_bypass;
+          Alcotest.test_case "jobs>1 uses worker domains" `Quick
+            test_workers_used;
+        ] );
+      ( "obs-merge",
+        [
+          Alcotest.test_case "metrics merge at join" `Quick test_metrics_merge;
+          Alcotest.test_case "span paths merge under fork context" `Quick
+            test_span_merge;
+          Alcotest.test_case "merged span shape matches sequential" `Quick
+            test_span_merge_matches_sequential;
+        ] );
+    ]
