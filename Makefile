@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check bench bench-smoke bench-par-check clean
+.PHONY: all build test fmt check bench bench-record bench-smoke bench-par-check bench-cache-check clean
 
 all: build
 
@@ -25,6 +25,13 @@ check:
 bench:
 	dune exec bench/main.exe
 
+# machine-readable benchmark record: per-experiment wall/self times from the
+# obs spans, minor-heap allocation deltas, steady-state alloc-per-round
+# probes, and cache hit rates; BENCH_pr4.json is the PR 4 baseline artifact
+bench-record:
+	dune build bench/main.exe
+	./_build/default/bench/main.exe --record BENCH_pr4.json
+
 # one fast experiment with the JSONL sink on, then validate the stream:
 # every line parses, the required event types are present, and spans cover
 # at least four distinct construction phases
@@ -46,6 +53,26 @@ bench-par-check:
 	  --jsonl /tmp/e1-par.jsonl --jobs 2 > /tmp/e1-par-j2.out
 	diff /tmp/e1-par-j1.out /tmp/e1-par-j2.out
 	./_build/default/tools/jsonl_check.exe /tmp/e1-par.jsonl
+	$(MAKE) bench-cache-check
+
+# cache-invariance gate: the memo cache must not change what an experiment
+# computes.  Stdout must be byte-identical with the cache on and off, and
+# the JSONL data events (everything except spans and metrics, which
+# legitimately differ — a cache hit skips the producer's span and its
+# counters) must match modulo timestamps.
+bench-cache-check:
+	dune build bench/main.exe
+	./_build/default/bench/main.exe --only E1 --no-timing --no-breakdown \
+	  --jsonl /tmp/e1-cache.jsonl > /tmp/e1-cache-on.out
+	cp /tmp/e1-cache.jsonl /tmp/e1-cache-on.jsonl
+	./_build/default/bench/main.exe --only E1 --no-timing --no-breakdown \
+	  --no-cache --jsonl /tmp/e1-cache.jsonl > /tmp/e1-cache-off.out
+	diff /tmp/e1-cache-on.out /tmp/e1-cache-off.out
+	grep -v -e '"type":"span"' -e '"type":"metrics"' /tmp/e1-cache-on.jsonl \
+	  | sed 's/"ts":[0-9.e-]*,//g' > /tmp/e1-cache-on.events
+	grep -v -e '"type":"span"' -e '"type":"metrics"' /tmp/e1-cache.jsonl \
+	  | sed 's/"ts":[0-9.e-]*,//g' > /tmp/e1-cache-off.events
+	diff /tmp/e1-cache-on.events /tmp/e1-cache-off.events
 
 clean:
 	dune clean

@@ -55,7 +55,8 @@ let gen_families =
     "lk";
   ]
 
-let gen family width height size k seed pieces weighted out =
+let gen no_cache family width height size k seed pieces weighted out =
+  if no_cache then Memo.set_enabled false;
   let g =
     match family with
     | "grid" -> (Core.Generators.grid width height).Core.Generators.graph
@@ -87,7 +88,8 @@ let gen family width height size k seed pieces weighted out =
 
 (* ---------- info ---------- *)
 
-let show_info file =
+let show_info no_cache file =
+  if no_cache then Memo.set_enabled false;
   let g, w = read_graph file in
   Printf.printf "n = %d\nm = %d\nweighted = %b\n" (Core.Graph.n g) (Core.Graph.m g)
     (w <> None);
@@ -107,7 +109,8 @@ let show_info file =
    its data, printed here in trial order, so output does not depend on the
    job count (and a single trial prints exactly what it always did) *)
 
-let quality file nparts seed trials jobs trace_out =
+let quality no_cache file nparts seed trials jobs trace_out =
+  if no_cache then Memo.set_enabled false;
   with_obs trace_out @@ fun () ->
   let g, _ = read_graph file in
   let tree = Core.Spanning.bfs_tree g 0 in
@@ -153,7 +156,8 @@ let quality file nparts seed trials jobs trace_out =
 
 (* ---------- mst ---------- *)
 
-let mst file algo trials jobs trace_out =
+let mst no_cache file algo trials jobs trace_out =
+  if no_cache then Memo.set_enabled false;
   with_obs trace_out @@ fun () ->
   let g, w = read_graph file in
   let results =
@@ -206,7 +210,8 @@ let mst file algo trials jobs trace_out =
 
 (* ---------- mincut ---------- *)
 
-let mincut file trees seed trials jobs trace_out =
+let mincut no_cache file trees seed trials jobs trace_out =
+  if no_cache then Memo.set_enabled false;
   with_obs trace_out @@ fun () ->
   let g, w = read_graph file in
   let w = weights_of g w in
@@ -323,6 +328,14 @@ let report file =
           r.calls r.total_ms r.self_ms)
       rows
   end;
+  (* memo cache activity, if the trace recorded any *)
+  let c k = Option.value (Hashtbl.find_opt counters k) ~default:0 in
+  let hits = c "memo.hits" and misses = c "memo.misses" in
+  if hits + misses > 0 then
+    Printf.printf
+      "\nmemo cache: %d hits / %d misses / %d evictions (%.0f%% hit rate)\n" hits
+      misses (c "memo.evictions")
+      (100.0 *. float_of_int hits /. float_of_int (hits + misses));
   let top =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters []
     |> List.filter (fun (_, v) -> v <> 0)
@@ -356,6 +369,13 @@ let jobs_arg =
         ~doc:"Worker domains to spread trials over; output is identical to \
               --jobs 1.")
 
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Disable the construction memo cache; results are identical \
+              either way, this only trades time for memory.")
+
 let trace_arg =
   Arg.(
     value
@@ -375,18 +395,18 @@ let gen_cmd =
   let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE") in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a graph family instance as an edge list.")
-    Term.(const gen $ family $ width $ height $ size $ k $ seed_arg $ pieces $ weighted $ out)
+    Term.(const gen $ no_cache_arg $ family $ width $ height $ size $ k $ seed_arg $ pieces $ weighted $ out)
 
 let info_cmd =
   Cmd.v
     (Cmd.info "info" ~doc:"Basic structural facts about a graph file.")
-    Term.(const show_info $ file_arg)
+    Term.(const show_info $ no_cache_arg $ file_arg)
 
 let quality_cmd =
   let nparts = Arg.(value & opt int 8 & info [ "parts" ] ~doc:"Voronoi part count.") in
   Cmd.v
     (Cmd.info "quality" ~doc:"Construct shortcuts and report b, c, q + rounds.")
-    Term.(const quality $ file_arg $ nparts $ seed_arg $ trials_arg $ jobs_arg $ trace_arg)
+    Term.(const quality $ no_cache_arg $ file_arg $ nparts $ seed_arg $ trials_arg $ jobs_arg $ trace_arg)
 
 let mst_cmd =
   let algo =
@@ -397,13 +417,13 @@ let mst_cmd =
   in
   Cmd.v
     (Cmd.info "mst" ~doc:"Run a distributed MST and report simulated rounds.")
-    Term.(const mst $ file_arg $ algo $ trials_arg $ jobs_arg $ trace_arg)
+    Term.(const mst $ no_cache_arg $ file_arg $ algo $ trials_arg $ jobs_arg $ trace_arg)
 
 let mincut_cmd =
   let trees = Arg.(value & opt int 8 & info [ "trees" ] ~doc:"Sampled trees.") in
   Cmd.v
     (Cmd.info "mincut" ~doc:"Approximate min-cut; exact verification on small inputs.")
-    Term.(const mincut $ file_arg $ trees $ seed_arg $ trials_arg $ jobs_arg $ trace_arg)
+    Term.(const mincut $ no_cache_arg $ file_arg $ trees $ seed_arg $ trials_arg $ jobs_arg $ trace_arg)
 
 let report_cmd =
   Cmd.v

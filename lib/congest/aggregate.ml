@@ -72,6 +72,7 @@ let minimum ?max_rounds ?trace sc ~values =
     end;
     better
   in
+  let send_buf = [| 0; 0; 0; 0 |] in
   let algo =
     {
       Network.init =
@@ -89,23 +90,24 @@ let minimum ?max_rounds ?trace sc ~values =
           | _ -> ());
           st);
       step =
-        (fun ctx st ~inbox ->
+        (fun ctx st ->
           let v = Network.node ctx in
           (* receive *)
-          List.iter
-            (fun (w, payload) ->
-              match payload with
-              | [| p; hi; lo; data |] ->
-                  let bits =
-                    Int64.logor
-                      (Int64.shift_left (Int64.of_int hi) 32)
-                      (Int64.of_int (lo land 0xFFFFFFFF))
-                  in
-                  let key = Int64.float_of_bits bits in
-                  ignore w;
-                  ignore (improve st v p (key, data))
-              | _ -> invalid_arg "Aggregate: malformed payload")
-            inbox;
+          for i = 0 to Network.inbox_size ctx - 1 do
+            if Network.inbox_words ctx i <> 4 then
+              invalid_arg "Aggregate: malformed payload";
+            let p = Network.inbox_word ctx i 0 in
+            let hi = Network.inbox_word ctx i 1 in
+            let lo = Network.inbox_word ctx i 2 in
+            let data = Network.inbox_word ctx i 3 in
+            let bits =
+              Int64.logor
+                (Int64.shift_left (Int64.of_int hi) 32)
+                (Int64.of_int (lo land 0xFFFFFFFF))
+            in
+            let key = Int64.float_of_bits bits in
+            ignore (improve st v p (key, data))
+          done;
           (* send: one pending part per neighbor *)
           Hashtbl.iter
             (fun w q ->
@@ -117,7 +119,11 @@ let minimum ?max_rounds ?trace sc ~values =
                     let bits = Int64.bits_of_float key in
                     let hi = Int64.to_int (Int64.shift_right_logical bits 32) in
                     let lo = Int64.to_int (Int64.logand bits 0xFFFFFFFFL) in
-                    Network.send ctx w [| p; hi; lo; data |]
+                    send_buf.(0) <- p;
+                    send_buf.(1) <- hi;
+                    send_buf.(2) <- lo;
+                    send_buf.(3) <- data;
+                    Network.send ctx w send_buf
                 | None -> ()
               end)
             st.queues;

@@ -3,6 +3,9 @@ type state = { dist : int; parent : int }
 type full = { s : state; announced : bool }
 
 let run ?max_rounds ?trace g ~root =
+  (* scratch send buffer: [Network.send] copies, so one array serves every
+     send of the run and the steady state allocates nothing *)
+  let buf = [| 0 |] in
   let algo =
     {
       Network.init =
@@ -10,19 +13,24 @@ let run ?max_rounds ?trace g ~root =
           if v = root then { s = { dist = 0; parent = -1 }; announced = false }
           else { s = { dist = -1; parent = -1 }; announced = false });
       step =
-        (fun ctx st ~inbox ->
+        (fun ctx st ->
           (* adopt the smallest announced distance *)
-          let st =
-            List.fold_left
-              (fun st (w, payload) ->
-                match payload with
-                | [| d |] when st.s.dist < 0 || d + 1 < st.s.dist ->
-                    { st with s = { dist = d + 1; parent = w } }
-                | _ -> st)
-              st inbox
-          in
+          let st = ref st in
+          for i = 0 to Network.inbox_size ctx - 1 do
+            if Network.inbox_words ctx i = 1 then begin
+              let d = Network.inbox_word ctx i 0 in
+              if !st.s.dist < 0 || d + 1 < !st.s.dist then
+                st :=
+                  {
+                    !st with
+                    s = { dist = d + 1; parent = Network.inbox_sender ctx i };
+                  }
+            end
+          done;
+          let st = !st in
           if st.s.dist >= 0 && not st.announced then begin
-            Network.send_all ctx [| st.s.dist |];
+            buf.(0) <- st.s.dist;
+            Network.send_all ctx buf;
             { st with announced = true }
           end
           else st);

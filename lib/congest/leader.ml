@@ -11,21 +11,23 @@ type outcome = {
 type elect_state = { best : int; announced : bool }
 
 let elect_stage ?max_rounds ?trace g =
+  let buf = [| 0 |] in
   let algo =
     {
       Network.init = (fun _ v -> { best = v; announced = false });
       step =
-        (fun ctx st ~inbox ->
-          let st =
-            List.fold_left
-              (fun st (_, payload) ->
-                match payload with
-                | [| cand |] when cand < st.best -> { best = cand; announced = false }
-                | _ -> st)
-              st inbox
-          in
+        (fun ctx st ->
+          let st = ref st in
+          for i = 0 to Network.inbox_size ctx - 1 do
+            if Network.inbox_words ctx i = 1 then begin
+              let cand = Network.inbox_word ctx i 0 in
+              if cand < !st.best then st := { best = cand; announced = false }
+            end
+          done;
+          let st = !st in
           if not st.announced then begin
-            Network.send_all ctx [| st.best |];
+            buf.(0) <- st.best;
+            Network.send_all ctx buf;
             { st with announced = true }
           end
           else st);
@@ -48,6 +50,8 @@ type census_state = {
 }
 
 let census_stage ?max_rounds ?trace g parent_of depth_of root =
+  let buf1 = [| 0 |] in
+  let buf2 = [| 0; 0 |] in
   let algo =
     {
       Network.init =
@@ -61,42 +65,48 @@ let census_stage ?max_rounds ?trace g parent_of depth_of root =
             reported = false;
           });
       step =
-        (fun ctx st ~inbox ->
+        (fun ctx st ->
           let v = Network.node ctx in
           if Network.round ctx = 1 then begin
             (* announce the parent to all neighbors *)
-            Network.send_all ctx [| st.parent |];
+            buf1.(0) <- st.parent;
+            Network.send_all ctx buf1;
             st
           end
           else begin
             let st =
               if Network.round ctx = 2 then begin
                 (* count the children among the announcements *)
-                let kids =
-                  List.fold_left
-                    (fun acc (_, payload) ->
-                      match payload with [| p |] when p = v -> acc + 1 | _ -> acc)
-                    0 inbox
-                in
-                { st with expected = Some kids }
+                let kids = ref 0 in
+                for i = 0 to Network.inbox_size ctx - 1 do
+                  if
+                    Network.inbox_words ctx i = 1
+                    && Network.inbox_word ctx i 0 = v
+                  then incr kids
+                done;
+                { st with expected = Some !kids }
               end
-              else
-                List.fold_left
-                  (fun st (_, payload) ->
-                    match payload with
-                    | [| cnt; h |] ->
-                        {
-                          st with
-                          received = st.received + 1;
-                          acc_count = st.acc_count + cnt;
-                          acc_height = max st.acc_height h;
-                        }
-                    | _ -> st)
-                  st inbox
+              else begin
+                let st = ref st in
+                for i = 0 to Network.inbox_size ctx - 1 do
+                  if Network.inbox_words ctx i = 2 then
+                    st :=
+                      {
+                        !st with
+                        received = !st.received + 1;
+                        acc_count = !st.acc_count + Network.inbox_word ctx i 0;
+                        acc_height =
+                          max !st.acc_height (Network.inbox_word ctx i 1);
+                      }
+                done;
+                !st
+              end
             in
             match st.expected with
             | Some kids when st.received = kids && (not st.reported) && v <> root ->
-                Network.send ctx st.parent [| st.acc_count; st.acc_height |];
+                buf2.(0) <- st.acc_count;
+                buf2.(1) <- st.acc_height;
+                Network.send ctx st.parent buf2;
                 { st with reported = true }
             | Some kids when st.received = kids && v = root ->
                 { st with reported = true }

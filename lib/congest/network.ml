@@ -32,22 +32,37 @@ let add_stats a b =
     converged = a.converged && b.converged;
   }
 
-(* The message fabric: every undirected edge e owns two directed slots,
-   2e for Graph.edge endpoint order and 2e+1 reversed. Sends write into
-   the slot for the coming round (occupancy = the duplicate-send check);
-   delivery reads the previous round's buffer back and clears it, so two
-   buffers alternate with no per-round allocation. *)
+(* The message fabric (v3): every undirected edge e owns two directed
+   slots, 2e for Graph.edge endpoint order and 2e+1 reversed.  Payloads
+   live in a flat arena — slot [dir] owns words
+   [dir*bandwidth .. dir*bandwidth + len - 1] — instead of per-message
+   boxed [int array option]s, and occupancy is a round stamp:
+   [msg_round.(p).(dir) = r] means arena [p] holds a message for round
+   [r] on [dir].  Two parity-indexed arenas alternate (sends during
+   round r land in arena [(r+1) land 1], deliveries read arena
+   [r land 1]), so a send never clobbers an undelivered message, stale
+   stamps never match, and nothing is ever cleared: steady-state rounds
+   allocate no words at all. *)
 type ctx = {
   g : Graph.t;
   bandwidth : int;
-  nn : int;
-  edge_index : (int, int) Hashtbl.t;  (* v * nn + w -> dir id of v->w *)
+  edge_src : int array;  (* first Graph.edge endpoint: orientation of dir 2e *)
   out_nbr : int array array;  (* per node: neighbors, adjacency order *)
   out_dir : int array array;  (* per node: dir id towards each neighbor *)
+  in_nbr : int array array;  (* per node: senders, ascending id *)
+  in_dir : int array array;  (* per node: dir id from each sender *)
   load : int array;  (* cumulative messages per dir id *)
+  arena : int array array;  (* 2 parity buffers of 2m * bandwidth words *)
+  msg_len : int array array;  (* 2 x 2m: payload length per slot *)
+  msg_round : int array array;  (* 2 x 2m: round the slot is valid for *)
+  (* the stepped node's inbox view, filled before its step runs:
+     positions 0 .. ibx_n - 1, in descending sender order *)
+  ibx_sender : int array;
+  ibx_dir : int array;
+  mutable ibx_n : int;
   has_mail : bool array;
-  mutable slots : int array option array;  (* sends of the current round *)
-  mutable receivers : int list;  (* nodes with mail in [slots] *)
+  mutable next_recv : int array;  (* nodes with mail for the coming round *)
+  mutable next_recv_n : int;
   mutable node : int;
   mutable round : int;
   mutable messages : int;
@@ -61,14 +76,31 @@ let node ctx = ctx.node
 let round ctx = ctx.round
 let graph ctx = ctx.g
 let degree ctx = Array.length ctx.out_dir.(ctx.node)
+let inbox_size ctx = ctx.ibx_n
+let inbox_sender ctx i = ctx.ibx_sender.(i)
+let inbox_words ctx i = ctx.msg_len.(ctx.round land 1).(ctx.ibx_dir.(i))
+
+let inbox_word ctx i j =
+  let dir = ctx.ibx_dir.(i) in
+  let p = ctx.round land 1 in
+  if j < 0 || j >= ctx.msg_len.(p).(dir) then
+    invalid_arg "Congest: inbox_word out of range";
+  ctx.arena.(p).((dir * ctx.bandwidth) + j)
 
 let deliver ctx w dir payload =
-  ctx.slots.(dir) <- Some payload;
+  let p = (ctx.round + 1) land 1 in
+  if ctx.msg_round.(p).(dir) = ctx.round + 1 then
+    invalid_arg "Congest: two messages on one edge in one round";
+  let words = Array.length payload in
+  if words > ctx.bandwidth then
+    invalid_arg "Congest: message exceeds bandwidth";
+  ctx.msg_round.(p).(dir) <- ctx.round + 1;
+  ctx.msg_len.(p).(dir) <- words;
+  Array.blit payload 0 ctx.arena.(p) (dir * ctx.bandwidth) words;
   let l = ctx.load.(dir) + 1 in
   ctx.load.(dir) <- l;
   if l > ctx.max_load then ctx.max_load <- l;
   ctx.messages <- ctx.messages + 1;
-  let words = Array.length payload in
   ctx.words <- ctx.words + words;
   if words > ctx.max_words then ctx.max_words <- words;
   (match ctx.trace with
@@ -76,75 +108,69 @@ let deliver ctx w dir payload =
   | None -> ());
   if not ctx.has_mail.(w) then begin
     ctx.has_mail.(w) <- true;
-    ctx.receivers <- w :: ctx.receivers
+    ctx.next_recv.(ctx.next_recv_n) <- w;
+    ctx.next_recv_n <- ctx.next_recv_n + 1
   end
 
-let check_payload ctx dir payload =
-  if ctx.slots.(dir) <> None then
-    invalid_arg "Congest: two messages on one edge in one round";
-  if Array.length payload > ctx.bandwidth then
-    invalid_arg "Congest: message exceeds bandwidth"
-
 let send ctx w payload =
-  match Hashtbl.find_opt ctx.edge_index ((ctx.node * ctx.nn) + w) with
-  | None -> invalid_arg "Congest: send to a non-neighbor"
-  | Some dir ->
-      check_payload ctx dir payload;
-      deliver ctx w dir payload
+  let e = Graph.find_edge_id ctx.g ctx.node w in
+  if e < 0 then invalid_arg "Congest: send to a non-neighbor";
+  let dir = (2 * e) + if ctx.edge_src.(e) = ctx.node then 0 else 1 in
+  deliver ctx w dir payload
 
 let send_all ctx payload =
   let nbr = ctx.out_nbr.(ctx.node) and dir = ctx.out_dir.(ctx.node) in
   for i = 0 to Array.length nbr - 1 do
-    check_payload ctx dir.(i) payload;
     deliver ctx nbr.(i) dir.(i) payload
   done
 
 type 'st algo = {
   init : Graph.t -> int -> 'st;
-  step : ctx -> 'st -> inbox:(int * int array) list -> 'st;
+  step : ctx -> 'st -> 'st;
   finished : 'st -> bool;
 }
-
-(* dir id of the u->v orientation of edge e *)
-let dir_of g e u =
-  let a, _ = Graph.edge g e in
-  if a = u then 2 * e else (2 * e) + 1
 
 let run ?(bandwidth = 4) ?(max_rounds = 1_000_000) ?trace g algo =
   let n = Graph.n g in
   let m = Graph.m g in
   let states = Array.init n (fun v -> algo.init g v) in
+  let edge_src = Array.map fst (Graph.edges g) in
+  let dir_of e u = if edge_src.(e) = u then 2 * e else (2 * e) + 1 in
   let out_nbr = Array.init n (fun v -> Array.map fst (Graph.adj g v)) in
   let out_dir =
-    Array.init n (fun v -> Array.map (fun (_, e) -> dir_of g e v) (Graph.adj g v))
+    Array.init n (fun v -> Array.map (fun (_, e) -> dir_of e v) (Graph.adj g v))
   in
-  (* delivery scan order: ascending neighbor id, so that consing yields the
-     inbox in descending sender order (the v1 engine's delivery order) *)
-  let in_scan =
+  (* receiving side, ascending sender id: the inbox fill scans these
+     end-to-start, so the indexed inbox comes out in descending sender
+     order (the delivery order every recorded experiment depends on) *)
+  let in_pairs =
     Array.init n (fun v ->
-        let a = Array.map (fun (w, e) -> (w, dir_of g e w)) (Graph.adj g v) in
+        let a = Array.map (fun (w, e) -> (w, dir_of e w)) (Graph.adj g v) in
         Array.sort compare a;
         a)
   in
-  let edge_index = Hashtbl.create (4 * m) in
-  Array.iteri
-    (fun v dirs ->
-      Array.iteri
-        (fun i dir -> Hashtbl.replace edge_index ((v * n) + out_nbr.(v).(i)) dir)
-        dirs)
-    out_dir;
+  let in_nbr = Array.map (Array.map fst) in_pairs in
+  let in_dir = Array.map (Array.map snd) in_pairs in
+  let maxdeg = Array.fold_left (fun acc a -> max acc (Array.length a)) 0 out_nbr in
   let ctx =
     {
       g;
       bandwidth;
-      nn = n;
-      edge_index;
+      edge_src;
       out_nbr;
       out_dir;
+      in_nbr;
+      in_dir;
       load = Array.make (2 * m) 0;
+      arena = [| Array.make (2 * m * bandwidth) 0; Array.make (2 * m * bandwidth) 0 |];
+      msg_len = [| Array.make (2 * m) 0; Array.make (2 * m) 0 |];
+      msg_round = [| Array.make (2 * m) 0; Array.make (2 * m) 0 |];
+      ibx_sender = Array.make maxdeg 0;
+      ibx_dir = Array.make maxdeg 0;
+      ibx_n = 0;
       has_mail = Array.make n false;
-      slots = Array.make (2 * m) None;
-      receivers = [];
+      next_recv = Array.make n 0;
+      next_recv_n = 0;
       node = -1;
       round = 0;
       messages = 0;
@@ -154,66 +180,89 @@ let run ?(bandwidth = 4) ?(max_rounds = 1_000_000) ?trace g algo =
       trace;
     }
   in
-  let spare = ref (Array.make (2 * m) None) in
-  let inbox_of cur v =
-    let scan = in_scan.(v) in
-    let acc = ref [] in
-    for i = 0 to Array.length scan - 1 do
-      let w, dir = scan.(i) in
-      match cur.(dir) with
-      | Some payload ->
-          cur.(dir) <- None;
-          acc := (w, payload) :: !acc
-      | None -> ()
-    done;
-    !acc
-  in
-  let awake = ref [] in
+  let spare_recv = ref (Array.make n 0) in
+  (* awake worklists: double-buffered int stacks, no per-round consing.
+     Both stacks (and the receiver stack) are pushed in discovery order and
+     iterated end-to-start — the v2 engine consed lists and iterated them
+     LIFO, and the trace's busiest-edge tie-break is sensitive to within-
+     round step order, so recorded outputs depend on reproducing it *)
+  let awake = ref (Array.make n 0) in
+  let next_awake = ref (Array.make n 0) in
+  let awake_n = ref 0 in
   for v = n - 1 downto 0 do
-    if not (algo.finished states.(v)) then awake := v :: !awake
+    if not (algo.finished states.(v)) then begin
+      !awake.(!awake_n) <- v;
+      incr awake_n
+    end
   done;
-  let converged = ref (!awake = []) in
+  let converged = ref (!awake_n = 0) in
   let round = ref 0 in
   let active_steps = ref 0 in
   let stamp = Array.make n 0 in
   while (not !converged) && !round < max_rounds do
     incr round;
     ctx.round <- !round;
-    (* the slots written last round become this round's delivery buffer;
-       the (fully drained) spare becomes the write buffer *)
-    let cur = ctx.slots in
-    ctx.slots <- !spare;
-    spare := cur;
-    let this_receivers = ctx.receivers in
-    ctx.receivers <- [];
+    let p = !round land 1 in
+    (* last round's send targets become this round's receivers; the spare
+       stack becomes the write stack *)
+    let this_recv = ctx.next_recv in
+    let this_n = ctx.next_recv_n in
+    ctx.next_recv <- !spare_recv;
+    ctx.next_recv_n <- 0;
+    spare_recv := this_recv;
     (* clear the membership flags before stepping anyone: sends during this
        round must re-add their targets to the next round's receiver list *)
-    List.iter (fun v -> ctx.has_mail.(v) <- false) this_receivers;
-    let next_awake = ref [] in
-    let step v inbox =
+    for i = 0 to this_n - 1 do
+      ctx.has_mail.(this_recv.(i)) <- false
+    done;
+    let next_n = ref 0 in
+    let na = !next_awake in
+    let step_node v with_mail =
       ctx.node <- v;
+      (if with_mail then begin
+         let nbrs = in_nbr.(v) and dirs = in_dir.(v) in
+         let mr = ctx.msg_round.(p) in
+         let k = ref 0 in
+         for i = Array.length nbrs - 1 downto 0 do
+           let dir = dirs.(i) in
+           if mr.(dir) = !round then begin
+             ctx.ibx_sender.(!k) <- nbrs.(i);
+             ctx.ibx_dir.(!k) <- dir;
+             incr k
+           end
+         done;
+         ctx.ibx_n <- !k
+       end
+       else ctx.ibx_n <- 0);
       incr active_steps;
-      let st = algo.step ctx states.(v) ~inbox in
+      let st = algo.step ctx states.(v) in
       states.(v) <- st;
-      if not (algo.finished st) then next_awake := v :: !next_awake
+      if not (algo.finished st) then begin
+        na.(!next_n) <- v;
+        incr next_n
+      end
     in
-    List.iter
-      (fun v ->
-        if stamp.(v) <> !round then begin
-          stamp.(v) <- !round;
-          step v (inbox_of cur v)
-        end)
-      this_receivers;
-    List.iter
-      (fun v ->
-        if stamp.(v) <> !round then begin
-          stamp.(v) <- !round;
-          step v []
-        end)
-      !awake;
+    for i = this_n - 1 downto 0 do
+      let v = this_recv.(i) in
+      if stamp.(v) <> !round then begin
+        stamp.(v) <- !round;
+        step_node v true
+      end
+    done;
+    let aw = !awake in
+    for i = !awake_n - 1 downto 0 do
+      let v = aw.(i) in
+      if stamp.(v) <> !round then begin
+        stamp.(v) <- !round;
+        step_node v false
+      end
+    done;
+    let tmp = !awake in
     awake := !next_awake;
+    next_awake := tmp;
+    awake_n := !next_n;
     (match trace with Some t -> Trace.on_round_end t | None -> ());
-    if !awake = [] && ctx.receivers = [] then converged := true
+    if !awake_n = 0 && ctx.next_recv_n = 0 then converged := true
   done;
   ( states,
     {

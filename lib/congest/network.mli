@@ -6,14 +6,17 @@
     [Invalid_argument] — the simulator never silently widens the channel.
     Local computation is free.
 
-    {2 Engine architecture (v2)}
+    {2 Engine architecture (v3)}
 
     The executor is edge-indexed: every undirected edge [e] owns two
     directed message slots ([2e] in [Graph.edge] endpoint order, [2e + 1]
-    reversed), preallocated once per run. Sends write straight into the
-    slot for the coming round, so the three CONGEST checks — neighbor,
-    one-message-per-edge-per-round, bandwidth — are O(1) reads, and
-    delivery reads the previous round's slots back in neighbor order.
+    reversed). Payloads live in a flat, preallocated arena rather than
+    per-message boxed arrays, and slot occupancy is a round stamp: two
+    parity-indexed arenas alternate between the round being stepped and the
+    round being written, so sends never clobber undelivered messages and no
+    buffer is ever cleared. [send] resolves the edge by binary search over
+    the graph's sorted adjacency. A steady-state round — every node
+    re-stepping, every edge busy — allocates nothing.
 
     Nodes are stepped from an active worklist, not by scanning all [n]:
     a node is stepped in a round iff it has mail or it reported
@@ -21,7 +24,12 @@
     re-activated (and re-stepped) only by message receipt; while its inbox
     stays empty it is guaranteed not to run, so [step] never observes a
     spurious wake-up. Execution converges when no node is awake and no
-    message is in flight. *)
+    message is in flight.
+
+    A stepped node reads its mail through the indexed inbox accessors
+    ({!inbox_size}, {!inbox_sender}, {!inbox_words}, {!inbox_word}); the
+    view is valid only during that node's [step] call and is presented in
+    descending sender order. *)
 
 type stats = {
   rounds : int;  (** rounds until all nodes finished (or the cap) *)
@@ -39,8 +47,8 @@ type stats = {
 
 type ctx
 (** Per-round execution context handed to [step]: identifies the node and
-    round and carries the send fabric. Valid only for the duration of the
-    [step] call it is passed to. *)
+    round and carries the send fabric plus the node's inbox view. Valid
+    only for the duration of the [step] call it is passed to. *)
 
 val node : ctx -> int
 (** The node being stepped. *)
@@ -53,23 +61,43 @@ val graph : ctx -> Graphlib.Graph.t
 val degree : ctx -> int
 (** Degree of the current node. *)
 
+val inbox_size : ctx -> int
+(** Messages received by the current node this round; [0] for a node
+    stepped only because it is unfinished. *)
+
+val inbox_sender : ctx -> int -> int
+(** [inbox_sender ctx i] is the neighbor that sent message [i]
+    ([0 <= i < inbox_size ctx]); messages are indexed in descending
+    sender order. *)
+
+val inbox_words : ctx -> int -> int
+(** Payload length of message [i], in words. *)
+
+val inbox_word : ctx -> int -> int -> int
+(** [inbox_word ctx i j] is word [j] of message [i]'s payload — a direct
+    arena read, no per-message allocation.
+    @raise Invalid_argument if [j] is outside the payload. *)
+
 val send : ctx -> int -> int array -> unit
 (** [send ctx w payload] puts one message on the edge to neighbor [w],
-    delivered at the start of the next round.
+    delivered at the start of the next round. The payload words are copied
+    into the fabric, so the caller may reuse (or mutate) the array after
+    the call — sending from one preallocated scratch buffer is the
+    intended allocation-free pattern.
     @raise Invalid_argument on a non-neighbor target, a second message on
     the same edge in the same round, or an oversized payload. *)
 
 val send_all : ctx -> int array -> unit
 (** [send_all ctx payload] broadcasts one copy of [payload] to every
-    neighbor of the current node (O(degree), no neighbor lookups). *)
+    neighbor of the current node (O(degree), no neighbor lookups). The
+    payload is copied per edge, as with {!send}. *)
 
 type 'st algo = {
   init : Graphlib.Graph.t -> int -> 'st;
-  step : ctx -> 'st -> inbox:(int * int array) list -> 'st;
-      (** [inbox]: (neighbor, payload) received this round, in descending
-          neighbor order; empty for a node stepped only because it is
-          unfinished. Outgoing messages go through {!send} / {!send_all}.
-          Returns the new state. *)
+  step : ctx -> 'st -> 'st;
+      (** Incoming messages are read through the inbox accessors on [ctx];
+          outgoing messages go through {!send} / {!send_all}. Returns the
+          new state. *)
   finished : 'st -> bool;
       (** Polled after every step; a node whose state is finished leaves
           the worklist until a message arrives for it. *)

@@ -11,6 +11,7 @@ type state = { owner : int; dist : int; announced : bool }
 let voronoi ?max_rounds ?trace g ~seeds =
   let seed_index = Hashtbl.create (Array.length seeds) in
   Array.iteri (fun i s -> if not (Hashtbl.mem seed_index s) then Hashtbl.add seed_index s i) seeds;
+  let buf = [| 0; 0 |] in
   let algo =
     {
       Network.init =
@@ -19,19 +20,25 @@ let voronoi ?max_rounds ?trace g ~seeds =
           | Some i -> { owner = i; dist = 0; announced = false }
           | None -> { owner = -1; dist = -1; announced = false });
       step =
-        (fun ctx st ~inbox ->
+        (fun ctx st ->
           (* adopt the smallest (distance, owner) announcement *)
-          let st =
-            List.fold_left
-              (fun st (_, payload) ->
-                match payload with
-                | [| o; d |] when st.dist < 0 || (d + 1, o) < (st.dist, st.owner) ->
-                    { owner = o; dist = d + 1; announced = false }
-                | _ -> st)
-              st inbox
-          in
+          let st = ref st in
+          for i = 0 to Network.inbox_size ctx - 1 do
+            if Network.inbox_words ctx i = 2 then begin
+              let o = Network.inbox_word ctx i 0 in
+              let d = Network.inbox_word ctx i 1 in
+              let cur = !st in
+              if
+                cur.dist < 0 || d + 1 < cur.dist
+                || (d + 1 = cur.dist && o < cur.owner)
+              then st := { owner = o; dist = d + 1; announced = false }
+            end
+          done;
+          let st = !st in
           if st.dist >= 0 && not st.announced then begin
-            Network.send_all ctx [| st.owner; st.dist |];
+            buf.(0) <- st.owner;
+            buf.(1) <- st.dist;
+            Network.send_all ctx buf;
             { st with announced = true }
           end
           else st);

@@ -17,6 +17,7 @@ let payload_float hi lo =
     (Int64.logor (Int64.shift_left (Int64.of_int hi) 32) (Int64.of_int (lo land 0xFFFFFFFF)))
 
 let run_relaxation ?max_rounds ?trace g weight_of ~source =
+  let buf = [| 0; 0 |] in
   let algo =
     {
       Network.init =
@@ -24,22 +25,26 @@ let run_relaxation ?max_rounds ?trace g weight_of ~source =
           if v = source then { d = 0.0; parent = -1; dirty = true }
           else { d = infinity; parent = -1; dirty = false });
       step =
-        (fun ctx st ~inbox ->
+        (fun ctx st ->
           let v = Network.node ctx in
-          let st =
-            List.fold_left
-              (fun st (w, payload) ->
-                match payload with
-                | [| hi; lo |] ->
-                    let dw = payload_float hi lo in
-                    let cand = dw +. weight_of v w in
-                    if cand < st.d then { d = cand; parent = w; dirty = true } else st
-                | _ -> invalid_arg "Sssp: malformed payload")
-              st inbox
-          in
+          let st = ref st in
+          for i = 0 to Network.inbox_size ctx - 1 do
+            if Network.inbox_words ctx i <> 2 then
+              invalid_arg "Sssp: malformed payload";
+            let w = Network.inbox_sender ctx i in
+            let dw =
+              payload_float (Network.inbox_word ctx i 0)
+                (Network.inbox_word ctx i 1)
+            in
+            let cand = dw +. weight_of v w in
+            if cand < !st.d then st := { d = cand; parent = w; dirty = true }
+          done;
+          let st = !st in
           if st.dirty then begin
             let hi, lo = float_payload st.d in
-            Network.send_all ctx [| hi; lo |];
+            buf.(0) <- hi;
+            buf.(1) <- lo;
+            Network.send_all ctx buf;
             { st with dirty = false }
           end
           else st);

@@ -8,6 +8,9 @@ type t = {
      breaking, Voronoi growth and hence every recorded experiment number
      depends on — is unchanged. *)
   adj_sorted : (int * int) array array;
+  (* lazily computed structural fingerprint; 0L = not yet computed.  The
+     write is a benign race: every domain computes the same value. *)
+  mutable fp : Memo.Fingerprint.t;
 }
 
 let n g = g.n
@@ -40,7 +43,30 @@ let find_edge g u v =
   done;
   !found
 
+(* allocation-free variant for the CONGEST hot path: -1 instead of None *)
+let find_edge_id g u v =
+  let a = g.adj_sorted.(u) in
+  let lo = ref 0 and hi = ref (Array.length a) and res = ref (-1) in
+  while !res < 0 && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let w, e = a.(mid) in
+    if w = v then res := e else if w < v then lo := mid + 1 else hi := mid
+  done;
+  !res
+
 let mem_edge g u v = find_edge g u v <> None
+
+let fingerprint g =
+  if g.fp <> 0L then g.fp
+  else begin
+    let h = ref Memo.Fingerprint.(empty |> string "graph" |> int g.n) in
+    Array.iter
+      (fun (u, v) -> h := Memo.Fingerprint.(!h |> int u |> int v))
+      g.edges;
+    let h = if !h = 0L then 1L else !h in
+    g.fp <- h;
+    h
+  end
 
 let of_edges n raw =
   if n < 0 then invalid_arg "Graph.of_edges: negative n";
@@ -84,7 +110,7 @@ let of_edges n raw =
         s)
       adj
   in
-  { n; edges; adj; adj_sorted }
+  { n; edges; adj; adj_sorted; fp = 0L }
 
 let complete n =
   let acc = ref [] in

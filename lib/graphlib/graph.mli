@@ -40,6 +40,15 @@ val mem_edge : t -> int -> int -> bool
 val find_edge : t -> int -> int -> int option
 (** Edge id joining [u] and [v], if any. *)
 
+val find_edge_id : t -> int -> int -> int
+(** Like {!find_edge} but returns [-1] when absent: the allocation-free
+    lookup the CONGEST engine's targeted-send path uses. *)
+
+val fingerprint : t -> Memo.Fingerprint.t
+(** Structural fingerprint over [n] and the edge array in insertion order;
+    computed once and cached on the graph.  The cache key ingredient for
+    every graph-derived memoized artifact. *)
+
 (** {1 Construction} *)
 
 val of_edges : int -> (int * int) list -> t

@@ -1,6 +1,15 @@
-type 'a t = { mutable data : (float * 'a) array; mutable len : int }
+(* Binary min-heap over parallel arrays: priorities in a float array
+   (unboxed) and payloads in a plain array, instead of one array of boxed
+   (float * 'a) tuples — a push costs zero allocations once the backing
+   stores have grown, where the tuple layout boxed both the pair and the
+   float on every push. *)
+type 'a t = {
+  mutable prio : float array;
+  mutable data : 'a array;
+  mutable len : int;
+}
 
-let create () = { data = [||]; len = 0 }
+let create () = { prio = [||]; data = [||]; len = 0 }
 let is_empty q = q.len = 0
 let size q = q.len
 
@@ -8,38 +17,47 @@ let grow q item =
   let cap = Array.length q.data in
   if q.len = cap then begin
     let ncap = max 8 (2 * cap) in
+    let np = Array.make ncap 0.0 in
     let nd = Array.make ncap item in
+    Array.blit q.prio 0 np 0 q.len;
     Array.blit q.data 0 nd 0 q.len;
+    q.prio <- np;
     q.data <- nd
   end
 
+let swap q i j =
+  let tp = q.prio.(i) and td = q.data.(i) in
+  q.prio.(i) <- q.prio.(j);
+  q.data.(i) <- q.data.(j);
+  q.prio.(j) <- tp;
+  q.data.(j) <- td
+
 let push q prio x =
-  let item = (prio, x) in
-  grow q item;
-  q.data.(q.len) <- item;
+  grow q x;
+  q.prio.(q.len) <- prio;
+  q.data.(q.len) <- x;
   q.len <- q.len + 1;
   (* sift up *)
   let i = ref (q.len - 1) in
   let continue = ref true in
   while !continue && !i > 0 do
     let p = (!i - 1) / 2 in
-    if fst q.data.(p) > fst q.data.(!i) then begin
-      let tmp = q.data.(p) in
-      q.data.(p) <- q.data.(!i);
-      q.data.(!i) <- tmp;
+    if q.prio.(p) > q.prio.(!i) then begin
+      swap q p !i;
       i := p
     end
     else continue := false
   done
 
-let peek q = if q.len = 0 then None else Some q.data.(0)
+let peek q = if q.len = 0 then None else Some (q.prio.(0), q.data.(0))
 
 let pop q =
   if q.len = 0 then None
   else begin
-    let top = q.data.(0) in
+    let top = (q.prio.(0), q.data.(0)) in
     q.len <- q.len - 1;
     if q.len > 0 then begin
+      q.prio.(0) <- q.prio.(q.len);
       q.data.(0) <- q.data.(q.len);
       (* sift down *)
       let i = ref 0 in
@@ -47,12 +65,10 @@ let pop q =
       while !continue do
         let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
         let smallest = ref !i in
-        if l < q.len && fst q.data.(l) < fst q.data.(!smallest) then smallest := l;
-        if r < q.len && fst q.data.(r) < fst q.data.(!smallest) then smallest := r;
+        if l < q.len && q.prio.(l) < q.prio.(!smallest) then smallest := l;
+        if r < q.len && q.prio.(r) < q.prio.(!smallest) then smallest := r;
         if !smallest <> !i then begin
-          let tmp = q.data.(!smallest) in
-          q.data.(!smallest) <- q.data.(!i);
-          q.data.(!i) <- tmp;
+          swap q !smallest !i;
           i := !smallest
         end
         else continue := false

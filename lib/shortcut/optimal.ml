@@ -1,4 +1,22 @@
+module Graph = Graphlib.Graph
 module Spanning = Graphlib.Spanning
+
+(* The search enumerates the product of per-part Steiner-edge subsets with
+   a mixed-radix counter (part 0 least significant).  Building a full
+   [Shortcut.t] per configuration — sort, hash tables, union-find — is
+   what made this the dominant cost of the E10 audit, so the quality of a
+   configuration is instead computed from two precomputed tables:
+
+   - blocks: for each part, an array over its 2^k_i edge subsets holding
+     the block count [Shortcut.blocks_of_part] would report (a tiny
+     union-find per mask over at most k_i edges, paid once in setup);
+   - congestion: per-edge use counts maintained incrementally under the
+     counter's XOR deltas, with a count-of-counts histogram so the max
+     edge load updates in O(1) per toggled edge.
+
+   The enumeration order, the strict-improvement rule (ties keep the
+   earlier configuration) and hence the returned optimum are exactly the
+   v1 semantics; [Shortcut.make] runs once, on the winner. *)
 
 let brute_force ?(max_bits = 20) tree parts =
   let steiner = Steiner.compute tree parts in
@@ -6,39 +24,166 @@ let brute_force ?(max_bits = 20) tree parts =
   let total_bits = Array.fold_left (fun acc a -> acc + Array.length a) 0 pools in
   if total_bits > max_bits then None
   else begin
+    let g = tree.Spanning.graph in
+    let height = Spanning.height tree in
     let nparts = Array.length pools in
-    let best = ref None in
-    (* mixed-radix counter over per-part subsets *)
-    let masks = Array.make nparts 0 in
+    (* compact ids for the edges appearing in any pool *)
+    let edge_id = Hashtbl.create 32 in
+    Array.iter
+      (Array.iter (fun e ->
+           if not (Hashtbl.mem edge_id e) then
+             Hashtbl.add edge_id e (Hashtbl.length edge_id)))
+      pools;
+    let nedges = Hashtbl.length edge_id in
+    let pool_eid =
+      Array.map (Array.map (fun e -> Hashtbl.find edge_id e)) pools
+    in
+    (* per-part block tables over the 2^k_i masks *)
+    let blocks_tab =
+      Array.mapi
+        (fun i pool ->
+          let members = parts.Part.parts.(i) in
+          let k = Array.length pool in
+          (* local vertex ids over part members and pool-edge endpoints *)
+          let vid = Hashtbl.create 16 in
+          let local v =
+            match Hashtbl.find_opt vid v with
+            | Some id -> id
+            | None ->
+                let id = Hashtbl.length vid in
+                Hashtbl.add vid v id;
+                id
+          in
+          let mem_ids = Array.map local members in
+          let ends =
+            Array.map
+              (fun e ->
+                let u, v = Graph.edge g e in
+                (local u, local v))
+              pool
+          in
+          let nv = Hashtbl.length vid in
+          let parent = Array.make nv 0 in
+          let rec find x = if parent.(x) = x then x else find parent.(x) in
+          let seen = Array.make nv (-1) in
+          Array.init (1 lsl k) (fun mask ->
+              for v = 0 to nv - 1 do
+                parent.(v) <- v
+              done;
+              for j = 0 to k - 1 do
+                if mask land (1 lsl j) <> 0 then begin
+                  let u, v = ends.(j) in
+                  let ru = find u and rv = find v in
+                  if ru <> rv then parent.(ru) <- rv
+                end
+              done;
+              let blocks = ref 0 in
+              Array.iter
+                (fun v ->
+                  let r = find v in
+                  if seen.(r) <> mask then begin
+                    seen.(r) <- mask;
+                    incr blocks
+                  end)
+                mem_ids;
+              !blocks))
+        pools
+    in
+    (* the max block count across parts, via a value histogram *)
+    let max_block_val =
+      Array.fold_left
+        (fun acc tab -> Array.fold_left max acc tab)
+        0 blocks_tab
+    in
+    let bhist = Array.make (max_block_val + 1) 0 in
+    let cur_blocks = Array.make (max 1 nparts) 0 in
+    let max_b = ref 0 in
+    for i = 0 to nparts - 1 do
+      let b = blocks_tab.(i).(0) in
+      cur_blocks.(i) <- b;
+      bhist.(b) <- bhist.(b) + 1;
+      if b > !max_b then max_b := b
+    done;
+    let set_blocks i b =
+      let old = cur_blocks.(i) in
+      if b <> old then begin
+        bhist.(old) <- bhist.(old) - 1;
+        bhist.(b) <- bhist.(b) + 1;
+        cur_blocks.(i) <- b;
+        if b > !max_b then max_b := b
+        else if old = !max_b && bhist.(old) = 0 then begin
+          while !max_b > 0 && bhist.(!max_b) = 0 do
+            decr max_b
+          done
+        end
+      end
+    in
+    (* per-edge use counts with a count-of-counts histogram: congestion is
+       the largest count with a nonzero population *)
+    let cnt = Array.make (max 1 nedges) 0 in
+    let chist = Array.make (nparts + 1) 0 in
+    chist.(0) <- nedges;
+    let max_c = ref 0 in
+    let toggle i j on =
+      let e = pool_eid.(i).(j) in
+      let c = cnt.(e) in
+      let c' = if on then c + 1 else c - 1 in
+      cnt.(e) <- c';
+      chist.(c) <- chist.(c) - 1;
+      chist.(c') <- chist.(c') + 1;
+      if c' > !max_c then max_c := c'
+      else if c = !max_c && chist.(c) = 0 then begin
+        while !max_c > 0 && chist.(!max_c) = 0 do
+          decr max_c
+        done
+      end
+    in
+    let masks = Array.make (max 1 nparts) 0 in
+    let apply_mask i old nw =
+      let diff = old lxor nw in
+      let k = Array.length pool_eid.(i) in
+      for j = 0 to k - 1 do
+        if diff land (1 lsl j) <> 0 then toggle i j (nw land (1 lsl j) <> 0)
+      done;
+      masks.(i) <- nw;
+      set_blocks i blocks_tab.(i).(nw)
+    in
+    let best_masks = Array.make (max 1 nparts) 0 in
+    let best_q = ref max_int in
+    let have_best = ref false in
     let continue_ = ref true in
     while !continue_ do
-      let assigned =
-        Array.mapi
-          (fun i pool ->
-            let acc = ref [] in
-            Array.iteri (fun j e -> if masks.(i) land (1 lsl j) <> 0 then acc := e :: !acc) pool;
-            !acc)
-          pools
-      in
-      let sc = Shortcut.make tree parts assigned in
-      let q = Shortcut.quality sc in
-      (match !best with
-      | Some (_, bq) when bq <= q -> ()
-      | _ -> best := Some (sc, q));
-      (* increment *)
+      let q = (!max_b * height) + !max_c in
+      if (not !have_best) || q < !best_q then begin
+        have_best := true;
+        best_q := q;
+        Array.blit masks 0 best_masks 0 nparts
+      end;
+      (* increment the mixed-radix counter *)
       let rec bump i =
         if i >= nparts then continue_ := false
         else begin
-          masks.(i) <- masks.(i) + 1;
-          if masks.(i) = 1 lsl Array.length pools.(i) then begin
-            masks.(i) <- 0;
+          let old = masks.(i) in
+          if old + 1 = 1 lsl Array.length pools.(i) then begin
+            apply_mask i old 0;
             bump (i + 1)
           end
+          else apply_mask i old (old + 1)
         end
       in
       bump 0
     done;
-    Option.map fst !best
+    let assigned =
+      Array.mapi
+        (fun i pool ->
+          let acc = ref [] in
+          Array.iteri
+            (fun j e -> if best_masks.(i) land (1 lsl j) <> 0 then acc := e :: !acc)
+            pool;
+          !acc)
+        pools
+    in
+    Some (Shortcut.make tree parts assigned)
   end
 
 let optimal_quality ?max_bits tree parts =

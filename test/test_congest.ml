@@ -17,14 +17,15 @@ let test_network_round_counting () =
     {
       Congest.Network.init = (fun _ v -> if v = 0 then `Holding else `Waiting);
       step =
-        (fun ctx st ~inbox ->
+        (fun ctx st ->
           let v = Congest.Network.node ctx in
           match st with
           | `Holding when v < 4 ->
               Congest.Network.send ctx (v + 1) [| 1 |];
               `Done
           | `Holding -> `Done
-          | `Waiting when inbox <> [] -> if v = 4 then `Done else `Holding
+          | `Waiting when Congest.Network.inbox_size ctx > 0 ->
+              if v = 4 then `Done else `Holding
           | st -> st);
       finished = (fun st -> st = `Done);
     }
@@ -41,7 +42,7 @@ let test_network_bandwidth_enforced () =
     {
       Congest.Network.init = (fun _ _ -> false);
       step =
-        (fun ctx _ ~inbox:_ ->
+        (fun ctx _ ->
           if Congest.Network.node ctx = 0 then
             Congest.Network.send ctx 1 (Array.make 10 0);
           true);
@@ -58,7 +59,7 @@ let test_network_non_neighbor_rejected () =
     {
       Congest.Network.init = (fun _ _ -> false);
       step =
-        (fun ctx _ ~inbox:_ ->
+        (fun ctx _ ->
           if Congest.Network.node ctx = 0 then Congest.Network.send ctx 2 [| 1 |];
           true);
       finished = (fun st -> st);
@@ -74,7 +75,7 @@ let test_network_double_send_rejected () =
     {
       Congest.Network.init = (fun _ _ -> false);
       step =
-        (fun ctx _ ~inbox:_ ->
+        (fun ctx _ ->
           if Congest.Network.node ctx = 0 then begin
             Congest.Network.send ctx 1 [| 1 |];
             Congest.Network.send ctx 1 [| 2 |]
@@ -93,7 +94,7 @@ let test_network_max_rounds_cap () =
   let algo =
     {
       Congest.Network.init = (fun _ _ -> ());
-      step = (fun _ () ~inbox:_ -> ());
+      step = (fun _ () -> ());
       finished = (fun () -> false);
     }
   in

@@ -18,7 +18,7 @@ let test_bandwidth_violation () =
     {
       N.init = (fun _ _ -> false);
       step =
-        (fun ctx _ ~inbox:_ ->
+        (fun ctx _ ->
           if N.node ctx = 0 then N.send ctx 1 (Array.make 9 0);
           true);
       finished = (fun st -> st);
@@ -34,7 +34,7 @@ let test_duplicate_send () =
     {
       N.init = (fun _ _ -> false);
       step =
-        (fun ctx _ ~inbox:_ ->
+        (fun ctx _ ->
           if N.node ctx = 0 then begin
             (* send_all covers the center->1 slot; the explicit resend must
                trip the occupancy check *)
@@ -55,7 +55,7 @@ let test_non_neighbor () =
     {
       N.init = (fun _ _ -> false);
       step =
-        (fun ctx _ ~inbox:_ ->
+        (fun ctx _ ->
           if N.node ctx = 0 then N.send ctx 3 [| 1 |];
           true);
       finished = (fun st -> st);
@@ -76,7 +76,7 @@ let test_quiescent_nodes_skipped () =
     {
       N.init = (fun _ v -> if v = 0 then `Count 0 else `Idle);
       step =
-        (fun ctx st ~inbox ->
+        (fun ctx st ->
           match st with
           | `Count c ->
               if c + 1 = 3 then begin
@@ -84,7 +84,7 @@ let test_quiescent_nodes_skipped () =
                 `Stop
               end
               else `Count (c + 1)
-          | `Idle when inbox <> [] -> `Got
+          | `Idle when N.inbox_size ctx > 0 -> `Got
           | st -> st);
       finished = (fun st -> match st with `Count _ -> false | _ -> true);
     }
@@ -104,7 +104,7 @@ let test_mail_reactivates () =
     {
       N.init = (fun _ v -> if v = 0 then `Count 0 else `Idle);
       step =
-        (fun ctx st ~inbox ->
+        (fun ctx st ->
           match st with
           | `Count c ->
               if c + 1 = 3 then begin
@@ -112,7 +112,7 @@ let test_mail_reactivates () =
                 `Stop
               end
               else `Count (c + 1)
-          | `Idle when inbox <> [] -> `Wake 0
+          | `Idle when N.inbox_size ctx > 0 -> `Wake 0
           | `Wake k -> if k + 1 = 2 then `Stop else `Wake (k + 1)
           | st -> st);
       finished =
@@ -131,7 +131,7 @@ let test_max_rounds_cap () =
   let algo =
     {
       N.init = (fun _ _ -> ());
-      step = (fun _ () ~inbox:_ -> ());
+      step = (fun _ () -> ());
       finished = (fun () -> false);
     }
   in

@@ -421,7 +421,12 @@ let test_trace_emit_roundtrip () =
 
 (* ---------- disabled observability is inert ---------- *)
 
+(* the memo cache must stay out of the way here: a cache hit legitimately
+   skips the producer's spans, so a warmed-up second run would emit nothing
+   and the "instrumented run emits events" clause would fail for the wrong
+   reason *)
 let quality_triple g =
+  Memo.with_disabled @@ fun () ->
   let tree = Spanning.bfs_tree g 0 in
   let parts = Shortcuts.Part.voronoi ~seed:3 g ~count:4 in
   let sc = Shortcuts.Generic.construct tree parts in
