@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check bench bench-record bench-smoke bench-par-check bench-cache-check clean
+.PHONY: all build test fmt check bench bench-record bench-smoke bench-par-check bench-cache-check bench-fault-check clean
 
 all: build
 
@@ -21,6 +21,7 @@ check:
 	dune runtest
 	$(MAKE) bench-smoke
 	$(MAKE) bench-par-check
+	$(MAKE) bench-fault-check
 
 bench:
 	dune exec bench/main.exe
@@ -73,6 +74,20 @@ bench-cache-check:
 	grep -v -e '"type":"span"' -e '"type":"metrics"' /tmp/e1-cache.jsonl \
 	  | sed 's/"ts":[0-9.e-]*,//g' > /tmp/e1-cache-off.events
 	diff /tmp/e1-cache-on.events /tmp/e1-cache-off.events
+
+# fault-injection determinism gate: the R-series robustness experiment runs
+# its whole fault schedule from named seeded streams, so two runs at the
+# same seed must print byte-identical output, and the JSONL stream must
+# carry the fault_summary events the engine emits for every faulty run
+bench-fault-check:
+	dune build bench/main.exe tools/jsonl_check.exe
+	./_build/default/bench/main.exe --only R1 --no-timing --no-breakdown \
+	  --jsonl /tmp/r1-fault.jsonl > /tmp/r1-fault-a.out
+	./_build/default/bench/main.exe --only R1 --no-timing --no-breakdown \
+	  --jsonl /tmp/r1-fault.jsonl > /tmp/r1-fault-b.out
+	diff /tmp/r1-fault-a.out /tmp/r1-fault-b.out
+	./_build/default/tools/jsonl_check.exe \
+	  --require span,metrics,robustness,fault_summary /tmp/r1-fault.jsonl
 
 clean:
 	dune clean

@@ -336,6 +336,14 @@ let report file =
       "\nmemo cache: %d hits / %d misses / %d evictions (%.0f%% hit rate)\n" hits
       misses (c "memo.evictions")
       (100.0 *. float_of_int hits /. float_of_int (hits + misses));
+  (* fault-injection activity, if any faulty Network.run was recorded *)
+  let fault_runs = c "faults.runs" in
+  if fault_runs > 0 then
+    Printf.printf
+      "\nfault injection: %d faulty runs — dropped %d, delayed %d, retried %d, \
+       undelivered %d, crashed %d\n"
+      fault_runs (c "faults.dropped") (c "faults.delayed") (c "faults.retried")
+      (c "faults.undelivered") (c "faults.crashed");
   let top =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters []
     |> List.filter (fun (_, v) -> v <> 0)

@@ -13,7 +13,7 @@ type node_state = {
   queued : (int * int, unit) Hashtbl.t;
 }
 
-let minimum ?max_rounds ?trace sc ~values =
+let minimum ?max_rounds ?trace ?faults sc ~values =
   let tree = sc.Sc.tree in
   let g = tree.Graphlib.Spanning.graph in
   let n = Graph.n g in
@@ -133,7 +133,7 @@ let minimum ?max_rounds ?trace sc ~values =
           Hashtbl.fold (fun _ q acc -> acc && Queue.is_empty q) st.queues true);
     }
   in
-  let states, stats = Network.run ?max_rounds ?trace g algo in
+  let states, stats = Network.run ?max_rounds ?trace ?faults g algo in
   let mins =
     Array.init n (fun v ->
         let p = part_of.(v) in
@@ -171,7 +171,7 @@ let verify sc ~values result =
   !ok
 
 let rounds_for_parts ?max_rounds ?trace sc ~seed =
-  let st = Random.State.make [| seed |] in
+  let st = Faults.Rng.algo seed in
   let g = sc.Sc.tree.Graphlib.Spanning.graph in
   let values =
     Array.init (Graph.n g) (fun v ->

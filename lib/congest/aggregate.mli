@@ -18,6 +18,7 @@ type result = {
 val minimum :
   ?max_rounds:int ->
   ?trace:Trace.t ->
+  ?faults:Faults.plan ->
   Shortcuts.Shortcut.t ->
   values:(float * int) option array ->
   result

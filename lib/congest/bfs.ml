@@ -2,7 +2,7 @@ type state = { dist : int; parent : int }
 
 type full = { s : state; announced : bool }
 
-let run ?max_rounds ?trace g ~root =
+let run ?max_rounds ?trace ?faults g ~root =
   (* scratch send buffer: [Network.send] copies, so one array serves every
      send of the run and the steady state allocates nothing *)
   let buf = [| 0 |] in
@@ -34,8 +34,11 @@ let run ?max_rounds ?trace g ~root =
             { st with announced = true }
           end
           else st);
-      finished = (fun st -> st.announced);
+      (* an unreached node ([dist < 0]) has nothing to do until mail wakes
+         it, and under a fault plan that cuts it off from the root the mail
+         never comes — counting it finished lets such runs converge *)
+      finished = (fun st -> st.announced || st.s.dist < 0);
     }
   in
-  let states, stats = Network.run ?max_rounds ?trace g algo in
+  let states, stats = Network.run ?max_rounds ?trace ?faults g algo in
   (Array.map (fun st -> st.s) states, stats)

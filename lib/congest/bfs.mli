@@ -10,8 +10,12 @@ type state = {
 val run :
   ?max_rounds:int ->
   ?trace:Trace.t ->
+  ?faults:Faults.plan ->
   Graphlib.Graph.t ->
   root:int ->
   state array * Network.stats
 (** Flood distances from the root; every node learns its BFS distance and
-    parent. Rounds ~ eccentricity(root) + 1. *)
+    parent. Rounds ~ eccentricity(root) + 1.  Under a fault plan the flood
+    is best-effort: lost announcements are never retried (use
+    {!Resilient.bfs} for that), so distances can come out too large or
+    [-1] on nodes a drop cut off. *)

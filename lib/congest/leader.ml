@@ -10,7 +10,7 @@ type outcome = {
 (* stage 1: min-id flooding *)
 type elect_state = { best : int; announced : bool }
 
-let elect_stage ?max_rounds ?trace g =
+let elect_stage ?max_rounds ?trace ?faults g =
   let buf = [| 0 |] in
   let algo =
     {
@@ -34,7 +34,7 @@ let elect_stage ?max_rounds ?trace g =
       finished = (fun st -> st.announced);
     }
   in
-  let states, stats = Network.run ?max_rounds ?trace g algo in
+  let states, stats = Network.run ?max_rounds ?trace ?faults g algo in
   (states.(0).best, stats)
 
 (* stage 3: census convergecast over the leader's BFS tree.
@@ -49,7 +49,7 @@ type census_state = {
   reported : bool;
 }
 
-let census_stage ?max_rounds ?trace g parent_of depth_of root =
+let census_stage ?max_rounds ?trace ?faults g parent_of depth_of root =
   let buf1 = [| 0 |] in
   let buf2 = [| 0; 0 |] in
   let algo =
@@ -115,16 +115,18 @@ let census_stage ?max_rounds ?trace g parent_of depth_of root =
       finished = (fun st -> st.reported);
     }
   in
-  let states, stats = Network.run ?max_rounds ?trace g algo in
+  let states, stats = Network.run ?max_rounds ?trace ?faults g algo in
   (states.(root).acc_count, states.(root).acc_height, stats)
 
-let elect ?max_rounds ?trace g =
-  let leader, s1 = elect_stage ?max_rounds ?trace g in
+let elect ?max_rounds ?trace ?faults g =
+  let leader, s1 = elect_stage ?max_rounds ?trace ?faults g in
   (* stage 2: BFS tree from the leader (simulated) *)
-  let bfs_states, s2 = Bfs.run ?max_rounds ?trace g ~root:leader in
+  let bfs_states, s2 = Bfs.run ?max_rounds ?trace ?faults g ~root:leader in
   let parent_of = Array.map (fun st -> st.Bfs.parent) bfs_states in
   let depth_of = Array.map (fun st -> st.Bfs.dist) bfs_states in
-  let n_estimate, ecc, s3 = census_stage ?max_rounds ?trace g parent_of depth_of leader in
+  let n_estimate, ecc, s3 =
+    census_stage ?max_rounds ?trace ?faults g parent_of depth_of leader
+  in
   (* stage 4: broadcasting (n, ecc) back down costs another ecc rounds *)
   let s4 =
     {

@@ -13,6 +13,11 @@ type outcome = {
   stats : Network.stats;
 }
 
-val elect : ?max_rounds:int -> ?trace:Trace.t -> Graphlib.Graph.t -> outcome
+val elect :
+  ?max_rounds:int ->
+  ?trace:Trace.t ->
+  ?faults:Faults.plan ->
+  Graphlib.Graph.t ->
+  outcome
 (** Every node ends up knowing all three fields (checked by the
     implementation: the returned values are read off an arbitrary node). *)

@@ -149,8 +149,9 @@ type report = {
   trees : int;
 }
 
-let approx ?(trees = 8) ?(two_respecting = false) ?trace ~seed ~constructor g w =
-  let st = Random.State.make [| seed |] in
+let approx ?(trees = 8) ?(two_respecting = false) ?trace ?faults ?strict ~seed
+    ~constructor g w =
+  let st = Faults.Rng.algo seed in
   let m = Graph.m g in
   let rounds = ref 0 in
   let best = ref infinity in
@@ -162,7 +163,7 @@ let approx ?(trees = 8) ?(two_respecting = false) ?trace ~seed ~constructor g w 
           let u = Random.State.float st 1.0 +. 1e-12 in
           -.log u /. (w.(e) +. 1e-12))
     in
-    let report = Mst.boruvka ?trace ~constructor g wt in
+    let report = Mst.boruvka ?trace ?faults ?strict ~constructor g wt in
     rounds := !rounds + report.Mst.rounds;
     (* build the sampled tree rooted anywhere and evaluate its best
        1-respecting cut; the subtree sums cost one convergecast: depth rounds *)

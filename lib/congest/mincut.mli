@@ -35,10 +35,15 @@ val approx :
   ?trees:int ->
   ?two_respecting:bool ->
   ?trace:Trace.t ->
+  ?faults:Faults.plan ->
+  ?strict:bool ->
   seed:int ->
   constructor:Mst.constructor ->
   Graphlib.Graph.t ->
   Graphlib.Graph.weights ->
   report
 (** Default [trees] = 8, [two_respecting] = false (1-respecting cuts only;
-    set it on small graphs for Karger's full whp-exactness guarantee). *)
+    set it on small graphs for Karger's full whp-exactness guarantee).
+    [faults]/[strict] are forwarded to the per-tree {!Mst.boruvka} runs;
+    the tree-sampling randomness ([seed]) and the fault randomness never
+    share a stream (see {!Faults.Rng}). *)

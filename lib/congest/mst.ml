@@ -63,7 +63,8 @@ let merge_phase g w uf mins parts mst_edges =
     chosen;
   ignore w
 
-let boruvka ?(overhead = 2) ?(max_rounds_per_phase = 2_000_000) ?trace ~constructor g w =
+let boruvka ?(overhead = 2) ?(max_rounds_per_phase = 2_000_000) ?trace ?faults
+    ?(strict = true) ~constructor g w =
   let n = Graph.n g in
   let uf = Union_find.create n in
   let mst_edges = ref [] in
@@ -72,22 +73,33 @@ let boruvka ?(overhead = 2) ?(max_rounds_per_phase = 2_000_000) ?trace ~construc
   let phase_rounds = ref [] in
   let phases = ref 0 in
   let tree = Spanning.bfs_tree g 0 in
-  while Union_find.count uf > 1 do
+  let progress = ref true in
+  while Union_find.count uf > 1 && !progress do
     incr phases;
     if !phases > 2 * n then failwith "Mst.boruvka: no progress";
     let parts = fragments_of uf g in
     let sc = constructor tree parts in
     let values = mwoe_values g w uf in
-    let result = Aggregate.minimum ~max_rounds:max_rounds_per_phase ?trace sc ~values in
-    if not result.Aggregate.stats.Network.converged then
-      failwith "Mst.boruvka: aggregation did not converge";
-    if not (Aggregate.verify sc ~values result) then
-      failwith "Mst.boruvka: aggregation produced a wrong minimum";
+    let result =
+      Aggregate.minimum ~max_rounds:max_rounds_per_phase ?trace ?faults sc
+        ~values
+    in
+    if strict then begin
+      if not result.Aggregate.stats.Network.converged then
+        failwith "Mst.boruvka: aggregation did not converge";
+      if not (Aggregate.verify sc ~values result) then
+        failwith "Mst.boruvka: aggregation produced a wrong minimum"
+    end;
     let cost = overhead * result.Aggregate.stats.Network.rounds in
     rounds := !rounds + cost;
     messages := !messages + (overhead * result.Aggregate.stats.Network.messages);
     phase_rounds := cost :: !phase_rounds;
-    merge_phase g w uf result.Aggregate.mins parts mst_edges
+    let before = Union_find.count uf in
+    merge_phase g w uf result.Aggregate.mins parts mst_edges;
+    (* under faults a phase can lose every candidate; a best-effort run
+       stops instead of spinning (the partial forest is the degraded
+       answer), a strict run cannot get here *)
+    progress := Union_find.count uf < before
   done;
   let mst_edges = !mst_edges in
   {
@@ -99,7 +111,8 @@ let boruvka ?(overhead = 2) ?(max_rounds_per_phase = 2_000_000) ?trace ~construc
     phase_rounds = List.rev !phase_rounds;
   }
 
-let boruvka_full ?(max_rounds_per_phase = 2_000_000) ?trace ~constructor g w =
+let boruvka_full ?(max_rounds_per_phase = 2_000_000) ?trace ?faults
+    ?(strict = true) ~constructor g w =
   let n = Graph.n g in
   let uf = Union_find.create n in
   let mst_edges = ref [] in
@@ -108,17 +121,23 @@ let boruvka_full ?(max_rounds_per_phase = 2_000_000) ?trace ~constructor g w =
   let phase_rounds = ref [] in
   let phases = ref 0 in
   let tree = Spanning.bfs_tree g 0 in
-  while Union_find.count uf > 1 do
+  let progress = ref true in
+  while Union_find.count uf > 1 && !progress do
     incr phases;
     if !phases > 2 * n then failwith "Mst.boruvka_full: no progress";
     (* (a) MWOE aggregation on the current fragments *)
     let parts = fragments_of uf g in
     let sc = constructor tree parts in
     let values = mwoe_values g w uf in
-    let result = Aggregate.minimum ~max_rounds:max_rounds_per_phase ?trace sc ~values in
-    if not (Aggregate.verify sc ~values result) then
+    let result =
+      Aggregate.minimum ~max_rounds:max_rounds_per_phase ?trace ?faults sc
+        ~values
+    in
+    if strict && not (Aggregate.verify sc ~values result) then
       failwith "Mst.boruvka_full: MWOE aggregation wrong";
+    let before = Union_find.count uf in
     merge_phase g w uf result.Aggregate.mins parts mst_edges;
+    progress := Union_find.count uf < before;
     (* (b) fragment renaming: every member of each *merged* fragment learns
        the new leader (minimum vertex id) by a second aggregation, over the
        new partition with its own shortcut *)
@@ -126,9 +145,10 @@ let boruvka_full ?(max_rounds_per_phase = 2_000_000) ?trace ~constructor g w =
     let sc' = constructor tree parts' in
     let id_values = Array.init n (fun v -> Some (float_of_int v, v)) in
     let rename =
-      Aggregate.minimum ~max_rounds:max_rounds_per_phase ?trace sc' ~values:id_values
+      Aggregate.minimum ~max_rounds:max_rounds_per_phase ?trace ?faults sc'
+        ~values:id_values
     in
-    if not (Aggregate.verify sc' ~values:id_values rename) then
+    if strict && not (Aggregate.verify sc' ~values:id_values rename) then
       failwith "Mst.boruvka_full: rename aggregation wrong";
     let cost =
       result.Aggregate.stats.Network.rounds + rename.Aggregate.stats.Network.rounds

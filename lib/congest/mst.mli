@@ -36,6 +36,8 @@ val boruvka :
   ?overhead:int ->
   ?max_rounds_per_phase:int ->
   ?trace:Trace.t ->
+  ?faults:Faults.plan ->
+  ?strict:bool ->
   constructor:constructor ->
   Graphlib.Graph.t ->
   Graphlib.Graph.weights ->
@@ -43,11 +45,21 @@ val boruvka :
 (** [overhead] (default 2) multiplies each phase's aggregation cost to account
     for the winner-echo / fragment-renaming aggregations, which have the same
     communication pattern. Raises [Failure] if a phase's aggregation fails to
-    converge within [max_rounds_per_phase]. *)
+    converge within [max_rounds_per_phase].
+
+    With [strict] (the default) a non-converged or wrong per-phase
+    aggregation raises [Failure].  Under a fault plan pass [~strict:false]
+    for a best-effort run: phases proceed with whatever minima survived,
+    and the run stops early if a phase merges nothing — the returned
+    report then describes a partial (and possibly non-minimum) forest,
+    measurable against the clean run via {!Faults.Degrade.weight_gap} and
+    {!check}. *)
 
 val boruvka_full :
   ?max_rounds_per_phase:int ->
   ?trace:Trace.t ->
+  ?faults:Faults.plan ->
+  ?strict:bool ->
   constructor:constructor ->
   Graphlib.Graph.t ->
   Graphlib.Graph.weights ->

@@ -8,6 +8,9 @@ type stats = {
   max_edge_load : int;
   active_steps : int;
   converged : bool;
+  dropped : int;
+  delayed : int;
+  retried : int;
 }
 
 let empty_stats =
@@ -19,6 +22,9 @@ let empty_stats =
     max_edge_load = 0;
     active_steps = 0;
     converged = true;
+    dropped = 0;
+    delayed = 0;
+    retried = 0;
   }
 
 let add_stats a b =
@@ -30,6 +36,9 @@ let add_stats a b =
     max_edge_load = max a.max_edge_load b.max_edge_load;
     active_steps = a.active_steps + b.active_steps;
     converged = a.converged && b.converged;
+    dropped = a.dropped + b.dropped;
+    delayed = a.delayed + b.delayed;
+    retried = a.retried + b.retried;
   }
 
 (* The message fabric (v3): every undirected edge e owns two directed
@@ -42,7 +51,27 @@ let add_stats a b =
    round r land in arena [(r+1) land 1], deliveries read arena
    [r land 1]), so a send never clobbers an undelivered message, stale
    stamps never match, and nothing is ever cleared: steady-state rounds
-   allocate no words at all. *)
+   allocate no words at all.
+
+   The fault layer (DESIGN.md section 11) is a strictly additive detour:
+   with a fault plan installed, accepted messages are not written into the
+   arena at send time but queued on a per-due-round bucket and materialized
+   into the arena at the start of their delivery round.  [last_due] makes
+   per-directed-edge delivery rounds strictly increasing, so a delayed
+   message can never share a slot (or a round) with a later one — the
+   CONGEST one-message-per-edge-direction-per-round invariant survives
+   arbitrary delay schedules.  With no plan installed ([faults = None])
+   every fault field is dead and the send path is the v3 fast path,
+   allocation-free and branch-for-branch identical. *)
+type fstate = {
+  fs : Faults.state;
+  sent_round : int array;  (* per dir: last round a send was accepted *)
+  last_due : int array;  (* per dir: latest delivery round claimed *)
+  buckets : (int, (int * int * int array) list ref) Hashtbl.t;
+      (* due round -> (dir, receiver, payload copy), reverse push order *)
+  mutable in_flight : int;
+}
+
 type ctx = {
   g : Graph.t;
   bandwidth : int;
@@ -69,7 +98,11 @@ type ctx = {
   mutable words : int;
   mutable max_words : int;
   mutable max_load : int;
+  mutable dropped : int;
+  mutable delayed : int;
+  mutable retried : int;
   trace : Trace.t option;
+  faults : fstate option;
 }
 
 let node ctx = ctx.node
@@ -87,13 +120,93 @@ let inbox_word ctx i j =
     invalid_arg "Congest: inbox_word out of range";
   ctx.arena.(p).((dir * ctx.bandwidth) + j)
 
+(* diagnostics carry enough context to debug a fault-layer (or algorithm)
+   bug from the exception alone; the sprintf only runs on the raise *)
+let err_duplicate ctx w words =
+  invalid_arg
+    (Printf.sprintf
+       "Congest: two messages on one edge in one round (round %d, %d -> %d, \
+        %d words)"
+       ctx.round ctx.node w words)
+
+let err_bandwidth ctx w words =
+  invalid_arg
+    (Printf.sprintf
+       "Congest: message exceeds bandwidth (round %d, %d -> %d, %d words > \
+        %d)"
+       ctx.round ctx.node w words ctx.bandwidth)
+
+(* accepted-message accounting shared by both send paths; the clean path
+   additionally writes the arena inline, the fault path defers that to the
+   delivery round *)
+let account ctx dir words =
+  let l = ctx.load.(dir) + 1 in
+  ctx.load.(dir) <- l;
+  if l > ctx.max_load then ctx.max_load <- l;
+  ctx.messages <- ctx.messages + 1;
+  ctx.words <- ctx.words + words;
+  if words > ctx.max_words then ctx.max_words <- words;
+  match ctx.trace with
+  | Some t -> Trace.on_send t ~dir_edge:dir ~words
+  | None -> ()
+
+let note_drop ctx =
+  ctx.dropped <- ctx.dropped + 1;
+  match ctx.trace with Some t -> Trace.on_drop t | None -> ()
+
+let note_retry ctx =
+  ctx.retried <- ctx.retried + 1;
+  match ctx.trace with Some t -> Trace.on_retry t | None -> ()
+
+let faults_active ctx = ctx.faults <> None
+
+(* fault-path send: capacity is enforced by a per-dir send stamp (the arena
+   write is deferred, so its round stamp cannot serve), then the message
+   runs the gauntlet — link down, Bernoulli drop, delay roll, receiver
+   already crashed at the delivery round — and survivors are queued on
+   their due-round bucket.  Accounting happens at send time, exactly where
+   the clean path does it, so a zero-effect plan leaves every counter,
+   trace series and worklist byte-identical to a run with no plan. *)
+let deliver_faulty ctx f w dir payload =
+  let r = ctx.round in
+  let words = Array.length payload in
+  if f.sent_round.(dir) = r then err_duplicate ctx w words;
+  if words > ctx.bandwidth then err_bandwidth ctx w words;
+  f.sent_round.(dir) <- r;
+  let fs = f.fs in
+  if Faults.link_down fs ~edge:(dir / 2) ~round:r then note_drop ctx
+  else if Faults.drop_roll fs then note_drop ctx
+  else begin
+    let extra = Faults.delay_roll fs in
+    let due = max (r + 1 + extra) (f.last_due.(dir) + 1) in
+    let cw = Faults.crash_round fs w in
+    if cw >= 0 && due >= cw then
+      (* the receiver is dead by the time this message would arrive *)
+      note_drop ctx
+    else begin
+      account ctx dir words;
+      if extra > 0 then begin
+        ctx.delayed <- ctx.delayed + 1;
+        match ctx.trace with Some t -> Trace.on_delay t | None -> ()
+      end;
+      f.last_due.(dir) <- due;
+      let entry = (dir, w, Array.sub payload 0 words) in
+      (match Hashtbl.find_opt f.buckets due with
+      | Some l -> l := entry :: !l
+      | None -> Hashtbl.add f.buckets due (ref [ entry ]));
+      f.in_flight <- f.in_flight + 1
+    end
+  end
+
 let deliver ctx w dir payload =
+  match ctx.faults with
+  | Some f -> deliver_faulty ctx f w dir payload
+  | None ->
   let p = (ctx.round + 1) land 1 in
   if ctx.msg_round.(p).(dir) = ctx.round + 1 then
-    invalid_arg "Congest: two messages on one edge in one round";
+    err_duplicate ctx w (Array.length payload);
   let words = Array.length payload in
-  if words > ctx.bandwidth then
-    invalid_arg "Congest: message exceeds bandwidth";
+  if words > ctx.bandwidth then err_bandwidth ctx w words;
   ctx.msg_round.(p).(dir) <- ctx.round + 1;
   ctx.msg_len.(p).(dir) <- words;
   Array.blit payload 0 ctx.arena.(p) (dir * ctx.bandwidth) words;
@@ -114,7 +227,10 @@ let deliver ctx w dir payload =
 
 let send ctx w payload =
   let e = Graph.find_edge_id ctx.g ctx.node w in
-  if e < 0 then invalid_arg "Congest: send to a non-neighbor";
+  if e < 0 then
+    invalid_arg
+      (Printf.sprintf "Congest: send to a non-neighbor (round %d, %d -> %d)"
+         ctx.round ctx.node w);
   let dir = (2 * e) + if ctx.edge_src.(e) = ctx.node then 0 else 1 in
   deliver ctx w dir payload
 
@@ -130,9 +246,23 @@ type 'st algo = {
   finished : 'st -> bool;
 }
 
-let run ?(bandwidth = 4) ?(max_rounds = 1_000_000) ?trace g algo =
+let run ?(bandwidth = 4) ?(max_rounds = 1_000_000) ?trace ?faults g algo =
   let n = Graph.n g in
   let m = Graph.m g in
+  (* a plan that can never fire stays on the fast path entirely *)
+  let fstate =
+    match faults with
+    | Some plan when not (Faults.is_zero plan) ->
+        Some
+          {
+            fs = Faults.start plan g;
+            sent_round = Array.make (2 * m) (-1);
+            last_due = Array.make (2 * m) 0;
+            buckets = Hashtbl.create 64;
+            in_flight = 0;
+          }
+    | _ -> None
+  in
   let states = Array.init n (fun v -> algo.init g v) in
   let edge_src = Array.map fst (Graph.edges g) in
   let dir_of e u = if edge_src.(e) = u then 2 * e else (2 * e) + 1 in
@@ -177,7 +307,11 @@ let run ?(bandwidth = 4) ?(max_rounds = 1_000_000) ?trace g algo =
       words = 0;
       max_words = 0;
       max_load = 0;
+      dropped = 0;
+      delayed = 0;
+      retried = 0;
       trace;
+      faults = fstate;
     }
   in
   let spare_recv = ref (Array.make n 0) in
@@ -203,6 +337,32 @@ let run ?(bandwidth = 4) ?(max_rounds = 1_000_000) ?trace g algo =
     incr round;
     ctx.round <- !round;
     let p = !round land 1 in
+    (* fault path: materialize the messages due this round into the arena
+       and register their receivers, before the receiver-list swap below
+       moves the registrations into this round's step list.  Bucket order
+       is push order, i.e. send order — the same order the clean path
+       registers receivers in, so a zero-effect plan reproduces the clean
+       worklists exactly. *)
+    (match fstate with
+    | Some f -> (
+        match Hashtbl.find_opt f.buckets !round with
+        | Some lst ->
+            Hashtbl.remove f.buckets !round;
+            List.iter
+              (fun (dir, w, payload) ->
+                f.in_flight <- f.in_flight - 1;
+                ctx.msg_round.(p).(dir) <- !round;
+                ctx.msg_len.(p).(dir) <- Array.length payload;
+                Array.blit payload 0 ctx.arena.(p) (dir * bandwidth)
+                  (Array.length payload);
+                if not ctx.has_mail.(w) then begin
+                  ctx.has_mail.(w) <- true;
+                  ctx.next_recv.(ctx.next_recv_n) <- w;
+                  ctx.next_recv_n <- ctx.next_recv_n + 1
+                end)
+              (List.rev !lst)
+        | None -> ())
+    | None -> ());
     (* last round's send targets become this round's receivers; the spare
        stack becomes the write stack *)
     let this_recv = ctx.next_recv in
@@ -242,11 +402,18 @@ let run ?(bandwidth = 4) ?(max_rounds = 1_000_000) ?trace g algo =
         incr next_n
       end
     in
+    (* a crashed node is fail-stop: from its crash round on it neither
+       steps nor re-enters the worklists, so it drains out of the run *)
+    let dead v =
+      match fstate with
+      | Some f -> Faults.crashed f.fs ~node:v ~round:!round
+      | None -> false
+    in
     for i = this_n - 1 downto 0 do
       let v = this_recv.(i) in
       if stamp.(v) <> !round then begin
         stamp.(v) <- !round;
-        step_node v true
+        if not (dead v) then step_node v true
       end
     done;
     let aw = !awake in
@@ -254,7 +421,7 @@ let run ?(bandwidth = 4) ?(max_rounds = 1_000_000) ?trace g algo =
       let v = aw.(i) in
       if stamp.(v) <> !round then begin
         stamp.(v) <- !round;
-        step_node v false
+        if not (dead v) then step_node v false
       end
     done;
     let tmp = !awake in
@@ -262,8 +429,43 @@ let run ?(bandwidth = 4) ?(max_rounds = 1_000_000) ?trace g algo =
     next_awake := tmp;
     awake_n := !next_n;
     (match trace with Some t -> Trace.on_round_end t | None -> ());
-    if !awake_n = 0 && ctx.next_recv_n = 0 then converged := true
+    if
+      !awake_n = 0 && ctx.next_recv_n = 0
+      && match fstate with Some f -> f.in_flight = 0 | None -> true
+    then converged := true
   done;
+  (match fstate with
+  | Some f ->
+      Obs.Metrics.add (Obs.Metrics.counter "faults.dropped") ctx.dropped;
+      Obs.Metrics.add (Obs.Metrics.counter "faults.delayed") ctx.delayed;
+      Obs.Metrics.add (Obs.Metrics.counter "faults.retried") ctx.retried;
+      Obs.Metrics.add (Obs.Metrics.counter "faults.undelivered") f.in_flight;
+      let crashed_n =
+        let c = ref 0 in
+        for v = 0 to n - 1 do
+          let cr = Faults.crash_round f.fs v in
+          if cr >= 0 && cr <= !round then incr c
+        done;
+        !c
+      in
+      Obs.Metrics.add (Obs.Metrics.counter "faults.crashed") crashed_n;
+      Obs.Metrics.incr (Obs.Metrics.counter "faults.runs");
+      if Obs.Sink.enabled () then
+        Obs.Sink.emit ~type_:"fault_summary"
+          ((match faults with
+           | Some plan -> Faults.plan_fields plan
+           | None -> [])
+          @ [
+              ("rounds", Obs.Sink.Int !round);
+              ("messages", Obs.Sink.Int ctx.messages);
+              ("dropped", Obs.Sink.Int ctx.dropped);
+              ("delayed", Obs.Sink.Int ctx.delayed);
+              ("retried", Obs.Sink.Int ctx.retried);
+              ("undelivered", Obs.Sink.Int f.in_flight);
+              ("crashed", Obs.Sink.Int crashed_n);
+              ("converged", Obs.Sink.Bool !converged);
+            ])
+  | None -> ());
   ( states,
     {
       rounds = !round;
@@ -273,4 +475,7 @@ let run ?(bandwidth = 4) ?(max_rounds = 1_000_000) ?trace g algo =
       max_edge_load = ctx.max_load;
       active_steps = !active_steps;
       converged = !converged;
+      dropped = ctx.dropped;
+      delayed = ctx.delayed;
+      retried = ctx.retried;
     } )

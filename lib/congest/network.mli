@@ -43,6 +43,11 @@ type stats = {
       (** node steps actually executed; [n * rounds] minus the quiescence
           savings *)
   converged : bool;  (** all nodes reported finished before the cap *)
+  dropped : int;
+      (** messages lost to the fault layer (random drop, link failure, or a
+          receiver crashed before delivery); 0 without a fault plan *)
+  delayed : int;  (** messages delivered late by the fault layer *)
+  retried : int;  (** retransmissions recorded via {!note_retry} *)
 }
 
 type ctx
@@ -92,6 +97,16 @@ val send_all : ctx -> int array -> unit
     neighbor of the current node (O(degree), no neighbor lookups). The
     payload is copied per edge, as with {!send}. *)
 
+val note_retry : ctx -> unit
+(** Record one retransmission into the run's fault telemetry (stats,
+    trace, [faults.retried]).  Called by the {!Resilient} combinator; an
+    algorithm implementing its own retry discipline may call it too. *)
+
+val faults_active : ctx -> bool
+(** Whether this run has a live fault plan installed — i.e. messages may
+    be dropped, delayed, or lost to crashes.  Lets an algorithm choose a
+    defensive variant only when it is paying for one. *)
+
 type 'st algo = {
   init : Graphlib.Graph.t -> int -> 'st;
   step : ctx -> 'st -> 'st;
@@ -107,13 +122,25 @@ val run :
   ?bandwidth:int ->
   ?max_rounds:int ->
   ?trace:Trace.t ->
+  ?faults:Faults.plan ->
   Graphlib.Graph.t ->
   'st algo ->
   'st array * stats
 (** Defaults: [bandwidth = 4] words, [max_rounds = 1_000_000], no trace.
     When [trace] is given, every send and round boundary is recorded into
     it (see {!Trace}); the same trace may be threaded through several runs
-    to accumulate a whole execution's congestion profile. *)
+    to accumulate a whole execution's congestion profile.
+
+    When [faults] is given (and not {!Faults.is_zero}), the plan is
+    compiled against [g] and every send runs the fault gauntlet: link
+    failure, Bernoulli drop, bounded delivery delay, receiver crash (see
+    {!Faults} and DESIGN.md section 11).  Fault schedules are a pure
+    function of the plan seed.  Delayed deliveries are serialized so the
+    one-message-per-edge-direction-per-round invariant still holds, and
+    convergence additionally requires no message left in flight.  A run
+    with a zero-effect plan is byte-identical — same states, stats and
+    trace — to a run with no plan; a run with no plan (or a zero plan)
+    stays on the allocation-free fast path. *)
 
 val empty_stats : stats
 (** All-zero, [converged = true] — the unit for {!add_stats}. *)

@@ -8,7 +8,7 @@ type result = {
 
 type state = { owner : int; dist : int; announced : bool }
 
-let voronoi ?max_rounds ?trace g ~seeds =
+let voronoi ?max_rounds ?trace ?faults g ~seeds =
   let seed_index = Hashtbl.create (Array.length seeds) in
   Array.iteri (fun i s -> if not (Hashtbl.mem seed_index s) then Hashtbl.add seed_index s i) seeds;
   let buf = [| 0; 0 |] in
@@ -45,7 +45,7 @@ let voronoi ?max_rounds ?trace g ~seeds =
       finished = (fun st -> st.announced);
     }
   in
-  let states, stats = Network.run ?max_rounds ?trace g algo in
+  let states, stats = Network.run ?max_rounds ?trace ?faults g algo in
   {
     owner = Array.map (fun st -> st.owner) states;
     dist = Array.map (fun st -> st.dist) states;

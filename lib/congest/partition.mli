@@ -13,7 +13,12 @@ type result = {
 }
 
 val voronoi :
-  ?max_rounds:int -> ?trace:Trace.t -> Graphlib.Graph.t -> seeds:int array -> result
+  ?max_rounds:int ->
+  ?trace:Trace.t ->
+  ?faults:Faults.plan ->
+  Graphlib.Graph.t ->
+  seeds:int array ->
+  result
 (** Rounds ~ max distance to the nearest seed. *)
 
 val to_parts : Graphlib.Graph.t -> result -> Shortcuts.Part.t

@@ -1,0 +1,252 @@
+module Graph = Graphlib.Graph
+
+(* Resilience layer: a reliable-link combinator over the lossy fabric, and
+   a BFS built on it that reports how far its answer degrades from the
+   clean reference (DESIGN.md section 11).
+
+   The link protocol is stop-and-wait per directed neighbor pair, which
+   keeps it inside the CONGEST discipline by construction: at most one
+   frame per edge direction per round, ever.  A frame is
+
+     [| flags; seq; ack; payload... |]
+
+   with flags bit 0 = carries data, bit 1 = carries an ack (acks piggyback
+   on data when both are due, so the two never compete for the edge).
+   Sequence numbers are per (sender, neighbor) and start at 1; [ack] is
+   cumulative — the highest sequence the receiver has delivered.  The
+   receiver accepts any [seq > delivered] (not just [delivered + 1]): when
+   the sender exhausts its retry budget and abandons a message, the gap
+   must not wedge the link.  Duplicates (retransmissions whose ack was
+   lost) re-arm the ack but are not delivered upward, so the application
+   sees each surviving message exactly once. *)
+
+module Link = struct
+  type config = { timeout : int; budget : int }
+
+  let default_config = { timeout = 4; budget = 16 }
+  let header_words = 3
+
+  type t = {
+    cfg : config;
+    nbr : int array;  (* adjacency order; frame state is indexed alike *)
+    outq : (int * int array) Queue.t array;  (* (seq, payload) per nbr *)
+    next_seq : int array;
+    sent_at : int array;  (* round the head was last transmitted, -1 = not *)
+    tries : int array;  (* retransmissions of the head so far *)
+    delivered : int array;  (* highest seq delivered from this neighbor *)
+    need_ack : bool array;  (* we owe this neighbor an ack *)
+    frame : int array;  (* scratch send buffer, header + max payload *)
+    mutable given_up : int;
+  }
+
+  let create ?(config = default_config) ~bandwidth g v =
+    if config.timeout < 1 then invalid_arg "Resilient.Link: timeout < 1";
+    if config.budget < 0 then invalid_arg "Resilient.Link: budget < 0";
+    let nbr = Array.map fst (Graph.adj g v) in
+    let deg = Array.length nbr in
+    {
+      cfg = config;
+      nbr;
+      outq = Array.init deg (fun _ -> Queue.create ());
+      next_seq = Array.make deg 1;
+      sent_at = Array.make deg (-1);
+      tries = Array.make deg 0;
+      delivered = Array.make deg 0;
+      need_ack = Array.make deg false;
+      frame = Array.make (header_words + bandwidth) 0;
+      given_up = 0;
+    }
+
+  let idx t u =
+    let rec go i = if t.nbr.(i) = u then i else go (i + 1) in
+    go 0
+
+  let send t ~dst payload =
+    let j = idx t dst in
+    let seq = t.next_seq.(j) in
+    t.next_seq.(j) <- seq + 1;
+    Queue.push (seq, Array.copy payload) t.outq.(j)
+
+  let poll t ctx handler =
+    for i = 0 to Network.inbox_size ctx - 1 do
+      let words = Network.inbox_words ctx i in
+      if words >= header_words then begin
+        let src = Network.inbox_sender ctx i in
+        let j = idx t src in
+        let flags = Network.inbox_word ctx i 0 in
+        (if flags land 2 <> 0 then
+           (* cumulative ack: confirm the in-flight head if covered *)
+           let a = Network.inbox_word ctx i 2 in
+           if
+             (not (Queue.is_empty t.outq.(j)))
+             && t.sent_at.(j) >= 0
+             && fst (Queue.peek t.outq.(j)) <= a
+           then begin
+             ignore (Queue.pop t.outq.(j));
+             t.sent_at.(j) <- -1;
+             t.tries.(j) <- 0
+           end);
+        if flags land 1 <> 0 then begin
+          let seq = Network.inbox_word ctx i 1 in
+          if seq > t.delivered.(j) then begin
+            t.delivered.(j) <- seq;
+            t.need_ack.(j) <- true;
+            let payload =
+              Array.init (words - header_words) (fun k ->
+                  Network.inbox_word ctx i (header_words + k))
+            in
+            handler ~src payload
+          end
+          else
+            (* duplicate: its ack was lost, so re-arm the ack *)
+            t.need_ack.(j) <- true
+        end
+      end
+    done
+
+  let flush t ctx =
+    let r = Network.round ctx in
+    for j = 0 to Array.length t.nbr - 1 do
+      (* retry-budget bookkeeping first: an abandoned head frees the slot
+         for the next queued message this same round *)
+      if
+        t.sent_at.(j) >= 0
+        && r - t.sent_at.(j) >= t.cfg.timeout
+        && t.tries.(j) >= t.cfg.budget
+      then begin
+        ignore (Queue.pop t.outq.(j));
+        t.sent_at.(j) <- -1;
+        t.tries.(j) <- 0;
+        t.given_up <- t.given_up + 1
+      end;
+      let transmit =
+        if Queue.is_empty t.outq.(j) then false
+        else if t.sent_at.(j) < 0 then true (* fresh head *)
+        else if r - t.sent_at.(j) >= t.cfg.timeout then begin
+          t.tries.(j) <- t.tries.(j) + 1;
+          Network.note_retry ctx;
+          true
+        end
+        else false
+      in
+      if transmit then begin
+        let seq, payload = Queue.peek t.outq.(j) in
+        let words = Array.length payload in
+        let flags = 1 lor if t.need_ack.(j) then 2 else 0 in
+        t.frame.(0) <- flags;
+        t.frame.(1) <- seq;
+        t.frame.(2) <- t.delivered.(j);
+        Array.blit payload 0 t.frame header_words words;
+        Network.send ctx t.nbr.(j)
+          (Array.sub t.frame 0 (header_words + words));
+        t.sent_at.(j) <- r;
+        t.need_ack.(j) <- false
+      end
+      else if t.need_ack.(j) then begin
+        t.frame.(0) <- 2;
+        t.frame.(1) <- 0;
+        t.frame.(2) <- t.delivered.(j);
+        Network.send ctx t.nbr.(j) (Array.sub t.frame 0 header_words);
+        t.need_ack.(j) <- false
+      end
+    done
+
+  let idle t =
+    let ok = ref true in
+    for j = 0 to Array.length t.nbr - 1 do
+      if (not (Queue.is_empty t.outq.(j))) || t.need_ack.(j) then ok := false
+    done;
+    !ok
+
+  let given_up t = t.given_up
+end
+
+(* ---------- resilient BFS with degradation reporting ---------- *)
+
+type report = {
+  dist : int array;
+  stats : Network.stats;
+  given_up : int;
+  degradation : Faults.Degrade.dist_report;
+  success : bool;
+}
+
+(* offline reference distances, for the degradation comparison *)
+let reference_dists g ~root =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  dist.(root) <- 0;
+  let q = Queue.create () in
+  Queue.push root q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Array.iter
+      (fun (w, _) ->
+        if dist.(w) < 0 then begin
+          dist.(w) <- dist.(v) + 1;
+          Queue.push w q
+        end)
+      (Graph.adj g v)
+  done;
+  dist
+
+type bfs_state = { dist : int; link : Link.t }
+
+let bfs ?max_rounds ?config ?faults g ~root =
+  let buf = [| 0 |] in
+  let announce st =
+    buf.(0) <- st.dist;
+    Array.iter (fun u -> Link.send st.link ~dst:u buf) st.link.Link.nbr
+  in
+  let algo =
+    {
+      Network.init =
+        (fun g v ->
+          let link = Link.create ?config ~bandwidth:1 g v in
+          let st = { dist = (if v = root then 0 else -1); link } in
+          if v = root then announce st;
+          st);
+      step =
+        (fun ctx st ->
+          let best = ref st.dist in
+          Link.poll st.link ctx (fun ~src:_ payload ->
+              let d = payload.(0) + 1 in
+              if !best < 0 || d < !best then best := d);
+          let st =
+            if !best <> st.dist then begin
+              let st = { st with dist = !best } in
+              announce st;
+              st
+            end
+            else st
+          in
+          Link.flush st.link ctx;
+          st);
+      finished = (fun st -> Link.idle st.link);
+    }
+  in
+  let states, stats =
+    Network.run ~bandwidth:(Link.header_words + 1) ?max_rounds ?faults g algo
+  in
+  let dist = Array.map (fun st -> st.dist) states in
+  let given_up =
+    Array.fold_left (fun acc st -> acc + Link.given_up st.link) 0 states
+  in
+  let crashed =
+    match faults with
+    | Some p ->
+        Array.of_list
+          (List.map (fun c -> c.Faults.node) p.Faults.crashes)
+    | None -> [||]
+  in
+  let degradation =
+    Faults.Degrade.int_dists ~ignore:crashed ~reference:(reference_dists g ~root)
+      ~observed:dist ()
+  in
+  {
+    dist;
+    stats;
+    given_up;
+    degradation;
+    success = stats.Network.converged && Faults.Degrade.exact degradation;
+  }

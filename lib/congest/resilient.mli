@@ -1,0 +1,79 @@
+(** Resilience layer: reliable links over the lossy fabric.
+
+    {!Link} is an ack/retry send combinator an algorithm embeds in its
+    per-node state: sends are queued, transmitted stop-and-wait (one frame
+    per edge direction per round, so the CONGEST discipline holds by
+    construction), retransmitted after a configurable [timeout] of silent
+    rounds, and abandoned once a [budget] of retransmissions is spent.
+    Acks are cumulative and piggyback on data frames.  Every message that
+    is delivered is delivered exactly once, in per-link FIFO order.
+
+    {!bfs} is the worked example: breadth-first distances computed over
+    reliable links, reported next to the clean offline reference as a
+    {!Faults.Degrade.dist_report}. *)
+
+module Link : sig
+  type config = {
+    timeout : int;  (** rounds of silence before a retransmission, >= 1 *)
+    budget : int;  (** max retransmissions per message before giving up *)
+  }
+
+  val default_config : config
+  (** [timeout = 4], [budget = 16]. *)
+
+  val header_words : int
+  (** Frame overhead: a link built for payloads of [w] words needs
+      [Network.run ~bandwidth:(header_words + w)]. *)
+
+  type t
+  (** Per-node link state, covering all incident edges. *)
+
+  val create : ?config:config -> bandwidth:int -> Graphlib.Graph.t -> int -> t
+  (** [create ~bandwidth g v] makes the link state for node [v];
+      [bandwidth] is the maximum {e payload} width in words. *)
+
+  val send : t -> dst:int -> int array -> unit
+  (** Queue a reliable message to neighbor [dst] (the payload is copied).
+      May be called from [init] or any step. *)
+
+  val poll : t -> Network.ctx -> (src:int -> int array -> unit) -> unit
+  (** Drain this round's inbox: records acks, then hands each {e newly}
+      delivered payload to the callback (duplicates are acked but not
+      redelivered).  Call first in every step. *)
+
+  val flush : t -> Network.ctx -> unit
+  (** Transmit this round's frames: fresh heads, timed-out retransmissions
+      (recorded via {!Network.note_retry}), give-ups past the budget, and
+      any owed acks.  Call last in every step. *)
+
+  val idle : t -> bool
+  (** Nothing queued, nothing awaiting ack, no ack owed — the link's
+      contribution to [finished]. *)
+
+  val given_up : t -> int
+  (** Messages abandoned after exhausting the retry budget. *)
+end
+
+val reference_dists : Graphlib.Graph.t -> root:int -> int array
+(** Offline BFS distances ([-1] = unreachable): the clean reference a
+    degraded run is measured against. *)
+
+type report = {
+  dist : int array;  (** computed distances, [-1] = unreached *)
+  stats : Network.stats;
+  given_up : int;  (** abandoned messages, summed over all links *)
+  degradation : Faults.Degrade.dist_report;
+      (** vs the offline BFS reference, crashed nodes excluded *)
+  success : bool;  (** converged and degradation-free *)
+}
+
+val bfs :
+  ?max_rounds:int ->
+  ?config:Link.config ->
+  ?faults:Faults.plan ->
+  Graphlib.Graph.t ->
+  root:int ->
+  report
+(** BFS over reliable links under an optional fault plan.  With no plan
+    (or a zero plan) this is an ordinary clean run and [success] holds on
+    any connected graph. *)

@@ -16,7 +16,7 @@ let payload_float hi lo =
   Int64.float_of_bits
     (Int64.logor (Int64.shift_left (Int64.of_int hi) 32) (Int64.of_int (lo land 0xFFFFFFFF)))
 
-let run_relaxation ?max_rounds ?trace g weight_of ~source =
+let run_relaxation ?max_rounds ?trace ?faults g weight_of ~source =
   let buf = [| 0; 0 |] in
   let algo =
     {
@@ -51,23 +51,23 @@ let run_relaxation ?max_rounds ?trace g weight_of ~source =
       finished = (fun st -> not st.dirty);
     }
   in
-  let states, stats = Network.run ?max_rounds ?trace g algo in
+  let states, stats = Network.run ?max_rounds ?trace ?faults g algo in
   {
     dist = Array.map (fun st -> st.d) states;
     parent = Array.map (fun st -> st.parent) states;
     stats;
   }
 
-let unweighted ?max_rounds ?trace g ~source =
-  run_relaxation ?max_rounds ?trace g (fun _ _ -> 1.0) ~source
+let unweighted ?max_rounds ?trace ?faults g ~source =
+  run_relaxation ?max_rounds ?trace ?faults g (fun _ _ -> 1.0) ~source
 
-let bellman_ford ?max_rounds ?trace g w ~source =
+let bellman_ford ?max_rounds ?trace ?faults g w ~source =
   let weight_of v u =
     match Graph.find_edge g v u with
     | Some e -> w.(e)
     | None -> invalid_arg "Sssp: missing edge"
   in
-  run_relaxation ?max_rounds ?trace g weight_of ~source
+  run_relaxation ?max_rounds ?trace ?faults g weight_of ~source
 
 let verify g w ~source result =
   let reference = Graphlib.Distance.dijkstra g w source in

@@ -16,11 +16,17 @@ type result = {
 }
 
 val unweighted :
-  ?max_rounds:int -> ?trace:Trace.t -> Graphlib.Graph.t -> source:int -> result
+  ?max_rounds:int ->
+  ?trace:Trace.t ->
+  ?faults:Faults.plan ->
+  Graphlib.Graph.t ->
+  source:int ->
+  result
 
 val bellman_ford :
   ?max_rounds:int ->
   ?trace:Trace.t ->
+  ?faults:Faults.plan ->
   Graphlib.Graph.t ->
   Graphlib.Graph.weights ->
   source:int ->

@@ -28,6 +28,15 @@ type t = {
   per_round_messages : series;
   per_round_words : series;
   per_round_max_load : series;
+  (* fault telemetry; all zero (and absent from every rendering) on a
+     clean run, so installing the counters costs recorded outputs nothing *)
+  mutable dropped : int;
+  mutable delayed : int;
+  mutable retried : int;
+  mutable cur_dropped : int;
+  mutable cur_delayed : int;
+  per_round_dropped : series;
+  per_round_delayed : series;
 }
 
 let create g =
@@ -43,6 +52,13 @@ let create g =
     per_round_messages = series_make ();
     per_round_words = series_make ();
     per_round_max_load = series_make ();
+    dropped = 0;
+    delayed = 0;
+    retried = 0;
+    cur_dropped = 0;
+    cur_delayed = 0;
+    per_round_dropped = series_make ();
+    per_round_delayed = series_make ();
   }
 
 let on_send t ~dir_edge ~words =
@@ -57,12 +73,26 @@ let on_send t ~dir_edge ~words =
   t.cur_messages <- t.cur_messages + 1;
   t.cur_words <- t.cur_words + words
 
+let on_drop t =
+  t.dropped <- t.dropped + 1;
+  t.cur_dropped <- t.cur_dropped + 1
+
+let on_delay t =
+  t.delayed <- t.delayed + 1;
+  t.cur_delayed <- t.cur_delayed + 1
+
+let on_retry t = t.retried <- t.retried + 1
+
 let on_round_end t =
   series_push t.per_round_messages t.cur_messages;
   series_push t.per_round_words t.cur_words;
   series_push t.per_round_max_load t.max_load;
+  series_push t.per_round_dropped t.cur_dropped;
+  series_push t.per_round_delayed t.cur_delayed;
   t.cur_messages <- 0;
-  t.cur_words <- 0
+  t.cur_words <- 0;
+  t.cur_dropped <- 0;
+  t.cur_delayed <- 0
 
 let rounds t = t.per_round_messages.len
 let messages t = t.messages
@@ -81,9 +111,14 @@ let busiest_edge t =
     let u, v = endpoints_of_dir t t.argmax in
     Some (u, v, t.max_load)
 
+let dropped t = t.dropped
+let delayed t = t.delayed
+let retried t = t.retried
 let round_messages t = series_to_array t.per_round_messages
 let round_words t = series_to_array t.per_round_words
 let max_load_series t = series_to_array t.per_round_max_load
+let round_dropped t = series_to_array t.per_round_dropped
+let round_delayed t = series_to_array t.per_round_delayed
 
 type summary = {
   rounds : int;
@@ -93,6 +128,9 @@ type summary = {
   busiest_edge : (int * int) option;
   peak_round_messages : int;
   mean_round_messages : float;
+  dropped : int;
+  delayed : int;
+  retried : int;
 }
 
 let summary t =
@@ -108,6 +146,9 @@ let summary t =
       Array.fold_left max 0 (series_to_array t.per_round_messages);
     mean_round_messages =
       (if r = 0 then 0.0 else float_of_int t.messages /. float_of_int r);
+    dropped = t.dropped;
+    delayed = t.delayed;
+    retried = t.retried;
   }
 
 let summary_to_string s =
@@ -116,10 +157,17 @@ let summary_to_string s =
     | Some (u, v) -> Printf.sprintf " (%d->%d)" u v
     | None -> ""
   in
+  (* fault counters render only when nonzero: clean-run lines must stay
+     byte-identical to what was recorded before the fault layer existed *)
+  let faults =
+    (if s.dropped > 0 then Printf.sprintf " dropped=%d" s.dropped else "")
+    ^ (if s.delayed > 0 then Printf.sprintf " delayed=%d" s.delayed else "")
+    ^ if s.retried > 0 then Printf.sprintf " retried=%d" s.retried else ""
+  in
   Printf.sprintf
-    "rounds=%d msgs=%d words=%d max_edge_load=%d%s peak_round=%d mean_round=%.1f"
+    "rounds=%d msgs=%d words=%d max_edge_load=%d%s peak_round=%d mean_round=%.1f%s"
     s.rounds s.messages s.words s.max_edge_load edge s.peak_round_messages
-    s.mean_round_messages
+    s.mean_round_messages faults
 
 (* All JSON below goes through the shared [Obs.Sink] encoder, so escaping and
    float formatting are uniform with the rest of the repo's output. *)
@@ -140,17 +188,26 @@ let summary_fields s =
     ("peak_round_messages", Obs.Sink.Int s.peak_round_messages);
     ("mean_round_messages", Obs.Sink.Float s.mean_round_messages);
   ]
+  @ (if s.dropped > 0 then [ ("dropped", Obs.Sink.Int s.dropped) ] else [])
+  @ (if s.delayed > 0 then [ ("delayed", Obs.Sink.Int s.delayed) ] else [])
+  @ if s.retried > 0 then [ ("retried", Obs.Sink.Int s.retried) ] else []
 
 let summary_json s = Obs.Sink.Obj (summary_fields s)
 let summary_to_json s = Obs.Sink.to_string (summary_json s)
 
 let per_round_to_json t =
   Obs.Sink.Obj
-    [
-      ("messages", json_int_array (round_messages t));
-      ("words", json_int_array (round_words t));
-      ("max_edge_load", json_int_array (max_load_series t));
-    ]
+    ([
+       ("messages", json_int_array (round_messages t));
+       ("words", json_int_array (round_words t));
+       ("max_edge_load", json_int_array (max_load_series t));
+     ]
+    @ (if t.dropped > 0 then
+         [ ("dropped", json_int_array (round_dropped t)) ]
+       else [])
+    @
+    if t.delayed > 0 then [ ("delayed", json_int_array (round_delayed t)) ]
+    else [])
 
 let per_edge_json t =
   let rows = ref [] in

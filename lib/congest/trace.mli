@@ -28,15 +28,32 @@ val on_send : t -> dir_edge:int -> words:int -> unit
 (** Record one message of [words] payload words crossing directed edge
     [dir_edge] (= [2 * edge_id + direction]). *)
 
+val on_drop : t -> unit
+(** Record one message lost to the fault layer (random drop, link failure,
+    or a crashed receiver). *)
+
+val on_delay : t -> unit
+(** Record one message the fault layer delivered late. *)
+
+val on_retry : t -> unit
+(** Record one retransmission by the {!Resilient} combinator. *)
+
 val on_round_end : t -> unit
-(** Close the current round: pushes the round's message/word counts and the
-    current max cumulative edge load onto the time series. *)
+(** Close the current round: pushes the round's message/word counts, the
+    current max cumulative edge load, and the round's drop/delay counts
+    onto the time series. *)
 
 (** {1 Queries} *)
 
 val rounds : t -> int
 val messages : t -> int
 val words : t -> int
+
+val dropped : t -> int
+(** Messages lost to the fault layer; 0 on a clean run. *)
+
+val delayed : t -> int
+val retried : t -> int
 
 val dir_edge_load : t -> int -> int
 (** Cumulative messages sent over one directed edge id. *)
@@ -62,6 +79,11 @@ val max_load_series : t -> int array
 (** After each round, the max cumulative directed-edge load so far — the
     congestion growth curve; nondecreasing. Fresh array. *)
 
+val round_dropped : t -> int array
+(** Messages lost per round; all zeros on a clean run. Fresh array. *)
+
+val round_delayed : t -> int array
+
 (** {1 Export} *)
 
 type summary = {
@@ -72,13 +94,18 @@ type summary = {
   busiest_edge : (int * int) option;  (** endpoints, send direction *)
   peak_round_messages : int;  (** busiest single round *)
   mean_round_messages : float;
+  dropped : int;  (** messages lost to the fault layer *)
+  delayed : int;  (** messages delivered late *)
+  retried : int;  (** retransmissions by the resilience layer *)
 }
 
 val summary : t -> summary
 
 val summary_to_string : summary -> string
 (** One line, for bench output:
-    ["rounds=.. msgs=.. words=.. max_edge_load=.. (u->v) peak_round=.."]. *)
+    ["rounds=.. msgs=.. words=.. max_edge_load=.. (u->v) peak_round=.."].
+    Fault counters ([dropped=..] etc.) are appended only when nonzero, so
+    clean-run lines are byte-identical to the pre-fault-layer format. *)
 
 val to_json : ?per_edge:bool -> t -> string
 (** JSON object with the summary fields plus the three per-round series;

@@ -59,8 +59,14 @@ module Cell = Shortcuts.Cell
 module Quality = Shortcuts.Quality
 module Optimal = Shortcuts.Optimal
 
+(* fault injection and resilience (DESIGN.md section 11) *)
+module Faults = Faults
+module Rng = Faults.Rng
+module Degrade = Faults.Degrade
+
 (* CONGEST *)
 module Network = Congest.Network
+module Resilient = Congest.Resilient
 module Trace = Congest.Trace
 module Dist_bfs = Congest.Bfs
 module Aggregate = Congest.Aggregate

@@ -1,0 +1,40 @@
+(* Named, independently-seeded random streams (DESIGN.md section 11).
+
+   Two derivations, chosen so the streams can never collide:
+
+   - [algo seed] is exactly [Random.State.make [| seed |]] — the historical
+     derivation every algorithm call site used before this module existed.
+     Ported call sites (Aggregate.rounds_for_parts, Mincut.approx) keep
+     producing their recorded sequences byte for byte.
+
+   - [named ~seed name] folds an FNV-1a hash of the stream name into the
+     seed material, so a named stream ("faults.drop", "faults.delay", ...)
+     is initialized from a two-element array no [algo] stream ever sees.
+     Fault randomness and algorithm randomness sharing a seed therefore
+     never share a stream: installing a fault plan cannot perturb an
+     algorithm's own random choices, and adding a second named consumer
+     never shifts the first one's sequence. *)
+
+(* the 64-bit FNV-1a offset basis, truncated to OCaml's 63-bit int *)
+let fnv_offset = 0x4bf29ce484222325
+let fnv_prime = 0x100000001b3
+
+let hash_name name =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * fnv_prime)
+    name;
+  (* keep the mixed hash positive so seed arrays print readably *)
+  !h land max_int
+
+let algo seed = Random.State.make [| seed |]
+let named ~seed name = Random.State.make [| seed; hash_name name |]
+
+let split st name =
+  (* derive a child stream deterministically from the parent's next int and
+     the child's name; consuming exactly one value from the parent keeps
+     sibling derivations independent of each other's consumption *)
+  let salt = Random.State.bits st in
+  Random.State.make [| salt; hash_name name |]

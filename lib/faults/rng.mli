@@ -1,0 +1,26 @@
+(** Named, independently-seeded random streams.
+
+    The repo historically hand-rolled [Random.State.make [| seed |]] at
+    every randomized call site; once fault injection shares those seeds,
+    algorithm randomness and fault randomness must be guaranteed never to
+    share a stream.  This module gives each consumer its own stream by
+    construction. *)
+
+val algo : int -> Random.State.t
+(** The historical algorithm stream: exactly
+    [Random.State.make [| seed |]].  Ported call sites keep their recorded
+    sequences. *)
+
+val named : seed:int -> string -> Random.State.t
+(** An independent stream for [name]: the FNV-1a hash of the name is folded
+    into the seed material, so no two distinct names — and no [algo]
+    stream — are initialized alike.  Deterministic across runs, domains and
+    job counts. *)
+
+val split : Random.State.t -> string -> Random.State.t
+(** Child stream derived from a parent: consumes exactly one value from the
+    parent and mixes it with the child's name, so siblings split off the
+    same parent (in the same order) are mutually independent. *)
+
+val hash_name : string -> int
+(** The FNV-1a hash used by {!named}/{!split} (exposed for tests). *)

@@ -50,8 +50,9 @@ let test_network_bandwidth_enforced () =
     }
   in
   Alcotest.check_raises "oversize message rejected"
-    (Invalid_argument "Congest: message exceeds bandwidth") (fun () ->
-      ignore (Congest.Network.run ~bandwidth:4 g algo))
+    (Invalid_argument
+       "Congest: message exceeds bandwidth (round 1, 0 -> 1, 10 words > 4)")
+    (fun () -> ignore (Congest.Network.run ~bandwidth:4 g algo))
 
 let test_network_non_neighbor_rejected () =
   let g = Generators.path 3 in
@@ -66,8 +67,8 @@ let test_network_non_neighbor_rejected () =
     }
   in
   Alcotest.check_raises "non-neighbor send rejected"
-    (Invalid_argument "Congest: send to a non-neighbor") (fun () ->
-      ignore (Congest.Network.run g algo))
+    (Invalid_argument "Congest: send to a non-neighbor (round 1, 0 -> 2)")
+    (fun () -> ignore (Congest.Network.run g algo))
 
 let test_network_double_send_rejected () =
   let g = Generators.path 2 in
@@ -85,8 +86,9 @@ let test_network_double_send_rejected () =
     }
   in
   Alcotest.check_raises "two messages on one edge rejected"
-    (Invalid_argument "Congest: two messages on one edge in one round") (fun () ->
-      ignore (Congest.Network.run g algo))
+    (Invalid_argument
+       "Congest: two messages on one edge in one round (round 1, 0 -> 1, 1 \
+        words)") (fun () -> ignore (Congest.Network.run g algo))
 
 let test_network_max_rounds_cap () =
   (* an algorithm that never finishes stops at the cap *)

@@ -25,8 +25,9 @@ let test_bandwidth_violation () =
     }
   in
   Alcotest.check_raises "oversize payload"
-    (Invalid_argument "Congest: message exceeds bandwidth") (fun () ->
-      ignore (N.run ~bandwidth:8 g algo))
+    (Invalid_argument
+       "Congest: message exceeds bandwidth (round 1, 0 -> 1, 9 words > 8)")
+    (fun () -> ignore (N.run ~bandwidth:8 g algo))
 
 let test_duplicate_send () =
   let g = Generators.star 4 in
@@ -46,8 +47,9 @@ let test_duplicate_send () =
     }
   in
   Alcotest.check_raises "slot already occupied"
-    (Invalid_argument "Congest: two messages on one edge in one round") (fun () ->
-      ignore (N.run g algo))
+    (Invalid_argument
+       "Congest: two messages on one edge in one round (round 1, 0 -> 1, 1 \
+        words)") (fun () -> ignore (N.run g algo))
 
 let test_non_neighbor () =
   let g = Generators.path 4 in
@@ -62,8 +64,8 @@ let test_non_neighbor () =
     }
   in
   Alcotest.check_raises "no such edge"
-    (Invalid_argument "Congest: send to a non-neighbor") (fun () ->
-      ignore (N.run g algo))
+    (Invalid_argument "Congest: send to a non-neighbor (round 1, 0 -> 3)")
+    (fun () -> ignore (N.run g algo))
 
 (* ---------- activity tracking ---------- *)
 
