@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check bench bench-record bench-smoke bench-par-check bench-cache-check bench-fault-check clean
+.PHONY: all build test fmt check bench bench-record bench-smoke bench-par-check bench-cache-check bench-fault-check bench-scale-check clean
 
 all: build
 
@@ -22,6 +22,7 @@ check:
 	$(MAKE) bench-smoke
 	$(MAKE) bench-par-check
 	$(MAKE) bench-fault-check
+	$(MAKE) bench-scale-check
 
 bench:
 	dune exec bench/main.exe
@@ -88,6 +89,19 @@ bench-fault-check:
 	diff /tmp/r1-fault-a.out /tmp/r1-fault-b.out
 	./_build/default/tools/jsonl_check.exe \
 	  --require span,metrics,robustness,fault_summary /tmp/r1-fault.jsonl
+
+# scale gate for the CSR substrate: the S1 experiment must finish both a
+# 10^6-node grid and a 10^6-node RMAT (build + BFS + Kruskal) inside a
+# 10-minute / 8 GiB budget, and the JSONL stream must carry valid scale
+# events with the build/BFS/MST timings and peak RSS
+bench-scale-check:
+	dune build bench/main.exe tools/jsonl_check.exe
+	sh -c 'ulimit -v 8388608; exec timeout 600 ./_build/default/bench/main.exe \
+	  --only S1 --no-timing --no-breakdown --jsonl /tmp/s1-scale.jsonl' \
+	  > /tmp/s1-scale.out
+	grep -q "all experiments completed." /tmp/s1-scale.out
+	./_build/default/tools/jsonl_check.exe --require span,metrics,scale \
+	  --min-spans 3 /tmp/s1-scale.jsonl
 
 clean:
 	dune clean

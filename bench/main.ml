@@ -1243,6 +1243,73 @@ let r1 () =
 
 (* ------------------------------------------------------------------ *)
 
+let s1 () =
+  section "S1 (scale): million-node substrate, CSR build + BFS + MST";
+  Printf.printf
+    "the CSR core at n >= 10^6 on one structured and one power-law family:\n\
+     build the graph, BFS from vertex 0, then Kruskal over seeded random\n\
+     weights (a spanning forest when the family is disconnected).  Build,\n\
+     BFS and MST wall times plus peak RSS land in the --record JSON and the\n\
+     JSONL scale events; stdout stays deterministic\n";
+  let families =
+    [ ("grid-1024x1024", `Grid (1024, 1024)); ("rmat-s20-ef8", `Rmat (20, 8)) ]
+  in
+  Printf.printf "%-16s %9s %9s | %5s %9s | %9s %14s\n" "family" "n" "m" "ecc"
+    "reached" "mst edges" "mst weight";
+  List.iter
+    (fun (name, which) ->
+      let t0 = Obs.Clock.now_ns () in
+      let g =
+        Obs.Span.with_ "s1.build" (fun () ->
+            match which with
+            | `Grid (w, h) ->
+                (* streamed straight into the CSR builder: no list or
+                   coords intermediary at the million-vertex scale *)
+                let b = G.Builder.create ~edges_hint:(2 * w * h) (w * h) in
+                for y = 0 to h - 1 do
+                  for x = 0 to w - 1 do
+                    let v = (y * w) + x in
+                    if x + 1 < w then G.Builder.add_edge b v (v + 1);
+                    if y + 1 < h then G.Builder.add_edge b v (v + w)
+                  done
+                done;
+                G.Builder.build b
+            | `Rmat (scale, edge_factor) -> Gen.rmat ~seed:7 ~scale ~edge_factor ())
+      in
+      let build_ms = Obs.Clock.ns_to_ms (Int64.sub (Obs.Clock.now_ns ()) t0) in
+      let t1 = Obs.Clock.now_ns () in
+      let dist = Obs.Span.with_ "s1.bfs" (fun () -> Core.Traversal.bfs g 0) in
+      let bfs_ms = Obs.Clock.ns_to_ms (Int64.sub (Obs.Clock.now_ns ()) t1) in
+      let ecc = Array.fold_left max 0 dist in
+      let reached =
+        Array.fold_left (fun a d -> if d >= 0 then a + 1 else a) 0 dist
+      in
+      let w = G.random_weights g in
+      let t2 = Obs.Clock.now_ns () in
+      let mst = Obs.Span.with_ "s1.mst" (fun () -> Sp.kruskal g w) in
+      let mst_ms = Obs.Clock.ns_to_ms (Int64.sub (Obs.Clock.now_ns ()) t2) in
+      let mst_weight = Sp.total_weight w mst in
+      let rss_kb = Option.value (Obs.Rusage.max_rss_kb ()) ~default:0 in
+      Printf.printf "%-16s %9d %9d | %5d %9d | %9d %14.2f\n" name (G.n g)
+        (G.m g) ecc reached (List.length mst) mst_weight;
+      record ~type_:"scale"
+        [
+          ("family", Obs.Sink.String name);
+          ("n", Obs.Sink.Int (G.n g));
+          ("m", Obs.Sink.Int (G.m g));
+          ("eccentricity", Obs.Sink.Int ecc);
+          ("reached", Obs.Sink.Int reached);
+          ("mst_edges", Obs.Sink.Int (List.length mst));
+          ("mst_weight", Obs.Sink.Float mst_weight);
+          ("build_ms", Obs.Sink.Float build_ms);
+          ("bfs_ms", Obs.Sink.Float bfs_ms);
+          ("mst_ms", Obs.Sink.Float mst_ms);
+          ("max_rss_kb", Obs.Sink.Int rss_kb);
+        ])
+    families
+
+(* ------------------------------------------------------------------ *)
+
 let experiments =
   [
     ("E1", "Theorem 4: planar shortcut quality", e1);
@@ -1263,6 +1330,7 @@ let experiments =
     ("F5", "Figures 5-6: combinatorial gates", f56);
     ("F7", "Figure 7: torus planarization", f7);
     ("R1", "robustness: deterministic fault injection", r1);
+    ("S1", "scale: million-node CSR substrate (build/BFS/MST)", s1);
   ]
 
 (* run one experiment under a root span, then print its phase breakdown from
@@ -1343,6 +1411,8 @@ let run_experiment id run =
                 ("undelivered", Obs.Sink.Int (fc "undelivered"));
                 ("crashed", Obs.Sink.Int (fc "crashed"));
               ] );
+          ( "max_rss_kb",
+            Obs.Sink.Int (Option.value (Obs.Rusage.max_rss_kb ()) ~default:0) );
           ("spans", span_stats_json ());
         ]
       :: !record_entries

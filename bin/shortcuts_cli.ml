@@ -31,8 +31,14 @@ let with_obs trace f =
           Printf.printf "wrote %d events to %s\n" n path)
         f
 
-let read_graph file =
-  let g, w = Core.Io.read_file file in
+(* --edge-list reads a headerless whitespace-separated edge list (the format
+   SNAP-style corpora ship in) instead of the repo's "n m" header format;
+   such files carry no weights, so the pipeline falls back to random ones *)
+let read_graph ?(edge_list = false) file =
+  let g, w =
+    if edge_list then (Core.Io.read_edge_list file, None)
+    else Core.Io.read_file file
+  in
   if not (Core.Traversal.is_connected g) then
     failwith "input graph is not connected";
   (g, w)
@@ -53,9 +59,10 @@ let gen_families =
     "wheel";
     "lower-bound";
     "lk";
+    "rmat";
   ]
 
-let gen no_cache family width height size k seed pieces weighted out =
+let gen no_cache family width height size k edge_factor seed pieces weighted out =
   if no_cache then Memo.set_enabled false;
   let g =
     match family with
@@ -76,6 +83,11 @@ let gen no_cache family width height size k seed pieces weighted out =
         in
         (Core.Clique_sum.compose ~seed ~k:3 ~shape:Core.Clique_sum.Random_tree ps)
           .Core.Clique_sum.graph
+    | "rmat" ->
+        (* size rounds up to the next power of two: RMAT vertex ids are
+           drawn from a 2^scale square *)
+        let rec lg s = if 1 lsl s >= size then s else lg (s + 1) in
+        Core.Generators.rmat ~seed ~scale:(lg 1) ~edge_factor ()
     | f -> failwith ("unknown family: " ^ f ^ " (try: " ^ String.concat ", " gen_families ^ ")")
   in
   let weights = if weighted then Some (Core.Graph.random_weights g) else None in
@@ -88,9 +100,9 @@ let gen no_cache family width height size k seed pieces weighted out =
 
 (* ---------- info ---------- *)
 
-let show_info no_cache file =
+let show_info no_cache edge_list file =
   if no_cache then Memo.set_enabled false;
-  let g, w = read_graph file in
+  let g, w = read_graph ~edge_list file in
   Printf.printf "n = %d\nm = %d\nweighted = %b\n" (Core.Graph.n g) (Core.Graph.m g)
     (w <> None);
   Printf.printf "diameter (double sweep) >= %d\n" (Core.Distance.diameter_double_sweep g);
@@ -109,10 +121,10 @@ let show_info no_cache file =
    its data, printed here in trial order, so output does not depend on the
    job count (and a single trial prints exactly what it always did) *)
 
-let quality no_cache file nparts seed trials jobs trace_out =
+let quality no_cache edge_list file nparts seed trials jobs trace_out =
   if no_cache then Memo.set_enabled false;
   with_obs trace_out @@ fun () ->
-  let g, _ = read_graph file in
+  let g, _ = read_graph ~edge_list file in
   let tree = Core.Spanning.bfs_tree g 0 in
   let results =
     Exec.Pool.with_pool ~jobs @@ fun pool ->
@@ -156,10 +168,10 @@ let quality no_cache file nparts seed trials jobs trace_out =
 
 (* ---------- mst ---------- *)
 
-let mst no_cache file algo trials jobs trace_out =
+let mst no_cache edge_list file algo trials jobs trace_out =
   if no_cache then Memo.set_enabled false;
   with_obs trace_out @@ fun () ->
-  let g, w = read_graph file in
+  let g, w = read_graph ~edge_list file in
   let results =
     Exec.Pool.with_pool ~jobs @@ fun pool ->
     Exec.Pool.map_list pool
@@ -210,10 +222,10 @@ let mst no_cache file algo trials jobs trace_out =
 
 (* ---------- mincut ---------- *)
 
-let mincut no_cache file trees seed trials jobs trace_out =
+let mincut no_cache edge_list file trees seed trials jobs trace_out =
   if no_cache then Memo.set_enabled false;
   with_obs trace_out @@ fun () ->
-  let g, w = read_graph file in
+  let g, w = read_graph ~edge_list file in
   let w = weights_of g w in
   let results =
     Exec.Pool.with_pool ~jobs @@ fun pool ->
@@ -384,6 +396,13 @@ let no_cache_arg =
         ~doc:"Disable the construction memo cache; results are identical \
               either way, this only trades time for memory.")
 
+let edge_list_arg =
+  Arg.(
+    value & flag
+    & info [ "edge-list" ]
+        ~doc:"Read FILE as a raw whitespace-separated edge list ('#'/'%' \
+              comments, no header) instead of the native 'n m' format.")
+
 let trace_arg =
   Arg.(
     value
@@ -398,23 +417,26 @@ let gen_cmd =
   let height = Arg.(value & opt int 16 & info [ "height" ] ~doc:"Grid/torus height.") in
   let size = Arg.(value & opt int 256 & info [ "n"; "size" ] ~doc:"Vertex count.") in
   let k = Arg.(value & opt int 3 & info [ "k" ] ~doc:"k (ktree width / lower-bound p).") in
+  let edge_factor =
+    Arg.(value & opt int 8 & info [ "edge-factor" ] ~doc:"RMAT edges per vertex.")
+  in
   let pieces = Arg.(value & opt int 6 & info [ "pieces" ] ~doc:"L_k piece count.") in
   let weighted = Arg.(value & flag & info [ "weighted" ] ~doc:"Attach random weights.") in
   let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE") in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a graph family instance as an edge list.")
-    Term.(const gen $ no_cache_arg $ family $ width $ height $ size $ k $ seed_arg $ pieces $ weighted $ out)
+    Term.(const gen $ no_cache_arg $ family $ width $ height $ size $ k $ edge_factor $ seed_arg $ pieces $ weighted $ out)
 
 let info_cmd =
   Cmd.v
     (Cmd.info "info" ~doc:"Basic structural facts about a graph file.")
-    Term.(const show_info $ no_cache_arg $ file_arg)
+    Term.(const show_info $ no_cache_arg $ edge_list_arg $ file_arg)
 
 let quality_cmd =
   let nparts = Arg.(value & opt int 8 & info [ "parts" ] ~doc:"Voronoi part count.") in
   Cmd.v
     (Cmd.info "quality" ~doc:"Construct shortcuts and report b, c, q + rounds.")
-    Term.(const quality $ no_cache_arg $ file_arg $ nparts $ seed_arg $ trials_arg $ jobs_arg $ trace_arg)
+    Term.(const quality $ no_cache_arg $ edge_list_arg $ file_arg $ nparts $ seed_arg $ trials_arg $ jobs_arg $ trace_arg)
 
 let mst_cmd =
   let algo =
@@ -425,13 +447,13 @@ let mst_cmd =
   in
   Cmd.v
     (Cmd.info "mst" ~doc:"Run a distributed MST and report simulated rounds.")
-    Term.(const mst $ no_cache_arg $ file_arg $ algo $ trials_arg $ jobs_arg $ trace_arg)
+    Term.(const mst $ no_cache_arg $ edge_list_arg $ file_arg $ algo $ trials_arg $ jobs_arg $ trace_arg)
 
 let mincut_cmd =
   let trees = Arg.(value & opt int 8 & info [ "trees" ] ~doc:"Sampled trees.") in
   Cmd.v
     (Cmd.info "mincut" ~doc:"Approximate min-cut; exact verification on small inputs.")
-    Term.(const mincut $ no_cache_arg $ file_arg $ trees $ seed_arg $ trials_arg $ jobs_arg $ trace_arg)
+    Term.(const mincut $ no_cache_arg $ edge_list_arg $ file_arg $ trees $ seed_arg $ trials_arg $ jobs_arg $ trace_arg)
 
 let report_cmd =
   Cmd.v

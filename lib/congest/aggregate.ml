@@ -200,9 +200,8 @@ let part_tree g parts assigned i =
   (* the part's own induced edges *)
   Array.iter
     (fun v ->
-      Array.iter
-        (fun (u, _) -> if parts.Part.part_of.(u) = i && u > v then add u v)
-        (Graph.adj g v))
+      Graph.iter_adj g v (fun u _ ->
+          if parts.Part.part_of.(u) = i && u > v then add u v))
     members;
   (* shortcut edges *)
   Array.iter

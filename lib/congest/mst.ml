@@ -31,13 +31,11 @@ let fragments_of uf g =
 let mwoe_values g w uf =
   Array.init (Graph.n g) (fun v ->
       let best = ref None in
-      Array.iter
-        (fun (u, e) ->
+      Graph.iter_adj g v (fun u e ->
           if not (Union_find.same uf v u) then
             match !best with
             | Some (bw, be) when (bw, be) <= (w.(e), e) -> ()
-            | _ -> best := Some (w.(e), e))
-        (Graph.adj g v);
+            | _ -> best := Some (w.(e), e));
       !best)
 
 let merge_phase g w uf mins parts mst_edges =

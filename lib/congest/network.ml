@@ -264,18 +264,25 @@ let run ?(bandwidth = 4) ?(max_rounds = 1_000_000) ?trace ?faults g algo =
     | _ -> None
   in
   let states = Array.init n (fun v -> algo.init g v) in
-  let edge_src = Array.map fst (Graph.edges g) in
+  let edge_src = Array.init (Graph.m g) (fun e -> Graph.edge_u g e) in
   let dir_of e u = if edge_src.(e) = u then 2 * e else (2 * e) + 1 in
-  let out_nbr = Array.init n (fun v -> Array.map fst (Graph.adj g v)) in
+  let out_nbr = Array.init n (fun v -> Graph.neighbors g v) in
   let out_dir =
-    Array.init n (fun v -> Array.map (fun (_, e) -> dir_of e v) (Graph.adj g v))
+    Array.init n (fun v ->
+        let lo = Graph.adj_offset g v in
+        Array.init (Graph.degree g v) (fun i -> dir_of (Graph.adj_eid g (lo + i)) v))
   in
   (* receiving side, ascending sender id: the inbox fill scans these
      end-to-start, so the indexed inbox comes out in descending sender
      order (the delivery order every recorded experiment depends on) *)
   let in_pairs =
     Array.init n (fun v ->
-        let a = Array.map (fun (w, e) -> (w, dir_of e w)) (Graph.adj g v) in
+        let lo = Graph.adj_offset g v in
+        let a =
+          Array.init (Graph.degree g v) (fun i ->
+              let w = Graph.adj_dst g (lo + i) in
+              (w, dir_of (Graph.adj_eid g (lo + i)) w))
+        in
         Array.sort compare a;
         a)
   in

@@ -42,7 +42,7 @@ module Link = struct
   let create ?(config = default_config) ~bandwidth g v =
     if config.timeout < 1 then invalid_arg "Resilient.Link: timeout < 1";
     if config.budget < 0 then invalid_arg "Resilient.Link: budget < 0";
-    let nbr = Array.map fst (Graph.adj g v) in
+    let nbr = Graph.neighbors g v in
     let deg = Array.length nbr in
     {
       cfg = config;
@@ -180,13 +180,11 @@ let reference_dists g ~root =
   Queue.push root q;
   while not (Queue.is_empty q) do
     let v = Queue.pop q in
-    Array.iter
-      (fun (w, _) ->
+    Graph.iter_adj g v (fun w _ ->
         if dist.(w) < 0 then begin
           dist.(w) <- dist.(v) + 1;
           Queue.push w q
         end)
-      (Graph.adj g v)
   done;
   dist
 

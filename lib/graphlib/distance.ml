@@ -9,14 +9,12 @@ let dijkstra g w src =
     | None -> ()
     | Some (d, v) ->
         if d <= dist.(v) then
-          Array.iter
-            (fun (u, e) ->
+          Graph.iter_adj g v (fun u e ->
               let nd = d +. w.(e) in
               if nd < dist.(u) then begin
                 dist.(u) <- nd;
                 Pqueue.push q nd u
-              end)
-            (Graph.adj g v);
+              end);
         loop ()
   in
   loop ();

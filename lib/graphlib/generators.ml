@@ -15,44 +15,56 @@ module FP = Memo.Fingerprint
 
 let m_grid : (int * int, planar) Memo.t =
   Memo.create ~name:"gen.grid" ~fp:(fun (w, h) -> FP.(empty |> int w |> int h))
+  |> Memo.with_bytes_hint (fun p -> Graph.heap_bytes p.graph)
 
 let m_apollonian : (int * int, planar) Memo.t =
   Memo.create ~name:"gen.apollonian" ~fp:(fun (seed, n) ->
       FP.(empty |> int seed |> int n))
+  |> Memo.with_bytes_hint (fun p -> Graph.heap_bytes p.graph)
 
 let m_series_parallel : (int * int, Graph.t) Memo.t =
   Memo.create ~name:"gen.series_parallel" ~fp:(fun (seed, n) ->
       FP.(empty |> int seed |> int n))
+  |> Memo.with_bytes_hint Graph.heap_bytes
 
 let m_k_tree : (int * int * int, Graph.t * int array) Memo.t =
   Memo.create ~name:"gen.k_tree" ~fp:(fun (seed, k, n) ->
       FP.(empty |> int seed |> int k |> int n))
+  |> Memo.with_bytes_hint (fun (g, _) -> Graph.heap_bytes g)
 
 let m_torus_grid : (int * int, Graph.t) Memo.t =
   Memo.create ~name:"gen.torus_grid" ~fp:(fun (w, h) ->
       FP.(empty |> int w |> int h))
+  |> Memo.with_bytes_hint Graph.heap_bytes
 
 let m_erdos_renyi : (int * int * float, Graph.t) Memo.t =
   Memo.create ~name:"gen.erdos_renyi" ~fp:(fun (seed, n, p) ->
       FP.(empty |> int seed |> int n |> float p))
+  |> Memo.with_bytes_hint Graph.heap_bytes
 
 let m_random_tree : (int * int, Graph.t) Memo.t =
   Memo.create ~name:"gen.random_tree" ~fp:(fun (seed, n) ->
       FP.(empty |> int seed |> int n))
+  |> Memo.with_bytes_hint Graph.heap_bytes
 
 let m_cycle_with_apex : (int, Graph.t) Memo.t =
   Memo.create ~name:"gen.cycle_with_apex" ~fp:(fun n -> FP.(empty |> int n))
+  |> Memo.with_bytes_hint Graph.heap_bytes
 
 let m_lower_bound : (int, Graph.t * int array) Memo.t =
   Memo.create ~name:"gen.lower_bound" ~fp:(fun p -> FP.(empty |> int p))
+  |> Memo.with_bytes_hint (fun (g, _) -> Graph.heap_bytes g)
 
 let m_grid_with_handles : (int * int * int * int, planar * Graph.t) Memo.t =
   Memo.create ~name:"gen.grid_with_handles" ~fp:(fun (seed, w, h, g) ->
       FP.(empty |> int seed |> int w |> int h |> int g))
+  |> Memo.with_bytes_hint (fun (p, g) ->
+         Graph.heap_bytes p.graph + Graph.heap_bytes g)
 
 let m_add_apices : (int * Memo.Fingerprint.t * int * int, Graph.t) Memo.t =
   Memo.create ~name:"gen.add_apices" ~fp:(fun (seed, gfp, q, fanout) ->
       FP.(empty |> int seed |> int64 gfp |> int q |> int fanout))
+  |> Memo.with_bytes_hint Graph.heap_bytes
 
 let path n = Graph.of_edges n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
 
@@ -352,3 +364,50 @@ let lower_bound_parts p =
   let g, _ = lower_bound_build p in
   let parts = List.init p (fun i -> List.init p (fun j -> (i * p) + j)) in
   (g, parts)
+
+(* -- RMAT / power-law stress family (non-minor-free) -- *)
+
+let m_rmat : (int * int * int * float * float * float, Graph.t) Memo.t =
+  Memo.create ~name:"gen.rmat" ~fp:(fun (seed, scale, edge_factor, a, b, c) ->
+      FP.(
+        empty |> int seed |> int scale |> int edge_factor |> float a
+        |> float b |> float c))
+  |> Memo.with_bytes_hint Graph.heap_bytes
+
+(* the classic recursive-matrix generator: each of [edge_factor * 2^scale]
+   raw edges picks one quadrant per scale level with probabilities
+   (a, b, c, 1-a-b-c), descending into the adjacency matrix.  Skewed
+   quadrants give the heavy-tailed degree distribution; self-loops and
+   duplicates are dropped by the builder, so m comes out slightly below
+   edge_factor * n. *)
+let rmat_build st ~scale ~edge_factor ~a ~b ~c =
+  let n = 1 lsl scale in
+  let target = edge_factor * n in
+  let bld = Graph.Builder.create ~edges_hint:target n in
+  for _ = 1 to target do
+    let u = ref 0 and v = ref 0 in
+    for _ = 1 to scale do
+      let r = Random.State.float st 1.0 in
+      let bu, bv =
+        if r < a then (0, 0)
+        else if r < a +. b then (0, 1)
+        else if r < a +. b +. c then (1, 0)
+        else (1, 1)
+      in
+      u := (!u lsl 1) lor bu;
+      v := (!v lsl 1) lor bv
+    done;
+    if !u <> !v then Graph.Builder.add_edge bld !u !v
+  done;
+  Graph.Builder.build bld
+
+let rmat ?state ?(a = 0.57) ?(b = 0.19) ?(c = 0.19) ~seed ~scale ~edge_factor () =
+  if scale < 1 || scale > 30 then invalid_arg "Generators.rmat: scale must be in 1..30";
+  if edge_factor < 1 then invalid_arg "Generators.rmat: edge_factor must be >= 1";
+  if a < 0.0 || b < 0.0 || c < 0.0 || a +. b +. c > 1.0 then
+    invalid_arg "Generators.rmat: quadrant probabilities must be >= 0 and sum <= 1";
+  match state with
+  | Some st -> rmat_build st ~scale ~edge_factor ~a ~b ~c
+  | None ->
+      Memo.find_or_compute m_rmat (seed, scale, edge_factor, a, b, c) @@ fun () ->
+      rmat_build (Random.State.make [| seed |]) ~scale ~edge_factor ~a ~b ~c

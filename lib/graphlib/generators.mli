@@ -82,3 +82,26 @@ val lower_bound : int -> Graph.t * int array
 
 val lower_bound_parts : int -> Graph.t * int list list
 (** Same graph plus the canonical partition into the [p] paths. *)
+
+(** {1 Stress families (not minor-free)} *)
+
+val rmat :
+  ?state:Random.State.t ->
+  ?a:float ->
+  ?b:float ->
+  ?c:float ->
+  seed:int ->
+  scale:int ->
+  edge_factor:int ->
+  unit ->
+  Graph.t
+(** [rmat ~seed ~scale ~edge_factor ()] is the recursive-matrix (Graph500
+    style) power-law generator on [n = 2^scale] vertices from
+    [edge_factor * n] quadrant-recursive samples with probabilities
+    [(a, b, c, 1-a-b-c)] (defaults 0.57/0.19/0.19); self-loops and
+    duplicate samples are dropped, so [m] lands slightly below
+    [edge_factor * n].  Not minor-free and heavy-tailed — the stress
+    family for the CSR substrate, not a shortcut-friendly input.
+    Deterministic in [seed] and memoized; pass [state] (e.g. a
+    [Faults.Rng] stream) to drive sampling from an external stream
+    instead, which bypasses the cache. *)

@@ -1,116 +1,354 @@
+(* Flat CSR graph core over Bigarray-backed int arrays (DESIGN.md §12).
+
+   Layout: edges are numbered 0..m-1 in first-occurrence insertion order
+   and stored endpoint-wise in [esrc]/[edst].  Adjacency is one flat pair
+   of arrays [dst]/[eid] of length 2m, segmented by [seg] (n+1 offsets):
+   positions seg.(v) .. seg.(v+1)-1 hold v's incident (neighbor, edge id)
+   pairs.  Segments are filled by a single ascending pass over the edge
+   ids, appending to the source endpoint first, then the destination —
+   which reproduces exactly the edge-insertion adjacency order of the
+   historical boxed representation.  Every recorded experiment number
+   (BFS tie-breaking, Voronoi growth, CONGEST delivery order) depends on
+   that order; do not reorder segments.
+
+   [srt] is a permutation of CSR positions, sorted per segment by
+   neighbor id: the binary-search lookup idiom formerly provided by the
+   [adj_sorted] arrays, without a second copy of the pairs.
+
+   The payload lives outside the OCaml heap: the GC never scans or moves
+   it, [Exec.Pool] domains share it zero-copy, and [Obj.reachable_words]
+   does not see it — which is why [heap_bytes] exists for the Memo
+   cache's byte accounting. *)
+
+module Ba = Bigarray.Array1
+
+type int_bigarray = (int, Bigarray.int_elt, Bigarray.c_layout) Ba.t
+
+let ints len : int_bigarray = Ba.create Bigarray.int Bigarray.c_layout len
+
 type t = {
   n : int;
-  edges : (int * int) array;
-  adj : (int * int) array array;
-  (* [adj] sorted by neighbor id, built once at construction: the lookup
-     index behind [find_edge]/[mem_edge].  Kept separate from [adj] so
-     adjacency *iteration* order (edge-insertion order) — which BFS tie
-     breaking, Voronoi growth and hence every recorded experiment number
-     depends on — is unchanged. *)
-  adj_sorted : (int * int) array array;
+  m : int;
+  esrc : int_bigarray; (* m: first endpoint of edge e, insertion order *)
+  edst : int_bigarray; (* m: second endpoint of edge e *)
+  seg : int_bigarray; (* n+1: CSR segment offsets into dst/eid/srt *)
+  dst : int_bigarray; (* 2m: neighbor ids, edge-insertion order *)
+  eid : int_bigarray; (* 2m: edge ids, parallel to dst *)
+  srt : int_bigarray; (* 2m: positions permuted per segment by ascending dst *)
   (* lazily computed structural fingerprint; 0L = not yet computed.  The
      write is a benign race: every domain computes the same value. *)
   mutable fp : Memo.Fingerprint.t;
 }
 
 let n g = g.n
-let m g = Array.length g.edges
-let edge g e = g.edges.(e)
-let edges g = g.edges
-let adj g v = g.adj.(v)
-let neighbors g v = Array.map fst g.adj.(v)
-let degree g v = Array.length g.adj.(v)
+let m g = g.m
 
-let other_endpoint g e v =
-  let u, w = g.edges.(e) in
+(* Invariants justifying every [unsafe_get] below (established by [seal],
+   the only constructor of [t]):
+   - [seg] has n+1 ascending entries with seg.(0) = 0 and seg.(n) = 2m, so
+     for v in [0,n) both seg.(v) and seg.(v+1) are valid indices and every
+     CSR position p with seg.(v) <= p < seg.(v+1) lies in [0, 2m).
+   - [dst], [eid], [srt] have exactly 2m entries; [srt] is a permutation
+     of [0, 2m) mapping each segment onto itself.
+   - [esrc] and [edst] both have exactly m entries.
+   Each accessor bounds-checks its *argument* (vertex or edge id) with one
+   safe [Ba.get]; everything derived from a checked argument is accessed
+   with [Ba.unsafe_get] under the invariants above. *)
+
+let[@inline] edge_u g e = Ba.get g.esrc e
+let[@inline] edge_v g e = Ba.get g.edst e
+
+let[@inline] edge g e =
+  (* the safe get checks e; edst has the same length as esrc *)
+  (Ba.get g.esrc e, Ba.unsafe_get g.edst e)
+
+let edges g =
+  Array.init g.m (fun e -> (Ba.unsafe_get g.esrc e, Ba.unsafe_get g.edst e))
+
+let[@inline] degree g v =
+  (* the safe get on seg.(v) checks v; seg.(v+1) is then in range *)
+  let lo = Ba.get g.seg v in
+  Ba.unsafe_get g.seg (v + 1) - lo
+
+let[@inline] adj_offset g v = Ba.get g.seg v
+let[@inline] adj_dst g p = Ba.get g.dst p
+let[@inline] adj_eid g p = Ba.get g.eid p
+
+let iter_adj g v f =
+  let lo = Ba.get g.seg v and hi = Ba.unsafe_get g.seg (v + 1) in
+  for p = lo to hi - 1 do
+    f (Ba.unsafe_get g.dst p) (Ba.unsafe_get g.eid p)
+  done
+
+let fold_adj g v ~init ~f =
+  let lo = Ba.get g.seg v and hi = Ba.unsafe_get g.seg (v + 1) in
+  let acc = ref init in
+  for p = lo to hi - 1 do
+    acc := f !acc (Ba.unsafe_get g.dst p) (Ba.unsafe_get g.eid p)
+  done;
+  !acc
+
+let exists_adj g v pred =
+  let lo = Ba.get g.seg v and hi = Ba.unsafe_get g.seg (v + 1) in
+  let p = ref lo in
+  let found = ref false in
+  while (not !found) && !p < hi do
+    found := pred (Ba.unsafe_get g.dst !p) (Ba.unsafe_get g.eid !p);
+    incr p
+  done;
+  !found
+
+let neighbors g v =
+  let lo = Ba.get g.seg v in
+  let d = Ba.unsafe_get g.seg (v + 1) - lo in
+  Array.init d (fun i -> Ba.unsafe_get g.dst (lo + i))
+
+let[@inline] other_endpoint g e v =
+  let u = Ba.get g.esrc e in
+  let w = Ba.unsafe_get g.edst e in
   if v = u then w
   else if v = w then u
   else invalid_arg "Graph.other_endpoint: vertex not on edge"
 
-(* the sorted index makes adjacency queries a binary search, O(log degree)
-   instead of O(degree); neighbor ids are unique per vertex (no parallel
-   edges), so the search key is total *)
-let find_edge g u v =
-  let a = g.adj_sorted.(u) in
-  let lo = ref 0 and hi = ref (Array.length a) in
-  let found = ref None in
-  while !found = None && !lo < !hi do
+(* binary search over the per-segment sorted permutation: srt positions
+   seg.(u)..seg.(u+1)-1 list u's incident pairs by ascending neighbor id,
+   and neighbor ids are unique within a segment (no parallel edges), so
+   the result does not depend on the sort algorithm that built srt *)
+let find_edge_id g u v =
+  let lo = ref (Ba.get g.seg u) and hi = ref (Ba.unsafe_get g.seg (u + 1)) in
+  let res = ref (-1) in
+  while !res < 0 && !lo < !hi do
     let mid = (!lo + !hi) / 2 in
-    let w, e = a.(mid) in
-    if w = v then found := Some e
+    let p = Ba.unsafe_get g.srt mid in
+    let w = Ba.unsafe_get g.dst p in
+    if w = v then res := Ba.unsafe_get g.eid p
     else if w < v then lo := mid + 1
     else hi := mid
   done;
-  !found
-
-(* allocation-free variant for the CONGEST hot path: -1 instead of None *)
-let find_edge_id g u v =
-  let a = g.adj_sorted.(u) in
-  let lo = ref 0 and hi = ref (Array.length a) and res = ref (-1) in
-  while !res < 0 && !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    let w, e = a.(mid) in
-    if w = v then res := e else if w < v then lo := mid + 1 else hi := mid
-  done;
   !res
 
-let mem_edge g u v = find_edge g u v <> None
+let find_edge g u v = match find_edge_id g u v with -1 -> None | e -> Some e
+let[@inline] mem_edge g u v = find_edge_id g u v >= 0
+
+let iter_edges g f =
+  for e = 0 to g.m - 1 do
+    f e (Ba.unsafe_get g.esrc e) (Ba.unsafe_get g.edst e)
+  done
+
+let fold_edges g ~init ~f =
+  let acc = ref init in
+  iter_edges g (fun e u v -> acc := f !acc e u v);
+  !acc
+
+let heap_bytes g =
+  8
+  * (Ba.dim g.esrc + Ba.dim g.edst + Ba.dim g.seg + Ba.dim g.dst
+   + Ba.dim g.eid + Ba.dim g.srt)
 
 let fingerprint g =
   if g.fp <> 0L then g.fp
   else begin
     let h = ref Memo.Fingerprint.(empty |> string "graph" |> int g.n) in
-    Array.iter
-      (fun (u, v) -> h := Memo.Fingerprint.(!h |> int u |> int v))
-      g.edges;
+    iter_edges g (fun _ u v -> h := Memo.Fingerprint.(!h |> int u |> int v));
     let h = if !h = 0L then 1L else !h in
     g.fp <- h;
     h
   end
 
+(* -- per-segment sort for [srt]: iterative heapsort on a slice of the
+   permutation, keyed by dst.(srt.(i)).  Heapsort keeps the worst case
+   O(d log d) for high-degree hubs (RMAT, complete graphs) without
+   recursion or allocation; keys are unique per segment, so the output is
+   the unique sorted order. -- *)
+
+let sort_segment srt dst lo hi =
+  let len = hi - lo in
+  if len > 1 then begin
+    let key i = Ba.unsafe_get dst (Ba.unsafe_get srt (lo + i)) in
+    let swap i j =
+      let t = Ba.unsafe_get srt (lo + i) in
+      Ba.unsafe_set srt (lo + i) (Ba.unsafe_get srt (lo + j));
+      Ba.unsafe_set srt (lo + j) t
+    in
+    let sift_down root last =
+      let i = ref root in
+      let walking = ref true in
+      while !walking do
+        let child = (2 * !i) + 1 in
+        if child > last then walking := false
+        else begin
+          let child =
+            if child < last && key child < key (child + 1) then child + 1
+            else child
+          in
+          if key !i < key child then begin
+            swap !i child;
+            i := child
+          end
+          else walking := false
+        end
+      done
+    in
+    for root = (len - 2) / 2 downto 0 do
+      sift_down root (len - 1)
+    done;
+    for last = len - 1 downto 1 do
+      swap 0 last;
+      sift_down 0 (last - 1)
+    done
+  end
+
+(* -- construction -- *)
+
+let seal n m esrc edst =
+  (* counting pass: degrees accumulated into seg, then prefix-summed *)
+  let seg = ints (n + 1) in
+  Ba.fill seg 0;
+  for e = 0 to m - 1 do
+    let u = Ba.unsafe_get esrc e and v = Ba.unsafe_get edst e in
+    Ba.unsafe_set seg (u + 1) (Ba.unsafe_get seg (u + 1) + 1);
+    Ba.unsafe_set seg (v + 1) (Ba.unsafe_get seg (v + 1) + 1)
+  done;
+  for v = 1 to n do
+    Ba.unsafe_set seg v (Ba.unsafe_get seg v + Ba.unsafe_get seg (v - 1))
+  done;
+  (* fill pass in ascending edge id, source endpoint first: reproduces the
+     historical edge-insertion adjacency order exactly *)
+  let dst = ints (2 * m) and eid = ints (2 * m) in
+  let cursor = ints (max 1 n) in
+  for v = 0 to n - 1 do
+    Ba.unsafe_set cursor v (Ba.unsafe_get seg v)
+  done;
+  for e = 0 to m - 1 do
+    let u = Ba.unsafe_get esrc e and v = Ba.unsafe_get edst e in
+    let pu = Ba.unsafe_get cursor u in
+    Ba.unsafe_set dst pu v;
+    Ba.unsafe_set eid pu e;
+    Ba.unsafe_set cursor u (pu + 1);
+    let pv = Ba.unsafe_get cursor v in
+    Ba.unsafe_set dst pv u;
+    Ba.unsafe_set eid pv e;
+    Ba.unsafe_set cursor v (pv + 1)
+  done;
+  let srt = ints (2 * m) in
+  for p = 0 to (2 * m) - 1 do
+    Ba.unsafe_set srt p p
+  done;
+  for v = 0 to n - 1 do
+    sort_segment srt dst (Ba.unsafe_get seg v) (Ba.unsafe_get seg (v + 1))
+  done;
+  { n; m; esrc; edst; seg; dst; eid; srt; fp = 0L }
+
+module Builder = struct
+  type graph = t
+
+  type t = {
+    bn : int;
+    mutable us : int_bigarray;
+    mutable vs : int_bigarray;
+    mutable len : int;
+  }
+
+  let create ?(edges_hint = 64) bn =
+    if bn < 0 then invalid_arg "Graph.Builder.create: negative n";
+    let cap = max 1 edges_hint in
+    { bn; us = ints cap; vs = ints cap; len = 0 }
+
+  let raw_count b = b.len
+
+  let grow b =
+    let cap = 2 * Ba.dim b.us in
+    let us = ints cap and vs = ints cap in
+    Ba.blit (Ba.sub b.us 0 b.len) (Ba.sub us 0 b.len);
+    Ba.blit (Ba.sub b.vs 0 b.len) (Ba.sub vs 0 b.len);
+    b.us <- us;
+    b.vs <- vs
+
+  let add_edge b u v =
+    if u < 0 || u >= b.bn || v < 0 || v >= b.bn then
+      invalid_arg "Graph.Builder.add_edge: vertex out of range";
+    if u <> v then begin
+      if b.len = Ba.dim b.us then grow b;
+      Ba.unsafe_set b.us b.len u;
+      Ba.unsafe_set b.vs b.len v;
+      b.len <- b.len + 1
+    end
+
+  (* Dedup without hash tables: group raw pairs by their min endpoint with
+     a counting scatter, then detect repeats inside each group with a
+     per-vertex stamp array.  Duplicates of an edge (in either
+     orientation) always share the min endpoint, hence the group; the
+     scatter visits raw indices in ascending order, so within a group the
+     first entry seen is the globally first occurrence — reproducing the
+     historical Hashtbl first-occurrence semantics — and the final
+     numbering pass walks raw indices ascending, so surviving edges keep
+     their global insertion order. *)
+  let build b =
+    let n = b.bn and raw = b.len in
+    let start = ints (n + 1) in
+    Ba.fill start 0;
+    for i = 0 to raw - 1 do
+      let u = Ba.unsafe_get b.us i and v = Ba.unsafe_get b.vs i in
+      let lo = if u < v then u else v in
+      Ba.unsafe_set start (lo + 1) (Ba.unsafe_get start (lo + 1) + 1)
+    done;
+    for v = 1 to n do
+      Ba.unsafe_set start v (Ba.unsafe_get start v + Ba.unsafe_get start (v - 1))
+    done;
+    let bucket = ints (max 1 raw) in
+    let cursor = ints (max 1 n) in
+    for v = 0 to n - 1 do
+      Ba.unsafe_set cursor v (Ba.unsafe_get start v)
+    done;
+    for i = 0 to raw - 1 do
+      let u = Ba.unsafe_get b.us i and v = Ba.unsafe_get b.vs i in
+      let lo = if u < v then u else v in
+      let p = Ba.unsafe_get cursor lo in
+      Ba.unsafe_set bucket p i;
+      Ba.unsafe_set cursor lo (p + 1)
+    done;
+    (* seen.(w) = u marks "edge {u,w} already kept" while scanning u's
+       group; groups are scanned in ascending u and w > u always, so a
+       stale stamp from an earlier group can never equal the current u *)
+    let seen = ints (max 1 n) in
+    Ba.fill seen (-1);
+    let keep = Bytes.make (max 1 raw) '\000' in
+    let m = ref 0 in
+    for u = 0 to n - 1 do
+      for p = Ba.unsafe_get start u to Ba.unsafe_get start (u + 1) - 1 do
+        let i = Ba.unsafe_get bucket p in
+        let a = Ba.unsafe_get b.us i and c = Ba.unsafe_get b.vs i in
+        let w = if a = u then c else a in
+        if Ba.unsafe_get seen w <> u then begin
+          Ba.unsafe_set seen w u;
+          Bytes.unsafe_set keep i '\001';
+          incr m
+        end
+      done
+    done;
+    let m = !m in
+    let esrc = ints (max 1 m) and edst = ints (max 1 m) in
+    let e = ref 0 in
+    for i = 0 to raw - 1 do
+      if Bytes.unsafe_get keep i = '\001' then begin
+        Ba.unsafe_set esrc !e (Ba.unsafe_get b.us i);
+        Ba.unsafe_set edst !e (Ba.unsafe_get b.vs i);
+        incr e
+      end
+    done;
+    seal n m esrc edst
+end
+
 let of_edges n raw =
   if n < 0 then invalid_arg "Graph.of_edges: negative n";
-  let seen = Hashtbl.create (2 * List.length raw + 1) in
-  let keep =
-    List.filter
-      (fun (u, v) ->
-        if u < 0 || u >= n || v < 0 || v >= n then
-          invalid_arg "Graph.of_edges: vertex out of range";
-        if u = v then false
-        else
-          let key = if u < v then (u, v) else (v, u) in
-          if Hashtbl.mem seen key then false
-          else begin
-            Hashtbl.add seen key ();
-            true
-          end)
-      raw
-  in
-  let edges = Array.of_list keep in
-  let deg = Array.make n 0 in
-  Array.iter
+  let b = Builder.create ~edges_hint:(List.length raw) n in
+  List.iter
     (fun (u, v) ->
-      deg.(u) <- deg.(u) + 1;
-      deg.(v) <- deg.(v) + 1)
-    edges;
-  let adj = Array.init n (fun v -> Array.make deg.(v) (0, 0)) in
-  let fill = Array.make n 0 in
-  Array.iteri
-    (fun e (u, v) ->
-      adj.(u).(fill.(u)) <- (v, e);
-      fill.(u) <- fill.(u) + 1;
-      adj.(v).(fill.(v)) <- (u, e);
-      fill.(v) <- fill.(v) + 1)
-    edges;
-  let adj_sorted =
-    Array.map
-      (fun a ->
-        let s = Array.copy a in
-        Array.sort (fun (w1, _) (w2, _) -> compare w1 w2) s;
-        s)
-      adj
-  in
-  { n; edges; adj; adj_sorted; fp = 0L }
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Graph.of_edges: vertex out of range";
+      Builder.add_edge b u v)
+    raw;
+  Builder.build b
 
 let complete n =
   let acc = ref [] in
@@ -120,13 +358,6 @@ let complete n =
     done
   done;
   of_edges n !acc
-
-let iter_edges g f = Array.iteri (fun e (u, v) -> f e u v) g.edges
-
-let fold_edges g ~init ~f =
-  let acc = ref init in
-  Array.iteri (fun e (u, v) -> acc := f !acc e u v) g.edges;
-  !acc
 
 type weights = float array
 

@@ -1,10 +1,26 @@
-(** Immutable undirected graphs with dense vertex and edge identifiers.
+(** Immutable undirected graphs with dense vertex and edge identifiers,
+    stored as a flat CSR (compressed sparse row) structure over
+    [Bigarray]-backed int arrays (DESIGN.md section 12).
 
     Vertices are integers [0 .. n-1]. Every undirected edge has a unique id
     in [0 .. m-1]; parallel edges and self-loops are rejected at construction
-    time (the CONGEST model ignores self-loops, cf. paper §1.3). *)
+    time (the CONGEST model ignores self-loops, cf. paper §1.3).
+
+    Layout contract: for each vertex the CSR segment lists incident
+    [(neighbor, edge_id)] pairs in {e edge-insertion order} — BFS tie
+    breaking, Voronoi growth and hence every recorded experiment number
+    depend on that order.  A per-segment sorted permutation additionally
+    supports the O(log degree) binary-search adjacency lookups
+    ({!find_edge}/{!mem_edge}).
+
+    The payload lives outside the OCaml heap, so a graph built once is
+    shared zero-copy across [Exec.Pool] domains and costs the GC nothing
+    to retain — the substrate for n >= 10^6 experiments. *)
 
 type t
+
+type int_bigarray = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** The backing store type: one [Bigarray.int] element per entry. *)
 
 (** {1 Accessors} *)
 
@@ -17,18 +33,52 @@ val m : t -> int
 val edge : t -> int -> int * int
 (** [edge g e] is the endpoint pair of edge [e], in insertion order. *)
 
+val edge_u : t -> int -> int
+(** First endpoint of [e] (insertion order) — the allocation-free half of
+    {!edge}. *)
+
+val edge_v : t -> int -> int
+(** Second endpoint of [e]. *)
+
 val edges : t -> (int * int) array
-(** All endpoint pairs, indexed by edge id. The array is owned by the graph;
-    do not mutate. *)
-
-val adj : t -> int -> (int * int) array
-(** [adj g v] lists [(neighbor, edge_id)] pairs incident to [v], in edge
-    insertion order. Owned by the graph; do not mutate. *)
-
-val neighbors : t -> int -> int array
-(** [neighbors g v] is the neighbor list of [v] (fresh array). *)
+(** All endpoint pairs, indexed by edge id. Materialized fresh from the CSR
+    arrays on every call; prefer {!edge_u}/{!edge_v}/{!iter_edges} on hot
+    paths. *)
 
 val degree : t -> int -> int
+
+val iter_adj : t -> int -> (int -> int -> unit) -> unit
+(** [iter_adj g v f] calls [f neighbor edge_id] for every incident edge of
+    [v], in edge-insertion order.  The allocation-free replacement for the
+    old boxed [adj] array. *)
+
+val fold_adj : t -> int -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
+(** [fold_adj g v ~init ~f] folds [f acc neighbor edge_id] over the
+    incident edges of [v] in edge-insertion order. *)
+
+val exists_adj : t -> int -> (int -> int -> bool) -> bool
+(** [exists_adj g v p] is true iff [p neighbor edge_id] holds for some
+    incident edge of [v]; short-circuits in edge-insertion order. *)
+
+val neighbors : t -> int -> int array
+(** [neighbors g v] is the neighbor list of [v] (fresh array), in
+    edge-insertion order. *)
+
+(** {2 Raw CSR indexing}
+
+    For consumers that need random access into a vertex's segment (the
+    CONGEST fabric's per-node tables, the planarity rotation builder).
+    Positions [adj_offset g v .. adj_offset g (v+1) - 1] hold [v]'s
+    incident pairs in edge-insertion order. *)
+
+val adj_offset : t -> int -> int
+(** Start of [v]'s CSR segment; [adj_offset g (n g)] is [2 * m g]. *)
+
+val adj_dst : t -> int -> int
+(** Neighbor id stored at raw CSR position [p]. *)
+
+val adj_eid : t -> int -> int
+(** Edge id stored at raw CSR position [p]. *)
 
 val other_endpoint : t -> int -> int -> int
 (** [other_endpoint g e v] is the endpoint of [e] distinct from [v].
@@ -49,7 +99,38 @@ val fingerprint : t -> Memo.Fingerprint.t
     computed once and cached on the graph.  The cache key ingredient for
     every graph-derived memoized artifact. *)
 
+val heap_bytes : t -> int
+(** Total bytes of the off-heap Bigarray payload.  [Obj.reachable_words]
+    does not see it, so memoized graph producers pass this as the
+    [Memo.create ~bytes_hint] so the cache's byte bound stays honest. *)
+
 (** {1 Construction} *)
+
+(** Incremental construction for large graphs: push raw endpoint pairs
+    (self-loops dropped, duplicates in either orientation merged keeping
+    the first occurrence) into growable off-heap arrays, then seal into a
+    CSR graph in O(n + m) without hash tables or boxed intermediaries. *)
+module Builder : sig
+  type graph = t
+  type t
+
+  val create : ?edges_hint:int -> int -> t
+  (** [create n] starts a builder over vertices [0 .. n-1]; [edges_hint]
+      pre-sizes the raw edge store. *)
+
+  val add_edge : t -> int -> int -> unit
+  (** Record one endpoint pair.  Self-loops are dropped silently (matching
+      the historical [of_edges] semantics).
+      @raise Invalid_argument on an out-of-range endpoint. *)
+
+  val raw_count : t -> int
+  (** Pairs recorded so far (before dedup). *)
+
+  val build : t -> graph
+  (** Seal: dedup keeping first occurrences, number surviving edges in
+      insertion order, and lay out the CSR arrays.  The builder may be
+      reused afterwards ([build] does not mutate recorded pairs). *)
+end
 
 val of_edges : int -> (int * int) list -> t
 (** [of_edges n edges] builds a graph on [n] vertices. Duplicate edges (in

@@ -10,3 +10,21 @@ val of_string : string -> Graph.t * Graph.weights option
 
 val write_file : string -> ?weights:Graph.weights -> Graph.t -> unit
 val read_file : string -> Graph.t * Graph.weights option
+
+(** {1 Raw edge lists}
+
+    Headerless whitespace-separated edge lists, the format SNAP-style
+    dataset downloads use once gunzipped: one [u v] pair per line (tabs or
+    spaces), ['#'] or ['%'] comment lines, blank lines, and an optional
+    ignored third column.  No decompression here — pipe through [zcat]
+    first. *)
+
+val of_edge_list : ?n:int -> string -> Graph.t
+(** Parse a raw edge list.  The vertex count is inferred as the maximum
+    mentioned id plus one unless [n] supplies a larger count; self-loops
+    are dropped and duplicate pairs merged as in {!Graph.of_edges}.
+    @raise Invalid_argument on malformed input, naming the 1-based line
+    number. *)
+
+val read_edge_list : ?n:int -> string -> Graph.t
+(** {!of_edge_list} over a file's contents. *)

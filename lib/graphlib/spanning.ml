@@ -10,8 +10,14 @@ type tree = {
 (* BFS trees are pure functions of (graph, root): memoized, and shared —
    no consumer mutates a tree's arrays (DESIGN.md section 10) *)
 let m_bfs : (Graph.t * int, tree) Memo.t =
+  (* the hint counts the host graph's off-heap payload even though it is
+     usually shared with a generator's cache entry: overcounting only
+     evicts earlier, while omitting it would let a tree over a
+     non-memoized graph (e.g. one read from a file) retain an unbounded
+     Bigarray payload past the budget *)
   Memo.create ~name:"spanning.bfs_tree" ~fp:(fun (g, root) ->
       Memo.Fingerprint.(empty |> int64 (Graph.fingerprint g) |> int root))
+  |> Memo.with_bytes_hint (fun t -> Graph.heap_bytes t.graph)
 
 let bfs_tree g root =
   Memo.find_or_compute m_bfs (g, root) @@ fun () ->
@@ -28,15 +34,13 @@ let bfs_tree g root =
     let v = Queue.pop q in
     order.(!count) <- v;
     incr count;
-    Array.iter
-      (fun (w, e) ->
+    Graph.iter_adj g v (fun w e ->
         if depth.(w) < 0 then begin
           depth.(w) <- depth.(v) + 1;
           parent.(w) <- v;
           parent_edge.(w) <- e;
           Queue.push w q
         end)
-      (Graph.adj g v)
   done;
   if !count <> n then invalid_arg "Spanning.bfs_tree: graph is not connected";
   { graph = g; root; parent; parent_edge; depth; order }
@@ -144,7 +148,7 @@ let prim g w =
     let acc = ref [] in
     let add v =
       in_tree.(v) <- true;
-      Array.iter (fun (u, e) -> if not in_tree.(u) then Pqueue.push q w.(e) (u, e)) (Graph.adj g v)
+      Graph.iter_adj g v (fun u e -> if not in_tree.(u) then Pqueue.push q w.(e) (u, e))
     in
     add 0;
     let rec loop () =

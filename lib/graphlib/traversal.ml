@@ -6,13 +6,11 @@ let bfs g src =
   Queue.push src q;
   while not (Queue.is_empty q) do
     let v = Queue.pop q in
-    Array.iter
-      (fun (w, _) ->
+    Graph.iter_adj g v (fun w _ ->
         if dist.(w) < 0 then begin
           dist.(w) <- dist.(v) + 1;
           Queue.push w q
         end)
-      (Graph.adj g v)
   done;
   dist
 
@@ -25,14 +23,12 @@ let bfs_tree g src =
   Queue.push src q;
   while not (Queue.is_empty q) do
     let v = Queue.pop q in
-    Array.iter
-      (fun (w, _) ->
+    Graph.iter_adj g v (fun w _ ->
         if dist.(w) < 0 then begin
           dist.(w) <- dist.(v) + 1;
           parent.(w) <- v;
           Queue.push w q
         end)
-      (Graph.adj g v)
   done;
   (parent, dist)
 
@@ -51,14 +47,12 @@ let multi_source_bfs g srcs =
     srcs;
   while not (Queue.is_empty q) do
     let v = Queue.pop q in
-    Array.iter
-      (fun (w, _) ->
+    Graph.iter_adj g v (fun w _ ->
         if dist.(w) < 0 then begin
           dist.(w) <- dist.(v) + 1;
           owner.(w) <- owner.(v);
           Queue.push w q
         end)
-      (Graph.adj g v)
   done;
   (owner, dist)
 
@@ -72,13 +66,11 @@ let restricted_bfs g ~allowed src =
     Queue.push src q;
     while not (Queue.is_empty q) do
       let v = Queue.pop q in
-      Array.iter
-        (fun (w, _) ->
+      Graph.iter_adj g v (fun w _ ->
           if allowed.(w) && dist.(w) < 0 then begin
             dist.(w) <- dist.(v) + 1;
             Queue.push w q
           end)
-        (Graph.adj g v)
     done;
     dist
   end
@@ -94,13 +86,11 @@ let components g =
       Queue.push s q;
       while not (Queue.is_empty q) do
         let v = Queue.pop q in
-        Array.iter
-          (fun (w, _) ->
+        Graph.iter_adj g v (fun w _ ->
             if label.(w) < 0 then begin
               label.(w) <- !c;
               Queue.push w q
             end)
-          (Graph.adj g v)
       done;
       incr c
     end
@@ -125,13 +115,11 @@ let component_of g allowed seed =
     while not (Queue.is_empty q) do
       let v = Queue.pop q in
       acc := v :: !acc;
-      Array.iter
-        (fun (w, _) ->
+      Graph.iter_adj g v (fun w _ ->
           if allowed.(w) && not seen.(w) then begin
             seen.(w) <- true;
             Queue.push w q
           end)
-        (Graph.adj g v)
     done;
     !acc
   end
@@ -144,3 +132,28 @@ let is_connected_subset g vs =
       List.iter (fun v -> allowed.(v) <- true) vs;
       let reached = component_of g allowed seed in
       List.length reached = List.length vs
+
+let dfs_order g src =
+  let n = Graph.n g in
+  let seen = Array.make n false in
+  let acc = ref [] in
+  let stack = ref [ src ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | v :: rest ->
+        stack := rest;
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          acc := v :: !acc;
+          (* push incident edges in reverse CSR order so the first-inserted
+             edge is explored first: the preorder of a recursive DFS that
+             scans adjacency in edge-insertion order *)
+          let lo = Graph.adj_offset g v and hi = Graph.adj_offset g (v + 1) in
+          for p = hi - 1 downto lo do
+            let w = Graph.adj_dst g p in
+            if not seen.(w) then stack := w :: !stack
+          done
+        end
+  done;
+  Array.of_list (List.rev !acc)

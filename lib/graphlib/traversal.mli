@@ -30,3 +30,9 @@ val component_of : Graph.t -> bool array -> int -> int list
 val is_connected_subset : Graph.t -> int list -> bool
 (** Whether the induced subgraph on the given vertex set is connected
     (the empty set counts as connected). *)
+
+val dfs_order : Graph.t -> int -> int array
+(** [dfs_order g src] is the preorder of a depth-first traversal from [src]
+    that scans adjacency in edge-insertion order — the order a recursive
+    DFS over the historical boxed adjacency produced. Only the component
+    of [src] appears. *)

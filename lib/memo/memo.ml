@@ -151,7 +151,15 @@ let evict_over_budget () =
 
 (* -- typed spaces -- *)
 
-type ('k, 'v) t = { space : string; fp : 'k -> Fingerprint.t }
+type ('k, 'v) t = {
+  space : string;
+  fp : 'k -> Fingerprint.t;
+  (* extra bytes per value that [Obj.reachable_words] cannot see — Bigarray
+     payloads live outside the OCaml heap, so without this hint CSR graphs
+     would enter the cache at a few hundred estimated bytes and bypass the
+     byte budget entirely *)
+  bytes_hint : ('v -> int) option;
+}
 
 let spaces : (string, unit) Hashtbl.t = Hashtbl.create 64
 
@@ -161,7 +169,9 @@ let create ~name ~fp =
   if not dup then Hashtbl.add spaces name ();
   Mutex.unlock mutex;
   if dup then invalid_arg (Printf.sprintf "Memo.create: duplicate space %S" name);
-  { space = name; fp }
+  { space = name; fp; bytes_hint = None }
+
+let with_bytes_hint hint c = { c with bytes_hint = Some hint }
 
 let key_of c k = c.space ^ ":" ^ Fingerprint.to_hex (c.fp k)
 
@@ -184,7 +194,10 @@ let find_or_compute (type v) (c : (_, v) t) k (produce : unit -> v) : v =
         Obs.Metrics.incr c_misses;
         Obs.Span.set_attr "memo.miss" (Obs.Sink.String c.space);
         let v = produce () in
-        let bytes = Obj.reachable_words (Obj.repr v) * 8 in
+        let bytes =
+          (Obj.reachable_words (Obj.repr v) * 8)
+          + (match c.bytes_hint with Some f -> f v | None -> 0)
+        in
         Mutex.lock mutex;
         (if (not (Hashtbl.mem table key)) && bytes <= !capacity then begin
            let e = { key; value = Obj.repr v; bytes; prev = None; next = None } in

@@ -66,6 +66,17 @@ val create : name:string -> fp:('k -> Fingerprint.t) -> ('k, 'v) t
     fingerprints and types the stored values); reusing a name raises
     [Invalid_argument]. *)
 
+val with_bytes_hint : ('v -> int) -> ('k, 'v) t -> ('k, 'v) t
+(** [space |> with_bytes_hint f] makes inserts account [f v] extra bytes
+    per value on top of the [Obj.reachable_words] estimate — for bytes
+    that live outside the OCaml heap and are invisible to the GC walk:
+    Bigarray payloads, i.e. [Graph.heap_bytes] for spaces caching CSR
+    graphs.  Without the hint such values enter the cache at a few
+    hundred estimated bytes and bypass the byte budget entirely.
+    Overcounting payload shared with another entry is sound (it only
+    evicts earlier); undercounting would let the cache exceed its
+    bound. *)
+
 val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
 (** [find_or_compute space k produce] returns the cached value for [k] or
     runs [produce] and caches the result.  With caching disabled it is

@@ -25,6 +25,7 @@ module Clock = Clock
 module Sink = Sink
 module Span = Span
 module Metrics = Metrics
+module Rusage = Rusage
 
 let reset_all () =
   Span.reset ();

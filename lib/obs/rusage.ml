@@ -1,0 +1,30 @@
+(* Process resource probes for the scale experiments.
+
+   Peak RSS comes from /proc/self/status's VmHWM line (the kernel's
+   high-water mark for resident set size, in KiB) — the only portable-ish
+   way to observe it from pure OCaml without binding getrusage(2).  On
+   systems without procfs the probe degrades to None and callers record
+   zero rather than failing, so the bench stays runnable off-Linux. *)
+
+let parse_vmhwm line =
+  (* "VmHWM:\t  123456 kB" — the separator is a tab plus spaces *)
+  if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+    String.sub line 6 (String.length line - 6)
+    |> String.split_on_char '\t'
+    |> List.concat_map (String.split_on_char ' ')
+    |> List.find_map int_of_string_opt
+  else None
+
+let max_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec scan () =
+            match input_line ic with
+            | exception End_of_file -> None
+            | line -> ( match parse_vmhwm line with Some v -> Some v | None -> scan ())
+          in
+          scan ())

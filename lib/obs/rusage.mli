@@ -1,0 +1,9 @@
+(** Process resource probes (peak memory) for the scale experiments. *)
+
+val max_rss_kb : unit -> int option
+(** Peak resident set size of the current process in KiB, read from
+    [/proc/self/status] ([VmHWM]).  [None] where procfs is unavailable
+    (non-Linux); callers should record 0 rather than fail. *)
+
+val parse_vmhwm : string -> int option
+(** Parse one [/proc/self/status] line; exposed for tests. *)

@@ -42,14 +42,12 @@ let cell_tree g cell =
   Queue.push root q;
   while not (Queue.is_empty q) do
     let v = Queue.pop q in
-    Array.iter
-      (fun (u, _) ->
+    Graph.iter_adj g v (fun u _ ->
         if inside.(u) && not (Hashtbl.mem parent u) then begin
           Hashtbl.replace parent u v;
           Hashtbl.replace depth u (Hashtbl.find depth v + 1);
           Queue.push u q
         end)
-      (Graph.adj g v)
   done;
   (parent, depth)
 
@@ -227,7 +225,7 @@ let build g ~coords ~cells =
           (extra @ fence
           @ List.filter
               (fun v ->
-                Array.exists (fun (u, _) -> not (Hashtbl.mem gate_set u)) (Graph.adj g v))
+                Graph.exists_adj g v (fun u _ -> not (Hashtbl.mem gate_set u)))
               gate_vs)
       in
       Obs.Metrics.incr c_gates_built;
@@ -252,9 +250,7 @@ let check g ~cells gates =
            List.for_all
              (fun v ->
                let has_outside =
-                 Array.exists
-                   (fun (u, _) -> not (List.mem u gt.gate))
-                   (Graph.adj g v)
+                 Graph.exists_adj g v (fun u _ -> not (List.mem u gt.gate))
                in
                (not has_outside) || List.mem v gt.fence)
              gt.gate)

@@ -189,13 +189,11 @@ let random_connected ~seed g ~count ~coverage =
         let v = Queue.pop q in
         acc := v :: !acc;
         incr grabbed;
-        Array.iter
-          (fun (u, _) ->
+        Graph.iter_adj g v (fun u _ ->
             if (not taken.(u)) && !grabbed + Queue.length q < budget then begin
               taken.(u) <- true;
               Queue.push u q
             end)
-          (Graph.adj g v)
       done;
       (* vertices still in the queue were marked taken; release them *)
       Queue.iter (fun v -> taken.(v) <- false) q;

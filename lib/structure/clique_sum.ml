@@ -19,13 +19,11 @@ let random_clique st g size =
   while !continue_ && List.length !clique < size do
     (* candidates adjacent to everything in the clique *)
     let cands = ref [] in
-    Array.iter
-      (fun (u, _) ->
+    Graph.iter_adj g (List.hd !clique) (fun u _ ->
         if
           (not (List.mem u !clique))
           && List.for_all (fun c -> c = u || Graph.mem_edge g u c) !clique
-        then cands := u :: !cands)
-      (Graph.adj g (List.hd !clique));
+        then cands := u :: !cands);
     match !cands with
     | [] -> continue_ := false
     | cs ->

@@ -22,12 +22,12 @@ let of_coords g coords =
   let rot =
     Array.init (Graph.n g) (fun v ->
         let vx, vy = coords.(v) in
+        let lo = Graph.adj_offset g v in
         let darts =
-          Array.map
-            (fun (w, e) ->
+          Array.init (Graph.degree g v) (fun i ->
+              let w = Graph.adj_dst g (lo + i) and e = Graph.adj_eid g (lo + i) in
               let wx, wy = coords.(w) in
               (atan2 (wy -. vy) (wx -. vx), dart_of g e v))
-            (Graph.adj g v)
         in
         Array.sort compare darts;
         Array.map snd darts)
@@ -35,7 +35,11 @@ let of_coords g coords =
   { graph = g; rot }
 
 let of_adjacency g =
-  let rot = Array.init (Graph.n g) (fun v -> Array.map (fun (_, e) -> dart_of g e v) (Graph.adj g v)) in
+  let rot =
+    Array.init (Graph.n g) (fun v ->
+        let lo = Graph.adj_offset g v in
+        Array.init (Graph.degree g v) (fun i -> dart_of g (Graph.adj_eid g (lo + i)) v))
+  in
   { graph = g; rot }
 
 let torus_grid w h =

@@ -7,7 +7,7 @@ let has_k4_minor g =
   (* adjacency sets; suppressing may create parallel edges, sets dedupe them *)
   let adj = Array.init n (fun v ->
       let s = Hashtbl.create 8 in
-      Array.iter (fun (u, _) -> Hashtbl.replace s u ()) (Graph.adj g v);
+      Graph.iter_adj g v (fun u _ -> Hashtbl.replace s u ());
       s)
   in
   let alive = Array.make n true in
@@ -109,7 +109,7 @@ let has_minor g h =
           acc
           && List.exists
                (fun u ->
-                 Array.exists (fun (w, _) -> label.(w) = b) (Graph.adj g u))
+                 Graph.exists_adj g u (fun w _ -> label.(w) = b))
                classes.(a))
     in
     let rec assign v =

@@ -21,9 +21,9 @@ let biconnected_components g =
         match !stack with
         | [] -> ()
         | (v, pe) :: rest ->
-            let a = Graph.adj g v in
-            if adj_pos.(v) < Array.length a then begin
-              let w, e = a.(adj_pos.(v)) in
+            if adj_pos.(v) < Graph.degree g v then begin
+              let p = Graph.adj_offset g v + adj_pos.(v) in
+              let w = Graph.adj_dst g p and e = Graph.adj_eid g p in
               adj_pos.(v) <- adj_pos.(v) + 1;
               if e <> pe then begin
                 if disc.(w) < 0 then begin
@@ -77,8 +77,7 @@ let find_cycle g =
   (try
      let rec dfs v p =
        parent.(v) <- p;
-       Array.iter
-         (fun (w, _) ->
+       Graph.iter_adj g v (fun w _ ->
            if w <> p then
              if parent.(w) = -2 then dfs w v
              else begin
@@ -93,7 +92,6 @@ let find_cycle g =
                    raise Exit
                | _ -> ()
              end)
-         (Graph.adj g v)
      in
      dfs 0 (-1)
    with Exit -> ());
@@ -136,13 +134,11 @@ let planar_biconnected g =
               Queue.push s q;
               while not (Queue.is_empty q) do
                 let v = Queue.pop q in
-                Array.iter
-                  (fun (w, _) ->
+                Graph.iter_adj g v (fun w _ ->
                     if (not emb_v.(w)) && comp.(w) < 0 then begin
                       comp.(w) <- !ncomp;
                       Queue.push w q
                     end)
-                  (Graph.adj g v)
               done;
               incr ncomp
             end
@@ -154,9 +150,8 @@ let planar_biconnected g =
             for v = 0 to n - 1 do
               if comp.(v) = c then begin
                 if !seed < 0 then seed := v;
-                Array.iter
-                  (fun (w, _) -> if emb_v.(w) then Hashtbl.replace att w ())
-                  (Graph.adj g v)
+                Graph.iter_adj g v (fun w _ ->
+                    if emb_v.(w) then Hashtbl.replace att w ())
               end
             done;
             let atts = Hashtbl.fold (fun v () acc -> v :: acc) att [] in
@@ -196,8 +191,7 @@ let planar_biconnected g =
                       let target = ref (-1) in
                       while !target < 0 && not (Queue.is_empty q) do
                         let v = Queue.pop q in
-                        Array.iter
-                          (fun (w, _) ->
+                        Graph.iter_adj g v (fun w _ ->
                             if !target < 0 && prev.(w) = -2 then
                               if (not emb_v.(w)) && comp.(w) = cseed then begin
                                 prev.(w) <- v;
@@ -208,7 +202,6 @@ let planar_biconnected g =
                                 prev.(w) <- v;
                                 target := w
                               end)
-                          (Graph.adj g v)
                       done;
                       if !target < 0 then []
                       else begin

@@ -23,13 +23,11 @@ let largest_component_fraction g removed =
       while not (Queue.is_empty q) do
         let v = Queue.pop q in
         incr size;
-        Array.iter
-          (fun (u, _) ->
+        Graph.iter_adj g v (fun u _ ->
             if keep.(u) && not seen.(u) then begin
               seen.(u) <- true;
               Queue.push u q
             end)
-          (Graph.adj g v)
       done;
       best := max !best !size
     end

@@ -82,7 +82,7 @@ let of_elimination_order g order =
   (* simulate elimination with fill-in, via adjacency sets *)
   let adj = Array.init n (fun v ->
       let s = Hashtbl.create 8 in
-      Array.iter (fun (u, _) -> Hashtbl.replace s u ()) (Graph.adj g v);
+      Graph.iter_adj g v (fun u _ -> Hashtbl.replace s u ());
       s)
   in
   let bags = Array.make n [||] in

@@ -4,7 +4,7 @@ let eliminate_with score g =
   let n = Graph.n g in
   let adj = Array.init n (fun v ->
       let s = Hashtbl.create 8 in
-      Array.iter (fun (u, _) -> Hashtbl.replace s u ()) (Graph.adj g v);
+      Graph.iter_adj g v (fun u _ -> Hashtbl.replace s u ());
       s)
   in
   let alive = Array.make n true in

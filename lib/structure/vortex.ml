@@ -73,8 +73,7 @@ let check g t =
     let bad = ref false in
     Array.iteri
       (fun i vi ->
-        Array.iter
-          (fun (u, _) ->
+        Graph.iter_adj g vi (fun u _ ->
             match Hashtbl.find_opt internal_index u with
             | Some i' ->
                 (* arcs must overlap *)
@@ -89,8 +88,7 @@ let check g t =
                 match Hashtbl.find_opt boundary_index u with
                 | Some idx ->
                     if not (arc_contains t.boundary t.arcs.(i) idx) then bad := true
-                | None -> bad := true))
-          (Graph.adj g vi))
+                | None -> bad := true)))
       t.internal;
     if !bad then fail "an internal node has a neighbour outside its arc"
     else Ok ()
