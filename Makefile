@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check bench bench-record bench-smoke bench-par-check bench-cache-check bench-fault-check bench-scale-check clean
+.PHONY: all build test fmt check bench bench-record bench-bless bench-regress-check bench-smoke bench-par-check bench-cache-check bench-fault-check bench-scale-check clean
 
 all: build
 
@@ -23,16 +23,40 @@ check:
 	$(MAKE) bench-par-check
 	$(MAKE) bench-fault-check
 	$(MAKE) bench-scale-check
+	$(MAKE) bench-regress-check
 
 bench:
 	dune exec bench/main.exe
 
-# machine-readable benchmark record: per-experiment wall/self times from the
-# obs spans, minor-heap allocation deltas, steady-state alloc-per-round
-# probes, and cache hit rates; BENCH_pr4.json is the PR 4 baseline artifact
+# append one machine-readable entry to the bench ledger: per-experiment
+# wall/gc/RSS/congestion, span totals with allocation, steady-state
+# alloc-per-round probes, and cache hit rates, stamped with the git rev and
+# date.  The ledger (BENCH_LEDGER.jsonl) is append-only — it replaces the
+# old point-in-time BENCH_pr4*.json artifacts, which live on as its two
+# oldest (historical) entries.
 bench-record:
 	dune build bench/main.exe
-	./_build/default/bench/main.exe --record BENCH_pr4.json
+	./_build/default/bench/main.exe --no-timing --no-breakdown \
+	  --ledger BENCH_LEDGER.jsonl \
+	  --rev $$(git rev-parse --short HEAD 2>/dev/null || echo unknown) \
+	  --date $$(date -u +%Y-%m-%d)
+
+# promote the latest ledger entry to the regression-gate baseline — the
+# escape hatch after an intentional perf change (document it in the PR)
+bench-bless:
+	dune build tools/bench_diff.exe
+	./_build/default/tools/bench_diff.exe --bless BENCH_LEDGER.jsonl
+
+# regression gate: validate the ledger schema, append a fresh entry for the
+# current tree, and compare it against the most recent blessed baseline
+# with per-metric thresholds (see DESIGN.md section 13).  Self-test the
+# failure path with an injected slowdown:
+#   BENCH_SYNTH_SLOWDOWN=0.25 make bench-regress-check   # must exit nonzero
+bench-regress-check:
+	dune build bench/main.exe tools/bench_diff.exe tools/jsonl_check.exe
+	./_build/default/tools/jsonl_check.exe --ledger BENCH_LEDGER.jsonl
+	$(MAKE) bench-record
+	./_build/default/tools/bench_diff.exe BENCH_LEDGER.jsonl
 
 # one fast experiment with the JSONL sink on, then validate the stream:
 # every line parses, the required event types are present, and spans cover

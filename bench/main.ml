@@ -21,8 +21,20 @@
                                                    time, span totals, minor-heap
                                                    allocation, alloc-per-round
                                                    probes, cache hit rates
+     dune exec bench/main.exe -- --ledger BENCH_LEDGER.jsonl --rev abc123 \
+                                 --date 2026-08-08 -- append one schema-
+                                                   versioned ledger entry (same
+                                                   payload as --record plus
+                                                   rev/date/mode stamps) for
+                                                   tools/bench_diff to gate on
      dune exec bench/main.exe -- --no-cache     -- disable the memo cache
                                                    (stdout must not change)
+
+   BENCH_SYNTH_SLOWDOWN=0.25 in the environment stretches every
+   experiment by +25% of its measured wall time with a busy spin that
+   both computes and allocates, so the slowdown lands in CPU time and in
+   the minor_words deltas the way a real code regression would: the
+   regression gate's self-test injects slowdowns without touching code.
 *)
 
 module G = Core.Graph
@@ -73,8 +85,40 @@ let record_row r =
         match r.Q.obs_c with Some x -> Obs.Sink.Int x | None -> Obs.Sink.Null );
     ]
 
+(* per-experiment congestion accounting: every trace recorded while an
+   experiment runs folds into these, and [run_experiment] snapshots them
+   into the experiment's record/ledger entry — the aggregate the GH2020
+   backend head-to-head will compare round-for-round *)
+let exp_traces = ref 0
+let exp_trace_rounds = ref 0
+let exp_messages = ref 0
+let exp_words = ref 0
+let exp_max_edge_load = ref 0
+
+let reset_congestion () =
+  exp_traces := 0;
+  exp_trace_rounds := 0;
+  exp_messages := 0;
+  exp_words := 0;
+  exp_max_edge_load := 0
+
+let congestion_json () =
+  Obs.Sink.Obj
+    [
+      ("traces", Obs.Sink.Int !exp_traces);
+      ("rounds", Obs.Sink.Int !exp_trace_rounds);
+      ("messages", Obs.Sink.Int !exp_messages);
+      ("words", Obs.Sink.Int !exp_words);
+      ("max_edge_load", Obs.Sink.Int !exp_max_edge_load);
+    ]
+
 let record_trace ~label tr =
   let s = Core.Trace.summary tr in
+  incr exp_traces;
+  exp_trace_rounds := !exp_trace_rounds + s.Core.Trace.rounds;
+  exp_messages := !exp_messages + s.Core.Trace.messages;
+  exp_words := !exp_words + s.Core.Trace.words;
+  exp_max_edge_load := max !exp_max_edge_load s.Core.Trace.max_edge_load;
   let data =
     if !full_trace then
       match Core.Trace.summary_json s with
@@ -1339,13 +1383,78 @@ let experiments =
    of stdout — so --no-breakdown suppresses them for byte-exact diffing *)
 let no_breakdown = ref false
 
-(* --record FILE: machine-readable benchmark record (BENCH_pr4.json and
-   successors).  Collects per-experiment wall time, span totals/self times
+(* --record FILE: machine-readable one-shot benchmark record (the
+   pre-ledger format; kept for ad-hoc comparisons — the gated artifact is
+   --ledger).  Collects per-experiment wall time, span totals/self times
    and Gc.minor_words deltas, plus the steady-state CONGEST allocation
    probes, and writes one JSON document at exit.  Alloc numbers live here
    and in the breakdown block, never in deterministic stdout. *)
 let record_file = ref None
+
+(* --ledger FILE: append one schema-versioned entry per run to the bench
+   ledger (BENCH_LEDGER.jsonl) instead of overwriting a point-in-time
+   record; --rev/--date stamp the entry (the Makefile passes the git rev) *)
+let ledger_file = ref None
+let ledger_rev = ref "local"
+let ledger_date = ref None
 let record_entries : Obs.Sink.json list ref = ref []
+let recording () = !record_file <> None || !ledger_file <> None
+
+(* BENCH_SYNTH_SLOWDOWN=0.25 stretches every experiment by +25% of its
+   measured wall time (see burn_ms below) — the regression gate's
+   self-test injects a slowdown this way without touching code *)
+let synth_slowdown =
+  match Sys.getenv_opt "BENCH_SYNTH_SLOWDOWN" with
+  | Some s -> (
+      match float_of_string_opt s with Some f when f > 0.0 -> f | _ -> 0.0)
+  | None -> 0.0
+
+(* process CPU time (user + system, all domains) in ms.  Less noisy than
+   wall clock on a shared machine, though memory-bound experiments still
+   wobble with co-tenant bandwidth contention — bench_diff sizes its time
+   thresholds to that residual noise. *)
+let cpu_ms_now () =
+  let t = Unix.times () in
+  (t.Unix.tms_utime +. t.Unix.tms_stime) *. 1000.0
+
+(* burn roughly [ms] the way a real regression would: extra CPU work
+   (arithmetic, not sleep — sleep would evade the CPU metrics) *and*
+   extra minor-heap allocation at a rate comparable to the experiments'
+   own (~10^5 words/ms).  The allocation is the part the gate can never
+   miss: experiment minor_words deltas are deterministic, so the injected
+   words trip the tight minor_words bound even when run-to-run machine
+   noise absorbs the extra time.  Runs inside the experiment's GC window;
+   clean runs never call this. *)
+let burn_ms ms =
+  let stop = Int64.add (Obs.Clock.now_ns ()) (Int64.of_float (ms *. 1e6)) in
+  let x = ref 1 in
+  while Obs.Clock.now_ns () < stop do
+    for _ = 1 to 0x8000 do
+      x := !x * 48271 land 0x3FFFFFFF
+    done;
+    for _ = 1 to 0x800 do
+      x := !x + Array.length (Sys.opaque_identity (Array.make 8 0))
+    done
+  done;
+  ignore (Sys.opaque_identity !x)
+
+(* time a fixed amount of the same arithmetic kernel.  The machine's
+   effective speed (frequency scaling, co-tenant contention) drifts several
+   percent between ledger runs and moves CPU time and wall time alike;
+   this fixed-work spin measures that speed, and bench_diff divides the
+   time metrics of both entries by their calibration before comparing, so
+   uniform machine drift cancels while an injected (deadline-based) or
+   real slowdown does not. *)
+let calibrate_cpu_ms () =
+  let x = ref 1 in
+  let c0 = cpu_ms_now () in
+  for _ = 1 to 0x4000 do
+    for _ = 1 to 0x10000 do
+      x := !x * 48271 land 0x3FFFFFFF
+    done
+  done;
+  ignore (Sys.opaque_identity !x);
+  cpu_ms_now () -. c0
 
 let span_stats_json () =
   Obs.Sink.List
@@ -1357,17 +1466,29 @@ let span_stats_json () =
              ("calls", Obs.Sink.Int s.Obs.Span.calls);
              ("total_ms", Obs.Sink.Float (Obs.Clock.ns_to_ms s.Obs.Span.total_ns));
              ("self_ms", Obs.Sink.Float (Obs.Clock.ns_to_ms s.Obs.Span.self_ns));
+             ( "minor_words",
+               Obs.Sink.Int (int_of_float s.Obs.Span.minor_words) );
+             ( "self_minor_words",
+               Obs.Sink.Int (int_of_float s.Obs.Span.self_minor_words) );
            ])
        (Obs.Span.stats ()))
 
 let run_experiment id run =
   Obs.Span.reset ();
   Obs.Metrics.reset ();
+  reset_congestion ();
   let cache0 = Memo.stats () in
   let words0 = Gc.minor_words () in
+  let gc0 = Obs.Gcstat.take () in
+  let cpu0 = cpu_ms_now () in
   let t0 = Obs.Clock.now_ns () in
   Obs.Span.with_ id run;
+  if synth_slowdown > 0.0 then
+    burn_ms
+      (synth_slowdown *. Obs.Clock.ns_to_ms (Int64.sub (Obs.Clock.now_ns ()) t0));
   let wall_ms = Obs.Clock.ns_to_ms (Int64.sub (Obs.Clock.now_ns ()) t0) in
+  let cpu_ms = cpu_ms_now () -. cpu0 in
+  let gc_delta = Obs.Gcstat.delta ~before:gc0 ~after:(Obs.Gcstat.take ()) in
   let minor_words = Gc.minor_words () -. words0 in
   let cache1 = Memo.stats () in
   let hits = cache1.Memo.hits - cache0.Memo.hits in
@@ -1377,7 +1498,9 @@ let run_experiment id run =
     else float_of_int hits /. float_of_int (hits + misses)
   in
   if not !no_breakdown then begin
-    let table = Obs.Span.render_table ~min_ms:0.01 () in
+    let table =
+      Obs.Span.render_table ~min_ms:0.01 ~alloc:(Obs.Gcstat.enabled ()) ()
+    in
     if table <> "" then begin
       Printf.printf "\n-- %s timing breakdown --\n" id;
       print_string table;
@@ -1387,7 +1510,7 @@ let run_experiment id run =
           hits misses (100.0 *. hit_rate)
     end
   end;
-  if !record_file <> None then begin
+  if recording () then begin
     (* fault-summary block: the faults.* counters the engine bumps on every
        faulty Network.run, as accumulated since the Metrics.reset above —
        all zero for experiments that never pass a fault plan *)
@@ -1397,7 +1520,10 @@ let run_experiment id run =
         [
           ("id", Obs.Sink.String id);
           ("wall_ms", Obs.Sink.Float wall_ms);
+          ("cpu_ms", Obs.Sink.Float cpu_ms);
           ("minor_words", Obs.Sink.Float minor_words);
+          ("gc", Obs.Gcstat.json gc_delta);
+          ("congestion", congestion_json ());
           ("cache_hits", Obs.Sink.Int hits);
           ("cache_misses", Obs.Sink.Int misses);
           ("cache_hit_rate", Obs.Sink.Float hit_rate);
@@ -1413,6 +1539,9 @@ let run_experiment id run =
               ] );
           ( "max_rss_kb",
             Obs.Sink.Int (Option.value (Obs.Rusage.max_rss_kb ()) ~default:0) );
+          ( "vm_rss_kb",
+            Obs.Sink.Int (Option.value (Obs.Rusage.current_rss_kb ()) ~default:0)
+          );
           ("spans", span_stats_json ());
         ]
       :: !record_entries
@@ -1476,6 +1605,9 @@ let () =
   let json_path = value_of "--json" in
   let jsonl_path = value_of "--jsonl" in
   record_file := value_of "--record";
+  ledger_file := value_of "--ledger";
+  (match value_of "--rev" with Some r -> ledger_rev := r | None -> ());
+  ledger_date := value_of "--date";
   let jobs =
     match value_of "--jobs" with
     | None -> 1
@@ -1495,7 +1627,14 @@ let () =
     let sink = Option.map Obs.Sink.open_file jsonl_path in
     Option.iter Obs.Sink.install sink;
     Obs.Span.set_enabled true;
+    Obs.Gcstat.set_enabled true;
+    (* calibrate before the experiments so the speed estimate reflects the
+       conditions the run is about to execute under; ledger entries only *)
+    let calib_cpu_ms =
+      if !ledger_file <> None then calibrate_cpu_ms () else 0.0
+    in
     let record_t0 = Obs.Clock.now_ns () in
+    let record_cpu0 = cpu_ms_now () in
     (* the pool is created after the sink is installed and spans enabled, so
        worker domains inherit both through the task-handoff ordering *)
     Exec.Pool.with_pool ~jobs (fun p ->
@@ -1505,8 +1644,14 @@ let () =
             match only with Some o when o <> id -> () | _ -> run_experiment id run)
           experiments);
     pool := None;
+    (* the comparable window for ledger entries: experiments only, before
+       the probes and the bechamel timing suite add their own wall time *)
+    let experiments_ms =
+      Obs.Clock.ns_to_ms (Int64.sub (Obs.Clock.now_ns ()) record_t0)
+    in
+    let experiments_cpu_ms = cpu_ms_now () -. record_cpu0 in
     let probes =
-      if !record_file <> None then begin
+      if recording () then begin
         if not !no_breakdown then
           Printf.printf "\n-- steady-state CONGEST allocation probes --\n";
         alloc_probes ()
@@ -1540,6 +1685,53 @@ let () =
         output_char oc '\n';
         close_out oc;
         Printf.printf "wrote benchmark record to %s\n" path
+    | None -> ());
+    (match !ledger_file with
+    | Some path ->
+        let date =
+          match !ledger_date with
+          | Some d -> d
+          | None ->
+              let tm = Unix.gmtime (Unix.time ()) in
+              Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
+                (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+        in
+        let entry =
+          Obs.Sink.Obj
+            [
+              ("schema", Obs.Sink.String "bench-ledger/v2");
+              ("rev", Obs.Sink.String !ledger_rev);
+              ("date", Obs.Sink.String date);
+              ("blessed", Obs.Sink.Bool false);
+              ( "mode",
+                Obs.Sink.Obj
+                  [
+                    ( "only",
+                      match only with
+                      | Some o -> Obs.Sink.String o
+                      | None -> Obs.Sink.Null );
+                    ("jobs", Obs.Sink.Int jobs);
+                    ("cache", Obs.Sink.Bool (not (has "--no-cache")));
+                    ( "synth_slowdown",
+                      if synth_slowdown > 0.0 then Obs.Sink.Float synth_slowdown
+                      else Obs.Sink.Null );
+                  ] );
+              ("total_ms", Obs.Sink.Float experiments_ms);
+              ("total_cpu_ms", Obs.Sink.Float experiments_cpu_ms);
+              ("calib_cpu_ms", Obs.Sink.Float calib_cpu_ms);
+              ("experiments", Obs.Sink.List (List.rev !record_entries));
+              ("alloc_probes", Obs.Sink.List probes);
+              ("memo", Memo.stats_json ());
+            ]
+        in
+        let oc =
+          open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path
+        in
+        output_string oc (Obs.Sink.to_string entry);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "appended ledger entry (rev %s, %s) to %s\n" !ledger_rev
+          date path
     | None -> ());
     (match json_path with
     | Some path ->

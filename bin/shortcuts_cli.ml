@@ -21,6 +21,7 @@ let with_obs trace f =
       let s = Obs.Sink.open_file path in
       Obs.Sink.install s;
       Obs.Span.set_enabled true;
+      Obs.Gcstat.set_enabled true;
       Obs.Span.reset ();
       Obs.Metrics.reset ();
       Fun.protect
@@ -255,9 +256,10 @@ type span_row = {
   mutable calls : int;
   mutable total_ms : float;
   mutable self_ms : float;
+  mutable self_minor_words : float; (* 0 unless the trace ran with Gcstat *)
 }
 
-let report file =
+let report file chrome_out flame_out =
   let module S = Obs.Sink in
   let spans : (string, span_row) Hashtbl.t = Hashtbl.create 64 in
   let counters : (string, int) Hashtbl.t = Hashtbl.create 16 in
@@ -277,13 +279,28 @@ let report file =
           match Hashtbl.find_opt spans path with
           | Some r -> r
           | None ->
-              let r = { name; depth; calls = 0; total_ms = 0.0; self_ms = 0.0 } in
+              let r =
+                {
+                  name;
+                  depth;
+                  calls = 0;
+                  total_ms = 0.0;
+                  self_ms = 0.0;
+                  self_minor_words = 0.0;
+                }
+              in
               Hashtbl.add spans path r;
               r
         in
         row.calls <- row.calls + 1;
         row.total_ms <- row.total_ms +. Option.value (num "dur_ms" j) ~default:0.0;
-        row.self_ms <- row.self_ms +. Option.value (num "self_ms" j) ~default:0.0
+        row.self_ms <- row.self_ms +. Option.value (num "self_ms" j) ~default:0.0;
+        (match S.member "gc" j with
+        | Some gc ->
+            row.self_minor_words <-
+              row.self_minor_words
+              +. Option.value (num "self_minor_words" gc) ~default:0.0
+        | None -> ())
     | _ -> incr bad
   in
   let handle_metrics j =
@@ -367,6 +384,48 @@ let report file =
     List.iter (fun (k, v) -> Printf.printf "%-40s %12d\n" k v) show;
     if List.length top > List.length show then
       Printf.printf "  ... %d more\n" (List.length top - List.length show)
+  end;
+  (* top allocating spans, when the trace ran with the gc probes on *)
+  let alloc_rows =
+    Hashtbl.fold (fun path r acc -> (path, r) :: acc) spans []
+    |> List.filter (fun (_, r) -> r.self_minor_words > 0.0)
+    |> List.sort (fun (pa, a) (pb, b) ->
+           compare (-.a.self_minor_words, pa) (-.b.self_minor_words, pb))
+  in
+  if alloc_rows <> [] then begin
+    Printf.printf "\n%-48s %14s\n" "top allocating span paths (self)"
+      "minor words";
+    List.iteri
+      (fun i (path, r) ->
+        if i < 10 then Printf.printf "%-48s %14.0f\n" path r.self_minor_words)
+      alloc_rows
+  end;
+  if chrome_out <> None || flame_out <> None then begin
+    let events = Obs.Export.read_jsonl file in
+    (match chrome_out with
+    | Some out ->
+        let doc = Obs.Export.chrome events in
+        let oc = open_out out in
+        output_string oc (S.to_string doc);
+        output_char oc '\n';
+        close_out oc;
+        let n =
+          match S.member "traceEvents" doc with
+          | Some (S.List evs) -> List.length evs
+          | _ -> 0
+        in
+        Printf.printf
+          "\nwrote %d trace events to %s (chrome://tracing, ui.perfetto.dev)\n"
+          n out
+    | None -> ());
+    match flame_out with
+    | Some out ->
+        let oc = open_out out in
+        output_string oc (Obs.Export.folded events);
+        close_out oc;
+        Printf.printf "wrote folded stacks to %s (flamegraph.pl, speedscope)\n"
+          out
+    | None -> ()
   end;
   0
 
@@ -456,11 +515,31 @@ let mincut_cmd =
     Term.(const mincut $ no_cache_arg $ edge_list_arg $ file_arg $ trees $ seed_arg $ trials_arg $ jobs_arg $ trace_arg)
 
 let report_cmd =
+  let chrome_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"OUT"
+          ~doc:
+            "Also export the span stream as a Chrome/Perfetto trace-event \
+             JSON file (open in chrome://tracing or ui.perfetto.dev).")
+  in
+  let flame_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flame" ] ~docv:"OUT"
+          ~doc:
+            "Also export folded stacks (span path ; self µs per line) for \
+             flamegraph.pl or speedscope.")
+  in
   Cmd.v
     (Cmd.info "report"
        ~doc:"Summarize a JSONL trace (from --trace or bench --jsonl): span \
-             tree with call counts and self/total time, plus top counters.")
-    Term.(const report $ file_arg)
+             tree with call counts and self/total time, top counters, top \
+             allocating spans, and optional Chrome-trace / flamegraph \
+             exports.")
+    Term.(const report $ file_arg $ chrome_arg $ flame_arg)
 
 let () =
   let doc = "low-congestion shortcuts on excluded-minor networks" in

@@ -17,6 +17,10 @@ let minimum ?max_rounds ?trace ?faults sc ~values =
   let tree = sc.Sc.tree in
   let g = tree.Graphlib.Spanning.graph in
   let n = Graph.n g in
+  Obs.Span.with_
+    ~attrs:[ ("n", Obs.Sink.Int n) ]
+    "congest.aggregate.minimum"
+  @@ fun () ->
   let parts = sc.Sc.parts in
   let part_of = parts.Part.part_of in
   (* by_part.(v) : part -> neighbors usable for that part (shortcut edges of
@@ -289,6 +293,8 @@ let sum sc ~values =
   let tree = sc.Sc.tree in
   let g = tree.Graphlib.Spanning.graph in
   let n = Graph.n g in
+  Obs.Span.with_ ~attrs:[ ("n", Obs.Sink.Int n) ] "congest.aggregate.sum"
+  @@ fun () ->
   let parts = sc.Sc.parts in
   let nparts = Part.count parts in
   let ptrees = Array.init nparts (fun i -> part_tree g parts sc.Sc.assigned.(i) i) in

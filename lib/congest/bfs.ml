@@ -3,6 +3,10 @@ type state = { dist : int; parent : int }
 type full = { s : state; announced : bool }
 
 let run ?max_rounds ?trace ?faults g ~root =
+  Obs.Span.with_
+    ~attrs:[ ("n", Obs.Sink.Int (Graphlib.Graph.n g)) ]
+    "congest.bfs"
+  @@ fun () ->
   (* scratch send buffer: [Network.send] copies, so one array serves every
      send of the run and the steady state allocates nothing *)
   let buf = [| 0 |] in

@@ -10,6 +10,10 @@ module Part = Shortcuts.Part
 let convergecast_rounds tree parts =
   let g = tree.Spanning.graph in
   let n = Graph.n g in
+  Obs.Span.with_
+    ~attrs:[ ("n", Obs.Sink.Int n) ]
+    "congest.construct.convergecast"
+  @@ fun () ->
   let steiner = Shortcuts.Steiner.compute tree parts in
   (* parts carried by the edge above each vertex; [carries] backs the
      membership tests below with O(1) lookups *)
@@ -94,6 +98,10 @@ type report = {
 }
 
 let distributed_generic ?kappas tree parts =
+  Obs.Span.with_
+    ~attrs:[ ("n", Obs.Sink.Int (Graph.n tree.Spanning.graph)) ]
+    "congest.construct.distributed"
+  @@ fun () ->
   let steiner = Shortcuts.Steiner.compute tree parts in
   let max_load = Shortcuts.Steiner.max_load steiner in
   let convergecast = convergecast_rounds tree parts in

@@ -119,6 +119,10 @@ let census_stage ?max_rounds ?trace ?faults g parent_of depth_of root =
   (states.(root).acc_count, states.(root).acc_height, stats)
 
 let elect ?max_rounds ?trace ?faults g =
+  Obs.Span.with_
+    ~attrs:[ ("n", Obs.Sink.Int (Graph.n g)) ]
+    "congest.leader.elect"
+  @@ fun () ->
   let leader, s1 = elect_stage ?max_rounds ?trace ?faults g in
   (* stage 2: BFS tree from the leader (simulated) *)
   let bfs_states, s2 = Bfs.run ?max_rounds ?trace ?faults g ~root:leader in

@@ -4,6 +4,8 @@ module Spanning = Graphlib.Spanning
 let stoer_wagner g w =
   let n = Graph.n g in
   if n < 2 then invalid_arg "Mincut.stoer_wagner: need n >= 2";
+  Obs.Span.with_ ~attrs:[ ("n", Obs.Sink.Int n) ] "mincut.stoer_wagner"
+  @@ fun () ->
   (* adjacency matrix of capacities, on a shrinking vertex set *)
   let cap = Array.make_matrix n n 0.0 in
   Graph.iter_edges g (fun e u v ->
@@ -151,6 +153,11 @@ type report = {
 
 let approx ?(trees = 8) ?(two_respecting = false) ?trace ?faults ?strict ~seed
     ~constructor g w =
+  Obs.Span.with_
+    ~attrs:
+      [ ("n", Obs.Sink.Int (Graph.n g)); ("trees", Obs.Sink.Int trees) ]
+    "congest.mincut.approx"
+  @@ fun () ->
   let st = Faults.Rng.algo seed in
   let m = Graph.m g in
   let rounds = ref 0 in

@@ -63,6 +63,10 @@ let merge_phase g w uf mins parts mst_edges =
 
 let boruvka ?(overhead = 2) ?(max_rounds_per_phase = 2_000_000) ?trace ?faults
     ?(strict = true) ~constructor g w =
+  Obs.Span.with_
+    ~attrs:[ ("n", Obs.Sink.Int (Graph.n g)) ]
+    "congest.mst.boruvka"
+  @@ fun () ->
   let n = Graph.n g in
   let uf = Union_find.create n in
   let mst_edges = ref [] in
@@ -111,6 +115,10 @@ let boruvka ?(overhead = 2) ?(max_rounds_per_phase = 2_000_000) ?trace ?faults
 
 let boruvka_full ?(max_rounds_per_phase = 2_000_000) ?trace ?faults
     ?(strict = true) ~constructor g w =
+  Obs.Span.with_
+    ~attrs:[ ("n", Obs.Sink.Int (Graph.n g)) ]
+    "congest.mst.boruvka_full"
+  @@ fun () ->
   let n = Graph.n g in
   let uf = Union_find.create n in
   let mst_edges = ref [] in
@@ -168,6 +176,10 @@ let boruvka_full ?(max_rounds_per_phase = 2_000_000) ?trace ?faults
   }
 
 let pipelined g w =
+  Obs.Span.with_
+    ~attrs:[ ("n", Obs.Sink.Int (Graph.n g)) ]
+    "congest.mst.pipelined"
+  @@ fun () ->
   let n = Graph.n g in
   let uf = Union_find.create n in
   let mst_edges = ref [] in

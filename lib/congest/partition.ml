@@ -9,6 +9,14 @@ type result = {
 type state = { owner : int; dist : int; announced : bool }
 
 let voronoi ?max_rounds ?trace ?faults g ~seeds =
+  Obs.Span.with_
+    ~attrs:
+      [
+        ("n", Obs.Sink.Int (Graph.n g));
+        ("seeds", Obs.Sink.Int (Array.length seeds));
+      ]
+    "congest.partition.voronoi"
+  @@ fun () ->
   let seed_index = Hashtbl.create (Array.length seeds) in
   Array.iteri (fun i s -> if not (Hashtbl.mem seed_index s) then Hashtbl.add seed_index s i) seeds;
   let buf = [| 0; 0 |] in

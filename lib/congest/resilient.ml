@@ -191,6 +191,10 @@ let reference_dists g ~root =
 type bfs_state = { dist : int; link : Link.t }
 
 let bfs ?max_rounds ?config ?faults g ~root =
+  Obs.Span.with_
+    ~attrs:[ ("n", Obs.Sink.Int (Graph.n g)) ]
+    "congest.resilient.bfs"
+  @@ fun () ->
   let buf = [| 0 |] in
   let announce st =
     buf.(0) <- st.dist;

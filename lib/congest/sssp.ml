@@ -17,6 +17,10 @@ let payload_float hi lo =
     (Int64.logor (Int64.shift_left (Int64.of_int hi) 32) (Int64.of_int (lo land 0xFFFFFFFF)))
 
 let run_relaxation ?max_rounds ?trace ?faults g weight_of ~source =
+  Obs.Span.with_
+    ~attrs:[ ("n", Obs.Sink.Int (Graph.n g)) ]
+    "congest.sssp.relax"
+  @@ fun () ->
   let buf = [| 0; 0 |] in
   let algo =
     {

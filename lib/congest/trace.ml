@@ -35,8 +35,10 @@ type t = {
   mutable retried : int;
   mutable cur_dropped : int;
   mutable cur_delayed : int;
+  mutable cur_retried : int;
   per_round_dropped : series;
   per_round_delayed : series;
+  per_round_retried : series;
 }
 
 let create g =
@@ -57,8 +59,10 @@ let create g =
     retried = 0;
     cur_dropped = 0;
     cur_delayed = 0;
+    cur_retried = 0;
     per_round_dropped = series_make ();
     per_round_delayed = series_make ();
+    per_round_retried = series_make ();
   }
 
 let on_send t ~dir_edge ~words =
@@ -81,7 +85,9 @@ let on_delay t =
   t.delayed <- t.delayed + 1;
   t.cur_delayed <- t.cur_delayed + 1
 
-let on_retry t = t.retried <- t.retried + 1
+let on_retry t =
+  t.retried <- t.retried + 1;
+  t.cur_retried <- t.cur_retried + 1
 
 let on_round_end t =
   series_push t.per_round_messages t.cur_messages;
@@ -89,10 +95,12 @@ let on_round_end t =
   series_push t.per_round_max_load t.max_load;
   series_push t.per_round_dropped t.cur_dropped;
   series_push t.per_round_delayed t.cur_delayed;
+  series_push t.per_round_retried t.cur_retried;
   t.cur_messages <- 0;
   t.cur_words <- 0;
   t.cur_dropped <- 0;
-  t.cur_delayed <- 0
+  t.cur_delayed <- 0;
+  t.cur_retried <- 0
 
 let rounds t = t.per_round_messages.len
 let messages t = t.messages
@@ -119,6 +127,7 @@ let round_words t = series_to_array t.per_round_words
 let max_load_series t = series_to_array t.per_round_max_load
 let round_dropped t = series_to_array t.per_round_dropped
 let round_delayed t = series_to_array t.per_round_delayed
+let round_retried t = series_to_array t.per_round_retried
 
 type summary = {
   rounds : int;
@@ -205,8 +214,11 @@ let per_round_to_json t =
     @ (if t.dropped > 0 then
          [ ("dropped", json_int_array (round_dropped t)) ]
        else [])
+    @ (if t.delayed > 0 then
+         [ ("delayed", json_int_array (round_delayed t)) ]
+       else [])
     @
-    if t.delayed > 0 then [ ("delayed", json_int_array (round_delayed t)) ]
+    if t.retried > 0 then [ ("retried", json_int_array (round_retried t)) ]
     else [])
 
 let per_edge_json t =

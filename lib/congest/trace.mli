@@ -40,8 +40,8 @@ val on_retry : t -> unit
 
 val on_round_end : t -> unit
 (** Close the current round: pushes the round's message/word counts, the
-    current max cumulative edge load, and the round's drop/delay counts
-    onto the time series. *)
+    current max cumulative edge load, and the round's drop/delay/retry
+    counts onto the time series. *)
 
 (** {1 Queries} *)
 
@@ -84,6 +84,10 @@ val round_dropped : t -> int array
 
 val round_delayed : t -> int array
 
+val round_retried : t -> int array
+(** Retransmissions recorded per round by the resilience layer; all zeros
+    on a clean run. Fresh array. *)
+
 (** {1 Export} *)
 
 type summary = {
@@ -121,7 +125,8 @@ val summary_to_json : summary -> string
 
 val per_round_to_json : t -> Obs.Sink.json
 (** [{"messages": [...], "words": [...], "max_edge_load": [...]}] — the
-    three per-round series as one JSON object. *)
+    per-round series as one JSON object; the fault series (dropped,
+    delayed, retried) appear only when their totals are nonzero. *)
 
 val emit : ?label:string -> ?full:bool -> t -> unit
 (** Emit one ["trace_summary"] event into the installed {!Obs.Sink} (no-op

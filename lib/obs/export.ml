@@ -1,0 +1,236 @@
+(* Trace export: the JSONL span stream rendered for external profiling UIs.
+
+   Two renderings of the same parsed event list:
+
+   - [chrome]: the Chrome / Perfetto "trace event" format (a JSON object
+     with a "traceEvents" array of B/E duration events plus "C" counter
+     events), loadable in chrome://tracing and ui.perfetto.dev;
+   - [folded]: Brendan Gregg's folded-stacks text (one "a;b;c value" line
+     per span path, value = cumulative self time in microseconds), the
+     input format of flamegraph.pl and speedscope.
+
+   Span events carry only their *close* timestamp and duration, and the
+   stream is in close order (children before parents).  Per recording
+   domain that close order is a postorder walk of the span forest, so the
+   tree is rebuilt without guessing from timestamps: a span's children are
+   exactly the most recent pending roots whose path extends its own.
+   Begin/End timestamps are then emitted from a DFS with clamping — a
+   child's interval is forced inside its parent's and event times are
+   monotone per domain — so float rounding in the serialized seconds can
+   never produce the unbalanced B/E nesting Perfetto rejects.
+
+   Counter series come from "trace_summary" events that carry a
+   "per_round" object (bench --full-trace / CLI --trace): each per-round
+   array (messages, words, max_edge_load, dropped, delayed, retried)
+   becomes one counter track, one event per simulated round. *)
+
+type span_ev = {
+  name : string;
+  path : string;
+  tid : int;
+  start_us : float;
+  end_us : float;
+  self_ms : float;
+  args : (string * Sink.json) list;
+}
+
+let f_member name j =
+  match Sink.member name j with
+  | Some v -> Sink.float_value v
+  | None -> None
+
+let s_member name j = Option.bind (Sink.member name j) Sink.string_value
+let i_member name j = Option.bind (Sink.member name j) Sink.int_value
+
+let span_of_event j =
+  match (s_member "name" j, s_member "path" j) with
+  | Some name, Some path ->
+      let ts = Option.value ~default:0.0 (f_member "ts" j) in
+      let dur_ms = Option.value ~default:0.0 (f_member "dur_ms" j) in
+      let self_ms = Option.value ~default:0.0 (f_member "self_ms" j) in
+      let tid = Option.value ~default:0 (i_member "domain" j) in
+      let end_us = ts *. 1e6 in
+      let args =
+        (match Sink.member "attrs" j with
+        | Some (Sink.Obj kvs) -> kvs
+        | _ -> [])
+        @
+        match Sink.member "gc" j with
+        | Some (Sink.Obj kvs) ->
+            List.map (fun (k, v) -> ("gc." ^ k, v)) kvs
+        | _ -> []
+      in
+      Some
+        {
+          name;
+          path;
+          tid;
+          start_us = end_us -. (dur_ms *. 1e3);
+          end_us;
+          self_ms;
+          args;
+        }
+  | _ -> None
+
+(* ---------------- tree reconstruction ---------------- *)
+
+type node = { sp : span_ev; children : node list (* chronological *) }
+
+let is_strict_prefix prefix path =
+  let lp = String.length prefix and l = String.length path in
+  lp < l && String.sub path 0 lp = prefix && path.[lp] = '/'
+
+(* one domain's close-ordered spans -> forest of roots, chronological *)
+let forest spans =
+  let pending =
+    (* most recent completed subtree first *)
+    List.fold_left
+      (fun pending sp ->
+        let rec split acc = function
+          | n :: rest when is_strict_prefix sp.path n.sp.path ->
+              split (n :: acc) rest
+          | rest -> (acc, rest)
+        in
+        let children, rest = split [] pending in
+        { sp; children } :: rest)
+      [] spans
+  in
+  List.rev pending
+
+(* DFS a forest emitting clamped B/E pairs; [cursor] enforces per-domain
+   monotone timestamps, [hi] confines children to the parent interval *)
+let rec emit_node buf cursor hi n =
+  let b_ts = Float.min (Float.max n.sp.start_us !cursor) hi in
+  cursor := b_ts;
+  let e_limit = Float.max (Float.min n.sp.end_us hi) b_ts in
+  let base = [ ("pid", Sink.Int 0); ("tid", Sink.Int n.sp.tid) ] in
+  buf :=
+    Sink.Obj
+      ([
+         ("name", Sink.String n.sp.name);
+         ("cat", Sink.String "span");
+         ("ph", Sink.String "B");
+         ("ts", Sink.Float b_ts);
+       ]
+      @ base
+      @ [ ("args", Sink.Obj (("path", Sink.String n.sp.path) :: n.sp.args)) ])
+    :: !buf;
+  List.iter (emit_node buf cursor e_limit) n.children;
+  let e_ts = Float.max e_limit !cursor in
+  cursor := e_ts;
+  buf :=
+    Sink.Obj
+      ([
+         ("name", Sink.String n.sp.name);
+         ("ph", Sink.String "E");
+         ("ts", Sink.Float e_ts);
+       ]
+      @ base)
+    :: !buf
+
+let span_events spans =
+  (* group per tid, preserving file (= close) order *)
+  let tids = Hashtbl.create 4 in
+  let order = ref [] in
+  List.iter
+    (fun sp ->
+      match Hashtbl.find_opt tids sp.tid with
+      | Some l -> l := sp :: !l
+      | None ->
+          Hashtbl.add tids sp.tid (ref [ sp ]);
+          order := sp.tid :: !order)
+    spans;
+  let buf = ref [] in
+  List.iter
+    (fun tid ->
+      let spans = List.rev !(Hashtbl.find tids tid) in
+      let cursor = ref neg_infinity in
+      List.iter (emit_node buf cursor infinity) (forest spans))
+    (List.rev !order);
+  List.rev !buf
+
+(* ---------------- counter series ---------------- *)
+
+let counter_events j =
+  match Sink.member "per_round" j with
+  | Some (Sink.Obj series) ->
+      let label =
+        match s_member "label" j with Some l -> l | None -> "congest"
+      in
+      let ts0 = Option.value ~default:0.0 (f_member "ts" j) *. 1e6 in
+      List.concat_map
+        (fun (key, v) ->
+          match v with
+          | Sink.List vs ->
+              List.mapi
+                (fun i v ->
+                  Sink.Obj
+                    [
+                      ( "name",
+                        Sink.String
+                          (Printf.sprintf "congest.%s (%s)" key label) );
+                      ("ph", Sink.String "C");
+                      ("ts", Sink.Float (ts0 +. float_of_int i));
+                      ("pid", Sink.Int 0);
+                      ("tid", Sink.Int 0);
+                      ("args", Sink.Obj [ (key, v) ]);
+                    ])
+                vs
+          | _ -> [])
+        series
+  | _ -> []
+
+(* ---------------- public API ---------------- *)
+
+let event_type j = s_member "type" j
+
+let chrome events =
+  let spans = List.filter_map span_of_event
+      (List.filter (fun j -> event_type j = Some "span") events)
+  in
+  let counters =
+    List.concat_map counter_events
+      (List.filter (fun j -> event_type j = Some "trace_summary") events)
+  in
+  Sink.Obj
+    [
+      ("traceEvents", Sink.List (span_events spans @ counters));
+      ("displayTimeUnit", Sink.String "ms");
+    ]
+
+let folded events =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun j ->
+      if event_type j = Some "span" then
+        match span_of_event j with
+        | Some sp ->
+            let key =
+              String.concat ";" (String.split_on_char '/' sp.path)
+            in
+            let us = sp.self_ms *. 1e3 in
+            Hashtbl.replace tbl key
+              (us +. Option.value ~default:0.0 (Hashtbl.find_opt tbl key))
+        | None -> ())
+    events;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (k, v) ->
+         Printf.sprintf "%s %d" k (int_of_float (Float.round v)))
+  |> fun lines -> String.concat "\n" lines ^ if lines = [] then "" else "\n"
+
+let read_jsonl file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec loop acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | line when String.trim line = "" -> loop acc
+        | line -> (
+            match Sink.parse line with
+            | Ok j -> loop (j :: acc)
+            | Error _ -> loop acc)
+      in
+      loop [])

@@ -1,0 +1,25 @@
+(** Trace export: render a parsed JSONL event stream for external
+    profiling UIs.
+
+    The span stream is in close order (children before parents), which per
+    recording domain is a postorder walk of the span forest; {!chrome}
+    rebuilds the tree from span paths and emits balanced, clamped B/E
+    pairs, so the output always satisfies the trace-event format's nesting
+    rules even under float rounding of the serialized timestamps. *)
+
+val chrome : Sink.json list -> Sink.json
+(** Chrome / Perfetto "trace event" document:
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}].  Span events become
+    ["B"]/["E"] duration pairs (ts in microseconds since process start;
+    [pid] 0; [tid] = recording domain id; span attrs and gc deltas under
+    [args]); ["trace_summary"] events carrying a [per_round] object become
+    one ["C"] counter track per series (messages, words, max_edge_load,
+    dropped, delayed, retried), one event per simulated round. *)
+
+val folded : Sink.json list -> string
+(** Folded-stacks flamegraph text: one ["a;b;c <self_us>"] line per span
+    path (cumulative self time, microseconds), sorted by path; input
+    format of flamegraph.pl and speedscope. *)
+
+val read_jsonl : string -> Sink.json list
+(** Parse a JSONL file, skipping blank and unparsable lines. *)

@@ -1,0 +1,49 @@
+(** GC/allocation probes over [Gc.quick_stat].
+
+    When enabled, {!Span.with_} samples the GC counters around every frame
+    and attaches the delta to the span event (a ["gc"] object) and to the
+    per-path aggregation table, so the bench breakdown and [shortcuts-cli
+    report] can rank spans by allocation.  The per-span *self* deltas
+    (the span's allocation minus its direct children's) also feed [gc.*]
+    metrics, partitioning total allocation across span paths without
+    double-counting nested work.
+
+    Disabled by default; [Gc.quick_stat] is cheap (no stop-the-world) but
+    sampling it twice per span is not free, so the probe gates separately
+    from span collection. *)
+
+type sample = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  heap_words : int;  (** absolute major-heap words, not a delta *)
+}
+
+val zero : sample
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val take : unit -> sample
+(** Freeze the calling domain's allocation counters. *)
+
+val delta : before:sample -> after:sample -> sample
+(** Counter-wise difference, except [heap_words], which reports [after]'s
+    absolute heap size. *)
+
+val fields : sample -> (string * Sink.json) list
+(** Event/record rendering: minor_words, promoted_words, major_words,
+    minor_gcs, major_gcs, heap_words (word counts rounded to integers),
+    plus compactions when nonzero. *)
+
+val json : sample -> Sink.json
+
+val record_self :
+  self_minor:float -> self_promoted:float -> self_major:float -> sample -> unit
+(** Feed one closed span's deltas into the [gc.*] metrics: the [self_*]
+    word counts bump the allocation counters, the full delta's collection
+    counts bump [gc.*_collections], and [gc.heap_words] is gauged to the
+    heap size at close.  Called by [Span.close]. *)

@@ -25,6 +25,8 @@ module Clock = Clock
 module Sink = Sink
 module Span = Span
 module Metrics = Metrics
+module Gcstat = Gcstat
+module Export = Export
 module Rusage = Rusage
 
 let reset_all () =

@@ -1,9 +1,25 @@
-(** Process resource probes (peak memory) for the scale experiments. *)
+(** Process resource probes (memory) for the scale experiments and bench
+    records. *)
 
 val max_rss_kb : unit -> int option
-(** Peak resident set size of the current process in KiB, read from
-    [/proc/self/status] ([VmHWM]).  [None] where procfs is unavailable
-    (non-Linux); callers should record 0 rather than fail. *)
+(** Peak resident set size of the current process in KiB: [VmHWM] from
+    [/proc/self/status] where procfs exists, else [getrusage(2)]'s
+    [ru_maxrss].  [None] only if both probes fail; callers should record 0
+    rather than fail. *)
+
+val current_rss_kb : unit -> int option
+(** Current resident set size in KiB ([VmRSS]); [None] where procfs is
+    unavailable (non-Linux). *)
 
 val parse_vmhwm : string -> int option
-(** Parse one [/proc/self/status] line; exposed for tests. *)
+(** Parse one [/proc/self/status] [VmHWM] line; exposed for tests. *)
+
+val parse_vmrss : string -> int option
+(** Parse one [VmRSS] line; exposed for tests. *)
+
+val parse_status_kb : key:string -> string -> int option
+(** Generic ["Key:\t  N kB"] parser behind the two above. *)
+
+val getrusage_maxrss_kb : unit -> int
+(** Raw [getrusage(2)] [ru_maxrss] in KiB ([-1] on failure); exposed for
+    tests of the procfs-free fallback path. *)

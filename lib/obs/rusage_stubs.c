@@ -1,0 +1,18 @@
+/* getrusage(2) fallback for Obs.Rusage: peak RSS where procfs is absent.
+   Linux reports ru_maxrss in kilobytes, macOS in bytes. */
+
+#include <caml/mlvalues.h>
+#include <sys/resource.h>
+
+CAMLprim value obs_getrusage_maxrss_kb(value unit)
+{
+  struct rusage ru;
+  (void)unit;
+  if (getrusage(RUSAGE_SELF, &ru) != 0)
+    return Val_long(-1);
+#ifdef __APPLE__
+  return Val_long((long)(ru.ru_maxrss / 1024));
+#else
+  return Val_long((long)ru.ru_maxrss);
+#endif
+}

@@ -29,6 +29,10 @@ type frame = {
   depth : int;
   start_ns : int64;
   mutable child_ns : int64;
+  gc0 : Gcstat.sample option; (* Some iff Gcstat was enabled at open *)
+  mutable child_minor_w : float;
+  mutable child_promoted_w : float;
+  mutable child_major_w : float;
   mutable attrs : (string * Sink.json) list; (* reverse order *)
 }
 
@@ -39,6 +43,9 @@ type stat = {
   mutable calls : int;
   mutable total_ns : int64;
   mutable self_ns : int64;
+  mutable minor_words : float;
+  mutable self_minor_words : float;
+  mutable major_words : float;
 }
 
 let on = ref false
@@ -74,6 +81,9 @@ let stat_for table (fr : frame) =
           calls = 0;
           total_ns = 0L;
           self_ns = 0L;
+          minor_words = 0.0;
+          self_minor_words = 0.0;
+          major_words = 0.0;
         }
       in
       Hashtbl.replace table fr.path st;
@@ -94,6 +104,12 @@ let set_attr k v =
 
 let close ds fr =
   let dur = Int64.sub (Clock.now_ns ()) fr.start_ns in
+  (* GC delta before any bookkeeping below allocates on our account *)
+  let gc_delta =
+    match fr.gc0 with
+    | None -> None
+    | Some before -> Some (Gcstat.delta ~before ~after:(Gcstat.take ()))
+  in
   (match ds.stack with
   | top :: rest when top == fr -> ds.stack <- rest
   | other ->
@@ -105,24 +121,52 @@ let close ds fr =
       in
       ds.stack <- pop other);
   (match ds.stack with
-  | parent :: _ -> parent.child_ns <- Int64.add parent.child_ns dur
+  | parent :: _ ->
+      parent.child_ns <- Int64.add parent.child_ns dur;
+      (match gc_delta with
+      | Some d ->
+          parent.child_minor_w <- parent.child_minor_w +. d.Gcstat.minor_words;
+          parent.child_promoted_w <-
+            parent.child_promoted_w +. d.Gcstat.promoted_words;
+          parent.child_major_w <- parent.child_major_w +. d.Gcstat.major_words
+      | None -> ())
   | [] -> ());
   let self = Int64.sub dur fr.child_ns in
   let st = stat_for ds.table fr in
   st.calls <- st.calls + 1;
   st.total_ns <- Int64.add st.total_ns dur;
   st.self_ns <- Int64.add st.self_ns self;
+  let gc_fields =
+    match gc_delta with
+    | None -> []
+    | Some d ->
+        let self_minor = d.Gcstat.minor_words -. fr.child_minor_w in
+        let self_promoted = d.Gcstat.promoted_words -. fr.child_promoted_w in
+        let self_major = d.Gcstat.major_words -. fr.child_major_w in
+        st.minor_words <- st.minor_words +. d.Gcstat.minor_words;
+        st.self_minor_words <- st.self_minor_words +. self_minor;
+        st.major_words <- st.major_words +. d.Gcstat.major_words;
+        Gcstat.record_self ~self_minor ~self_promoted ~self_major d;
+        [
+          ( "gc",
+            Sink.Obj
+              (("self_minor_words", Sink.Int (int_of_float self_minor))
+              :: Gcstat.fields d) );
+        ]
+  in
   if Sink.enabled () then
     Sink.emit ~type_:"span"
       (("name", Sink.String fr.name)
       :: ("path", Sink.String fr.path)
       :: ("depth", Sink.Int fr.depth)
+      :: ("domain", Sink.Int (Domain.self () :> int))
       :: ("dur_ms", Sink.Float (Clock.ns_to_ms dur))
       :: ("self_ms", Sink.Float (Clock.ns_to_ms self))
-      ::
-      (match List.rev fr.attrs with
-      | [] -> []
-      | attrs -> [ ("attrs", Sink.Obj attrs) ]))
+      :: (gc_fields
+         @
+         match List.rev fr.attrs with
+         | [] -> []
+         | attrs -> [ ("attrs", Sink.Obj attrs) ]))
 
 let with_ ?(attrs = []) name f =
   if not !on then f ()
@@ -143,6 +187,10 @@ let with_ ?(attrs = []) name f =
         depth;
         start_ns = Clock.now_ns ();
         child_ns = 0L;
+        gc0 = (if Gcstat.enabled () then Some (Gcstat.take ()) else None);
+        child_minor_w = 0.0;
+        child_promoted_w = 0.0;
+        child_major_w = 0.0;
         attrs = List.rev attrs;
       }
     in
@@ -196,7 +244,10 @@ let absorb (snap : snapshot) =
       | Some own ->
           own.calls <- own.calls + st.calls;
           own.total_ns <- Int64.add own.total_ns st.total_ns;
-          own.self_ns <- Int64.add own.self_ns st.self_ns)
+          own.self_ns <- Int64.add own.self_ns st.self_ns;
+          own.minor_words <- own.minor_words +. st.minor_words;
+          own.self_minor_words <- own.self_minor_words +. st.self_minor_words;
+          own.major_words <- own.major_words +. st.major_words)
     snap
 
 (* ---------------- reporting ---------------- *)
@@ -208,20 +259,27 @@ let stats () =
 
 (* sorting by path yields tree order: "a" < "a/child" < "ab" because
    '/' sorts below every path character we use *)
-let render_table ?(min_ms = 0.0) () =
+let render_table ?(min_ms = 0.0) ?(alloc = false) () =
   let sts = stats () in
   if sts = [] then "(no spans recorded)\n"
   else begin
     let b = Buffer.create 1024 in
-    Printf.bprintf b "%-46s %7s %11s %11s\n" "span" "calls" "total ms" "self ms";
+    Printf.bprintf b "%-46s %7s %11s %11s" "span" "calls" "total ms" "self ms";
+    if alloc then Printf.bprintf b " %11s %11s" "alloc Mw" "self Mw";
+    Buffer.add_char b '\n';
     List.iter
       (fun st ->
         let total = Clock.ns_to_ms st.total_ns in
-        if total >= min_ms then
-          Printf.bprintf b "%-46s %7d %11.2f %11.2f\n"
+        if total >= min_ms then begin
+          Printf.bprintf b "%-46s %7d %11.2f %11.2f"
             (String.make (2 * st.depth) ' ' ^ st.name)
             st.calls total
-            (Clock.ns_to_ms st.self_ns))
+            (Clock.ns_to_ms st.self_ns);
+          if alloc then
+            Printf.bprintf b " %11.2f %11.2f" (st.minor_words /. 1e6)
+              (st.self_minor_words /. 1e6);
+          Buffer.add_char b '\n'
+        end)
       sts;
     Buffer.contents b
   end

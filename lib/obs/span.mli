@@ -3,8 +3,10 @@
     A span measures one dynamic extent of a named phase.  Spans nest; each
     completed span updates an in-process aggregation table (keyed by the
     '/'-joined path of open span names) and, when a sink is installed,
-    emits one ["span"] event carrying name, path, depth, duration, self
-    time, and attributes.
+    emits one ["span"] event carrying name, path, depth, the recording
+    domain's id, duration, self time, attributes — and, when {!Gcstat}
+    sampling is on, a ["gc"] object with the span's allocation delta
+    (self minor words first, then the {!Gcstat.fields}).
 
     Collection is disabled by default: [with_ name f] then just runs [f]
     behind a single bool check, so permanent instrumentation of hot library
@@ -38,6 +40,13 @@ type stat = {
   mutable calls : int;
   mutable total_ns : int64;
   mutable self_ns : int64;  (** total minus direct children's totals *)
+  mutable minor_words : float;
+      (** minor-heap allocation inside the span; 0 unless {!Gcstat} was
+          enabled while the span ran *)
+  mutable self_minor_words : float;
+      (** minor allocation minus direct children's — partitions a run's
+          allocation across paths *)
+  mutable major_words : float;
 }
 
 val stats : unit -> stat list
@@ -71,6 +80,8 @@ val absorb : snapshot -> unit
 (** Merge a captured table into the calling domain's, summing calls and
     times per path. *)
 
-val render_table : ?min_ms:float -> unit -> string
+val render_table : ?min_ms:float -> ?alloc:bool -> unit -> string
 (** Indented calls/total/self table of {!stats}; rows with total below
-    [min_ms] (default 0) are hidden. *)
+    [min_ms] (default 0) are hidden.  With [alloc] (default false) two
+    extra columns show minor-heap allocation (total and self, in millions
+    of words) — meaningful only when {!Gcstat} sampling was enabled. *)

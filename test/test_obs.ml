@@ -419,6 +419,223 @@ let test_trace_emit_roundtrip () =
              ("max_edge_load", JArr [ JNum 2.0 ]);
            ])
 
+(* ---------- GC probes ---------- *)
+
+let with_gcstat f =
+  Obs.Gcstat.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.Gcstat.set_enabled false) f
+
+let test_gcstat_delta () =
+  let before = Obs.Gcstat.take () in
+  ignore (Sys.opaque_identity (List.init 10_000 string_of_int));
+  let after = Obs.Gcstat.take () in
+  let d = Obs.Gcstat.delta ~before ~after in
+  check "allocation observed" true (d.Obs.Gcstat.minor_words > 1_000.0);
+  check "heap_words is absolute, not a delta" true
+    (d.Obs.Gcstat.heap_words = after.Obs.Gcstat.heap_words);
+  check "fields carry minor_words" true
+    (List.mem_assoc "minor_words" (Obs.Gcstat.fields d));
+  check "compactions omitted when zero" true
+    (not (List.mem_assoc "compactions" (Obs.Gcstat.fields Obs.Gcstat.zero)))
+
+let test_span_gc_attrs () =
+  let (), lines =
+    with_capture (fun () ->
+        with_spans (fun () ->
+            with_gcstat (fun () ->
+                Obs.Span.with_ "alloc" (fun () ->
+                    ignore
+                      (Sys.opaque_identity (List.init 5_000 (fun i -> (i, i))))))))
+  in
+  let j = read_json (List.hd lines) in
+  let gc = jfield "gc" j in
+  check "span event carries its allocation" true
+    (jnum (jfield "minor_words" gc) > 1_000.0);
+  check "self allocation accounted" true
+    (jnum (jfield "self_minor_words" gc) >= 0.0);
+  check "recording domain stamped" true (jnum (jfield "domain" j) >= 0.0);
+  (* probe off -> no gc object on span events *)
+  let (), lines_off =
+    with_capture (fun () ->
+        with_spans (fun () -> Obs.Span.with_ "quiet" (fun () -> ())))
+  in
+  check "no gc field when the probe is off" true
+    (match read_json (List.hd lines_off) with
+    | JObj fields -> not (List.mem_assoc "gc" fields)
+    | _ -> false)
+
+(* ---------- rusage probes ---------- *)
+
+let test_rusage_parsing () =
+  check "VmRSS line" true
+    (Obs.Rusage.parse_vmrss "VmRSS:\t  123456 kB" = Some 123456);
+  check "VmHWM line" true
+    (Obs.Rusage.parse_vmhwm "VmHWM:\t       9 kB" = Some 9);
+  check "key mismatch" true (Obs.Rusage.parse_vmrss "VmHWM:\t 5 kB" = None);
+  check "generic key" true
+    (Obs.Rusage.parse_status_kb ~key:"VmData" "VmData: 42 kB" = Some 42);
+  check "no number" true
+    (Obs.Rusage.parse_status_kb ~key:"VmData" "VmData: kB" = None);
+  check "prefix must match exactly" true
+    (Obs.Rusage.parse_vmrss "XVmRSS:\t 1 kB" = None)
+
+let test_rusage_probes () =
+  (* the C stub must work wherever the tests run: it is the procfs-free
+     fallback path *)
+  check "getrusage ru_maxrss positive" true
+    (Obs.Rusage.getrusage_maxrss_kb () > 0);
+  check "max_rss_kb probes something" true
+    (match Obs.Rusage.max_rss_kb () with Some k -> k > 0 | None -> false)
+
+(* ---------- trace export ---------- *)
+
+let parse_sink lines =
+  List.filter_map
+    (fun l -> match Obs.Sink.parse l with Ok j -> Some j | Error _ -> None)
+    lines
+
+let trace_events doc =
+  match jfield "traceEvents" (jv_of_sink doc) with
+  | JArr l -> l
+  | _ -> raise (Bad "traceEvents")
+
+(* validate the trace-event invariants Perfetto rejects violations of:
+   integer pid/tid, per-tid monotone timestamps, balanced B/E nesting *)
+let check_duration_events evs =
+  let stacks = Hashtbl.create 4 in
+  let cursor = Hashtbl.create 4 in
+  List.iter
+    (fun e ->
+      let ph = jstr (jfield "ph" e) in
+      let tid = jnum (jfield "tid" e) in
+      let ts = jnum (jfield "ts" e) in
+      check "pid 0" true (jnum (jfield "pid" e) = 0.0);
+      check "tid integral" true (Float.is_integer tid);
+      let last =
+        match Hashtbl.find_opt cursor tid with Some t -> t | None -> neg_infinity
+      in
+      check "ts monotone per tid" true (ts >= last);
+      Hashtbl.replace cursor tid ts;
+      let stack =
+        match Hashtbl.find_opt stacks tid with Some s -> s | None -> []
+      in
+      match ph with
+      | "B" -> Hashtbl.replace stacks tid (jstr (jfield "name" e) :: stack)
+      | "E" -> (
+          match stack with
+          | _ :: rest -> Hashtbl.replace stacks tid rest
+          | [] -> Alcotest.fail "E event without an open B")
+      | other -> Alcotest.failf "unexpected ph %S" other)
+    evs;
+  Hashtbl.iter
+    (fun _ st -> check "every B closed" true (st = []))
+    stacks
+
+let test_chrome_export () =
+  let (), lines =
+    with_capture (fun () ->
+        with_spans (fun () ->
+            Obs.Span.with_ "root" (fun () ->
+                Obs.Span.with_ "child" (fun () ->
+                    Obs.Span.with_ "grand" (fun () -> ()));
+                Obs.Span.with_ "child" (fun () -> ()))))
+  in
+  let doc = Obs.Export.chrome (parse_sink lines) in
+  check_string "display unit" "ms"
+    (jstr (jfield "displayTimeUnit" (jv_of_sink doc)));
+  let evs = trace_events doc in
+  check_int "4 spans -> 4 B/E pairs" 8 (List.length evs);
+  check_duration_events evs;
+  (* close-order stream rebuilt into start-order DFS *)
+  let b_names =
+    List.filter_map
+      (fun e ->
+        if jstr (jfield "ph" e) = "B" then Some (jstr (jfield "name" e))
+        else None)
+      evs
+  in
+  Alcotest.(check (list string))
+    "DFS emission order" [ "root"; "child"; "grand"; "child" ] b_names;
+  let grand_b =
+    List.find (fun e -> jstr (jfield "ph" e) = "B"
+                        && jstr (jfield "name" e) = "grand") evs
+  in
+  check_string "full path under args" "root/child/grand"
+    (jstr (jfield "path" (jfield "args" grand_b)))
+
+let test_chrome_counters () =
+  let g = Generators.cycle 4 in
+  let tr = Congest.Trace.create g in
+  Congest.Trace.on_send tr ~dir_edge:0 ~words:2;
+  Congest.Trace.on_round_end tr;
+  Congest.Trace.on_send tr ~dir_edge:1 ~words:1;
+  Congest.Trace.on_send tr ~dir_edge:2 ~words:1;
+  Congest.Trace.on_round_end tr;
+  let (), lines =
+    with_capture (fun () -> Congest.Trace.emit ~label:"t" ~full:true tr)
+  in
+  let evs = trace_events (Obs.Export.chrome (parse_sink lines)) in
+  check "only counter events from a trace summary" true
+    (evs <> [] && List.for_all (fun e -> jstr (jfield "ph" e) = "C") evs);
+  let series name =
+    List.filter_map
+      (fun e ->
+        if jstr (jfield "name" e) = Printf.sprintf "congest.%s (t)" name then
+          Some (jnum (jfield name (jfield "args" e)))
+        else None)
+      evs
+  in
+  Alcotest.(check (list (float 0.0)))
+    "messages per round" [ 1.0; 2.0 ] (series "messages");
+  Alcotest.(check (list (float 0.0)))
+    "words per round" [ 2.0; 2.0 ] (series "words");
+  check "counter ts increase within a series" true
+    (let ts =
+       List.filter_map
+         (fun e ->
+           if jstr (jfield "name" e) = "congest.messages (t)" then
+             Some (jnum (jfield "ts" e))
+           else None)
+         evs
+     in
+     ts = List.sort compare ts && List.length (List.sort_uniq compare ts) = 2)
+
+let test_folded_output () =
+  let (), lines =
+    with_capture (fun () ->
+        with_spans (fun () ->
+            Obs.Span.with_ "root" (fun () ->
+                Obs.Span.with_ "child" (fun () -> ()));
+            Obs.Span.with_ "root" (fun () -> ())))
+  in
+  let folded = Obs.Export.folded (parse_sink lines) in
+  let folded_lines = String.split_on_char '\n' (String.trim folded) in
+  check_int "one line per distinct path" 2 (List.length folded_lines);
+  List.iter
+    (fun l ->
+      match String.rindex_opt l ' ' with
+      | Some i ->
+          let stack = String.sub l 0 i in
+          let v = String.sub l (i + 1) (String.length l - i - 1) in
+          check "semicolon stacks" true
+            (stack = "root" || stack = "root;child");
+          check "integer self-microseconds" true
+            (match int_of_string_opt v with Some v -> v >= 0 | None -> false)
+      | None -> Alcotest.failf "malformed folded line %S" l)
+    folded_lines
+
+let test_read_jsonl_skips_junk () =
+  let path = Filename.temp_file "obs_export" ".jsonl" in
+  let oc = open_out path in
+  output_string oc "{\"type\":\"span\",\"name\":\"a\",\"path\":\"a\"}\n";
+  output_string oc "\n";
+  output_string oc "not json at all\n";
+  output_string oc "{\"type\":\"metrics\"}\n";
+  close_out oc;
+  let events = Obs.Export.read_jsonl path in
+  Sys.remove path;
+  check_int "blank and unparsable lines skipped" 2 (List.length events)
+
 (* ---------- disabled observability is inert ---------- *)
 
 (* the memo cache must stay out of the way here: a cache hit legitimately
@@ -482,5 +699,22 @@ let () =
         ] );
       ( "trace",
         [ Alcotest.test_case "emit round-trip" `Quick test_trace_emit_roundtrip ] );
+      ( "gcstat",
+        [
+          Alcotest.test_case "delta semantics" `Quick test_gcstat_delta;
+          Alcotest.test_case "span gc attrs" `Quick test_span_gc_attrs;
+        ] );
+      ( "rusage",
+        [
+          Alcotest.test_case "status parsing" `Quick test_rusage_parsing;
+          Alcotest.test_case "live probes" `Quick test_rusage_probes;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome spans" `Quick test_chrome_export;
+          Alcotest.test_case "chrome counters" `Quick test_chrome_counters;
+          Alcotest.test_case "folded stacks" `Quick test_folded_output;
+          Alcotest.test_case "read_jsonl" `Quick test_read_jsonl_skips_junk;
+        ] );
       ("inert", qsuite [ prop_disabled_sink_inert ]);
     ]

@@ -6,28 +6,119 @@
      jsonl_check out.jsonl
      jsonl_check --require span,metrics,quality,trace_summary --min-spans 4 out.jsonl
 
-   Exit status 0 iff all checks hold; wired into `make bench-smoke`. *)
+   With --ledger the file is a bench ledger (BENCH_LEDGER.jsonl) instead:
+   every line must carry the versioned schema tag, a rev and an ISO date
+   (dates non-decreasing down the file), and an experiments list whose
+   entries have at least an id and a wall time.
+
+     jsonl_check --ledger BENCH_LEDGER.jsonl
+
+   Exit status 0 iff all checks hold; wired into `make bench-smoke` and
+   `make bench-regress-check`. *)
 
 let default_required = [ "span"; "metrics"; "quality"; "trace_summary" ]
+let ledger_schema = "bench-ledger/v2"
+
+let is_iso_date s =
+  String.length s = 10
+  && String.for_all (fun c -> c = '-' || (c >= '0' && c <= '9')) s
+  && s.[4] = '-'
+  && s.[7] = '-'
+
+let check_ledger file =
+  let ic = open_in file in
+  let lineno = ref 0 in
+  let entries = ref 0 in
+  let errors = ref 0 in
+  let last_date = ref "" in
+  let err fmt =
+    Printf.ksprintf
+      (fun msg ->
+        incr errors;
+        Printf.eprintf "%s:%d: %s\n" file !lineno msg)
+      fmt
+  in
+  let str name j = Option.bind (Obs.Sink.member name j) Obs.Sink.string_value in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then
+         match Obs.Sink.parse line with
+         | Error e -> err "parse error: %s" e
+         | Ok j ->
+             incr entries;
+             (match str "schema" j with
+             | Some s when s = ledger_schema -> ()
+             | Some s -> err "schema %S, expected %S" s ledger_schema
+             | None -> err "entry without a \"schema\" field");
+             (match str "rev" j with
+             | Some _ -> ()
+             | None -> err "entry without a \"rev\" field");
+             (match str "date" j with
+             | Some d when is_iso_date d ->
+                 (* ISO dates compare lexicographically *)
+                 if d < !last_date then
+                   err "date %s precedes %s on an earlier line (ledger must \
+                        be append-only)"
+                     d !last_date
+                 else last_date := d
+             | Some d -> err "malformed date %S (want YYYY-MM-DD)" d
+             | None -> err "entry without a \"date\" field");
+             (match Obs.Sink.member "total_ms" j with
+             | Some (Obs.Sink.Float _ | Obs.Sink.Int _) -> ()
+             | _ -> err "entry without a numeric \"total_ms\"");
+             (match Obs.Sink.member "experiments" j with
+             | Some (Obs.Sink.List exps) ->
+                 List.iteri
+                   (fun i e ->
+                     if str "id" e = None then
+                       err "experiments[%d] has no \"id\"" i
+                     else if Obs.Sink.member "wall_ms" e = None then
+                       err "experiments[%d] has no \"wall_ms\"" i)
+                   exps
+             | _ -> err "entry without an \"experiments\" list")
+     done
+   with End_of_file -> ());
+  close_in ic;
+  if !entries = 0 then begin
+    incr errors;
+    Printf.eprintf "%s: empty ledger\n" file
+  end;
+  if !errors = 0 then begin
+    Printf.printf "%s: OK — %d ledger entries, schema %s, dates monotone\n"
+      file !entries ledger_schema;
+    exit 0
+  end
+  else begin
+    Printf.eprintf "%s: %d problem(s)\n" file !errors;
+    exit 1
+  end
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse required min_spans file = function
+  let rec parse required min_spans ledger file = function
     | "--require" :: v :: rest ->
-        parse (String.split_on_char ',' v) min_spans file rest
-    | "--min-spans" :: v :: rest -> parse required (int_of_string v) file rest
-    | f :: rest -> parse required min_spans (Some f) rest
-    | [] -> (required, min_spans, file)
+        parse (String.split_on_char ',' v) min_spans ledger file rest
+    | "--min-spans" :: v :: rest ->
+        parse required (int_of_string v) ledger file rest
+    | "--ledger" :: rest -> parse required min_spans true file rest
+    | f :: rest -> parse required min_spans ledger (Some f) rest
+    | [] -> (required, min_spans, ledger, file)
   in
-  let required, min_spans, file = parse default_required 4 None args in
+  let required, min_spans, ledger, file =
+    parse default_required 4 false None args
+  in
   let file =
     match file with
     | Some f -> f
     | None ->
         prerr_endline
-          "usage: jsonl_check [--require t1,t2] [--min-spans N] FILE";
+          "usage: jsonl_check [--require t1,t2] [--min-spans N] [--ledger] \
+           FILE";
         exit 2
   in
+  if ledger then check_ledger file;
   let ic = open_in file in
   let seen_types = Hashtbl.create 8 in
   let span_names = Hashtbl.create 16 in
