@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check bench bench-record bench-bless bench-regress-check bench-smoke bench-par-check bench-cache-check bench-fault-check bench-scale-check clean
+.PHONY: all build test fmt check bench bench-record bench-bless bench-regress-check bench-smoke bench-par-check bench-cache-check bench-fault-check bench-scale-check bench-serve bench-serve-check clean
 
 all: build
 
@@ -23,6 +23,7 @@ check:
 	$(MAKE) bench-par-check
 	$(MAKE) bench-fault-check
 	$(MAKE) bench-scale-check
+	$(MAKE) bench-serve-check
 	$(MAKE) bench-regress-check
 
 bench:
@@ -30,16 +31,17 @@ bench:
 
 # append one machine-readable entry to the bench ledger: per-experiment
 # wall/gc/RSS/congestion, span totals with allocation, steady-state
-# alloc-per-round probes, and cache hit rates, stamped with the git rev and
-# date.  The ledger (BENCH_LEDGER.jsonl) is append-only — it replaces the
-# old point-in-time BENCH_pr4*.json artifacts, which live on as its two
-# oldest (historical) entries.
+# alloc-per-round probes, cache hit rates, and the SV1 serve section,
+# stamped with the git rev and date.  After appending, the ledger is
+# trimmed to the most recent blessed baseline plus the last two entries —
+# everything the regression gate can consult — so it stays ~3 lines.
 bench-record:
-	dune build bench/main.exe
+	dune build bench/main.exe tools/bench_diff.exe
 	./_build/default/bench/main.exe --no-timing --no-breakdown \
 	  --ledger BENCH_LEDGER.jsonl \
 	  --rev $$(git rev-parse --short HEAD 2>/dev/null || echo unknown) \
 	  --date $$(date -u +%Y-%m-%d)
+	./_build/default/tools/bench_diff.exe --trim BENCH_LEDGER.jsonl
 
 # promote the latest ledger entry to the regression-gate baseline — the
 # escape hatch after an intentional perf change (document it in the PR)
@@ -99,6 +101,30 @@ bench-cache-check:
 	grep -v -e '"type":"span"' -e '"type":"metrics"' /tmp/e1-cache.jsonl \
 	  | sed 's/"ts":[0-9.e-]*,//g' > /tmp/e1-cache-off.events
 	diff /tmp/e1-cache-on.events /tmp/e1-cache-off.events
+
+# open-loop serving benchmark (SV1): Poisson arrivals over the query fleet,
+# cold and warm phases, latency quantiles into the ledger's "serve" section
+bench-serve:
+	dune build bench/main.exe tools/jsonl_check.exe
+	rm -f /tmp/sv1-serve.jsonl /tmp/sv1-ledger.jsonl
+	./_build/default/bench/main.exe --only SV1 --no-timing --no-breakdown \
+	  --jsonl /tmp/sv1-serve.jsonl --ledger /tmp/sv1-ledger.jsonl \
+	  --rev $$(git rev-parse --short HEAD 2>/dev/null || echo unknown) \
+	  --date $$(date -u +%Y-%m-%d)
+
+# serving gate: a fixed-seed SV1 run must produce a well-formed latency
+# stream (every serve_query carries seq/graph/kind/latency, at least one
+# serve_summary with ordered quantiles) and a ledger entry whose "serve"
+# section validates.  The p99 bound is a sanity rail, not an SLO: steady
+# state sits near ~100ms on this container, so 5000ms only catches a
+# pathological server (lost batches, a stuck pool), never noise.
+bench-serve-check:
+	$(MAKE) bench-serve
+	./_build/default/tools/jsonl_check.exe \
+	  --require span,metrics,serve_query,serve_summary --min-spans 2 \
+	  --serve --max-p99 5000 /tmp/sv1-serve.jsonl
+	./_build/default/tools/jsonl_check.exe --ledger --require-serve \
+	  /tmp/sv1-ledger.jsonl
 
 # fault-injection determinism gate: the R-series robustness experiment runs
 # its whole fault schedule from named seeded streams, so two runs at the

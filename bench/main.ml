@@ -43,6 +43,9 @@ module Sp = Core.Spanning
 module P = Core.Part
 module Sc = Core.Shortcut
 module Q = Core.Quality
+module W = Serve.Workload
+module Sv = Serve.Server
+module L = Serve.Loadgen
 
 (* --json sink: every quality row and trace summary an experiment prints is
    also recorded here and written out at exit when --json was given.  Records
@@ -54,6 +57,10 @@ let current_section = ref ""
 
 (* --full-trace: include the per-round series in every trace record/event *)
 let full_trace = ref false
+
+(* --no-breakdown suppresses the per-experiment span timing tables and the
+   other wall-clock blocks — the only legitimately nondeterministic stdout *)
+let no_breakdown = ref false
 
 let section title =
   current_section := title;
@@ -1353,6 +1360,122 @@ let s1 () =
     families
 
 (* ------------------------------------------------------------------ *)
+(* SV1: shortcut-as-a-service — batched query serving, open-loop load  *)
+(* ------------------------------------------------------------------ *)
+
+(* the ledger's top-level "serve" section (qps, latency quantiles, reject
+   and cache-hit rates), filled when SV1 runs; Null when it didn't, and
+   bench_diff skips the serve gate unless both entries carry the section *)
+let serve_section : Obs.Sink.json ref = ref Obs.Sink.Null
+
+let sv1 () =
+  section "SV1 (serve): batched query serving under open-loop Poisson load";
+  let fleet = W.default_fleet in
+  let rate = 400.0 and queries = 160 and seed = 11 in
+  let cfg = Sv.default_config in
+  let events = L.schedule ~rate ~queries ~seed ~fleet in
+  Printf.printf
+    "fleet of %d graphs x 4 CONGEST primitives; %d queries at %.0f qps\n\
+     target (Poisson arrivals, seed %d); admission depth %d, batch cap %d.\n\
+     Latency and throughput are timing — they live in the breakdown block,\n\
+     the JSONL serve events and the ledger serve section, never here.\n"
+    (Array.length fleet) queries rate seed cfg.Sv.queue_depth cfg.Sv.batch_max;
+  subsection "schedule composition (deterministic)";
+  Printf.printf "%-18s %5s %5s %5s %7s | %5s\n" "graph" "bfs" "sssp" "mst"
+    "mincut" "total";
+  Array.iter
+    (fun spec ->
+      let count k =
+        List.length
+          (List.filter
+             (fun (e : L.event) ->
+               e.L.query.W.spec = spec && e.L.query.W.kind = k)
+             events)
+      in
+      let b = count W.Bfs and s = count W.Sssp in
+      let m = count W.Mst and c = count W.Mincut in
+      Printf.printf "%-18s %5d %5d %5d %7d | %5d\n" (W.spec_name spec) b s m
+        c (b + s + m + c))
+    fleet;
+  let run_load p =
+    let server = Sv.create ~config:cfg p in
+    (* cold: construction caches dropped first; warm: the identical
+       schedule replayed against a hot cache *)
+    Memo.clear ();
+    let cold, _ = L.run_phase ~name:"cold" ~server ~events in
+    let warm, _ = L.run_phase ~name:"warm" ~server ~events in
+    (server, cold, warm)
+  in
+  let server, cold, warm =
+    match !pool with
+    | Some p -> run_load p
+    | None -> Exec.Pool.with_pool ~jobs:1 run_load
+  in
+  subsection "served totals (deterministic: drain at the batch cap keeps \
+              the queue under the admission bound, so nothing is shed)";
+  Printf.printf "cold: submitted %d -> completed %d, rejected %d\n"
+    cold.L.submitted cold.L.completed cold.L.rejected;
+  Printf.printf "%-8s %8s %10s %14s\n" "kind" "queries" "rounds" "value";
+  List.iter
+    (fun (k, q, r, v) -> Printf.printf "%-8s %8d %10d %14.3f\n" k q r v)
+    cold.L.per_kind;
+  Printf.printf "warm phase serves the identical schedule: results match = %b\n"
+    (cold.L.per_kind = warm.L.per_kind && warm.L.rejected = 0);
+  subsection "backpressure (deterministic: a full queue sheds immediately)";
+  let tiny =
+    match !pool with
+    | Some p -> Sv.create ~config:{ Sv.queue_depth = 8; batch_max = 32 } p
+    | None -> assert false (* bench always runs experiments under a pool *)
+  in
+  let demo = { W.spec = W.Grid (12, 12); kind = W.Bfs; qseed = 0 } in
+  let accepted = ref 0 and rejected = ref 0 in
+  for _ = 1 to 12 do
+    match Sv.submit tiny demo with
+    | Sv.Accepted _ -> incr accepted
+    | Sv.Rejected -> incr rejected
+  done;
+  let served = Sv.drain tiny in
+  Printf.printf
+    "submitted 12 to a depth-8 queue without draining: accepted %d, shed %d\n\
+     (counted in serve.rejected); draining then served %d, seq order = %b\n"
+    !accepted !rejected (List.length served)
+    (List.mapi (fun i c -> c.Sv.seq = i) served |> List.for_all Fun.id);
+  if not !no_breakdown then begin
+    Printf.printf "\n-- serve load results (timing; excluded from byte-diff) --\n";
+    List.iter
+      (fun (ph : L.phase_stats) ->
+        Printf.printf
+          "%-5s %4d q in %8.1f ms  qps %7.1f  p50 %7.2f ms  p95 %7.2f  p99 \
+           %7.2f  max %7.2f  cache %3.0f%%  steals %d  hwm %d\n"
+          ph.L.phase ph.L.completed ph.L.wall_ms ph.L.qps ph.L.p50_ms
+          ph.L.p95_ms ph.L.p99_ms ph.L.max_ms
+          (100.0 *. ph.L.cache_hit_rate)
+          ph.L.steals ph.L.queue_hwm)
+      [ cold; warm ]
+  end;
+  let st = Sv.stats server in
+  let submitted = cold.L.submitted + warm.L.submitted in
+  serve_section :=
+    Obs.Sink.Obj
+      [
+        ("queries", Obs.Sink.Int st.Sv.completed);
+        (* headline metrics from the warm (steady-state, cache-hot) phase;
+           the full per-phase breakdown rides along underneath *)
+        ("qps", Obs.Sink.Float warm.L.qps);
+        ("p50_ms", Obs.Sink.Float warm.L.p50_ms);
+        ("p99_ms", Obs.Sink.Float warm.L.p99_ms);
+        ( "reject_rate",
+          Obs.Sink.Float
+            (if submitted > 0 then
+               float_of_int st.Sv.rejected /. float_of_int submitted
+             else 0.0) );
+        ("cache_hit_rate", Obs.Sink.Float warm.L.cache_hit_rate);
+        ("queue_hwm", Obs.Sink.Int st.Sv.queue_hwm);
+        ("steals", Obs.Sink.Int (cold.L.steals + warm.L.steals));
+        ("phases", Obs.Sink.List [ L.phase_json cold; L.phase_json warm ]);
+      ]
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1375,13 +1498,14 @@ let experiments =
     ("F7", "Figure 7: torus planarization", f7);
     ("R1", "robustness: deterministic fault injection", r1);
     ("S1", "scale: million-node CSR substrate (build/BFS/MST)", s1);
+    ("SV1", "serve: batched query serving, open-loop load", sv1);
   ]
 
 (* run one experiment under a root span, then print its phase breakdown from
    the span aggregation table and push a per-experiment metrics snapshot.
    The breakdown rows are wall-clock times — the one nondeterministic part
-   of stdout — so --no-breakdown suppresses them for byte-exact diffing *)
-let no_breakdown = ref false
+   of stdout — so --no-breakdown (declared up top) suppresses them for
+   byte-exact diffing. *)
 
 (* --record FILE: machine-readable one-shot benchmark record (the
    pre-ledger format; kept for ad-hoc comparisons — the gated artifact is
@@ -1678,6 +1802,7 @@ let () =
               ("experiments", Obs.Sink.List (List.rev !record_entries));
               ("alloc_probes", Obs.Sink.List probes);
               ("memo", Memo.stats_json ());
+              ("serve", !serve_section);
             ]
         in
         let oc = open_out path in
@@ -1722,6 +1847,7 @@ let () =
               ("experiments", Obs.Sink.List (List.rev !record_entries));
               ("alloc_probes", Obs.Sink.List probes);
               ("memo", Memo.stats_json ());
+              ("serve", !serve_section);
             ]
         in
         let oc =

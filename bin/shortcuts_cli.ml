@@ -247,6 +247,53 @@ let mincut no_cache edge_list file trees seed trials jobs trace_out =
     Printf.printf "exact (stoer-wagner) = %.6f\n" (Core.Mincut.stoer_wagner g w);
   0
 
+(* ---------- serve-bench ---------- *)
+
+let print_phase (s : Serve.Loadgen.phase_stats) =
+  Printf.printf
+    "-- phase %s --\nsubmitted = %d  accepted = %d  rejected = %d  completed \
+     = %d\n"
+    s.Serve.Loadgen.phase s.submitted s.accepted s.rejected s.completed;
+  Printf.printf "wall = %.1f ms  throughput = %.1f qps\n" s.wall_ms s.qps;
+  Printf.printf
+    "latency ms: mean %.2f  p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n" s.mean_ms
+    s.p50_ms s.p95_ms s.p99_ms s.max_ms;
+  Printf.printf
+    "cache: %d hits / %d misses (%.0f%% hit rate)  queue hwm = %d  steals = \
+     %d\n"
+    s.cache_hits s.cache_misses
+    (100.0 *. s.cache_hit_rate)
+    s.queue_hwm s.steals;
+  List.iter
+    (fun (k, q, r, v) ->
+      Printf.printf "  %-8s %4d queries  %6d rounds  value %.3f\n" k q r v)
+    s.per_kind
+
+let serve_bench no_cache rate queries depth batch seed jobs trace_out =
+  if no_cache then Memo.set_enabled false;
+  if rate <= 0.0 then failwith "--rate must be positive";
+  with_obs trace_out @@ fun () ->
+  let events =
+    Serve.Loadgen.schedule ~rate ~queries ~seed
+      ~fleet:Serve.Workload.default_fleet
+  in
+  Printf.printf "serve-bench: %d queries at %.0f qps (seed %d, depth %d, \
+                 batch %d, jobs %d)\n"
+    queries rate seed depth batch jobs;
+  Exec.Pool.with_pool ~jobs @@ fun pool ->
+  let server =
+    Serve.Server.create
+      ~config:{ Serve.Server.queue_depth = depth; batch_max = batch }
+      pool
+  in
+  (* same schedule twice: the cold phase pays every graph construction,
+     the warm phase measures steady-state serving out of the memo cache *)
+  let cold, _ = Serve.Loadgen.run_phase ~name:"cold" ~server ~events in
+  print_phase cold;
+  let warm, _ = Serve.Loadgen.run_phase ~name:"warm" ~server ~events in
+  print_phase warm;
+  0
+
 (* ---------- report ---------- *)
 
 (* aggregate span rows of a JSONL file by path; value = calls, total, self *)
@@ -264,6 +311,8 @@ let report file chrome_out flame_out =
   let spans : (string, span_row) Hashtbl.t = Hashtbl.create 64 in
   let counters : (string, int) Hashtbl.t = Hashtbl.create 16 in
   let by_type : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let serve_summaries = ref [] (* serve_summary events, file order *) in
+  let serve_latencies = ref [] (* serve_query latency_ms values *) in
   let bad = ref 0 and lines = ref 0 in
   let str field j = Option.bind (S.member field j) S.string_value in
   let num field j = Option.bind (S.member field j) S.float_value in
@@ -331,6 +380,11 @@ let report file chrome_out flame_out =
              match t with
              | "span" -> handle_span j
              | "metrics" -> handle_metrics j
+             | "serve_summary" -> serve_summaries := j :: !serve_summaries
+             | "serve_query" -> (
+                 match num "latency_ms" j with
+                 | Some l -> serve_latencies := l :: !serve_latencies
+                 | None -> incr bad)
              | _ -> ())
        end
      done
@@ -365,6 +419,52 @@ let report file chrome_out flame_out =
       "\nmemo cache: %d hits / %d misses / %d evictions (%.0f%% hit rate)\n" hits
       misses (c "memo.evictions")
       (100.0 *. float_of_int hits /. float_of_int (hits + misses));
+  (* query-serving activity, if the trace came from serve-bench / SV1 *)
+  if !serve_summaries <> [] || !serve_latencies <> [] then begin
+    let summaries = List.rev !serve_summaries in
+    if summaries <> [] then begin
+      Printf.printf "\n%-10s %10s %10s %10s %10s %10s %8s\n" "serve phase"
+        "completed" "qps" "p50 ms" "p95 ms" "p99 ms" "shed";
+      List.iter
+        (fun s ->
+          let f field = Option.value (num field s) ~default:0.0 in
+          let i field =
+            Option.value
+              (Option.bind (S.member field s) S.int_value)
+              ~default:0
+          in
+          Printf.printf "%-10s %10d %10.1f %10.2f %10.2f %10.2f %8d\n"
+            (Option.value (str "phase" s) ~default:"?")
+            (i "completed") (f "qps") (f "p50_ms") (f "p95_ms") (f "p99_ms")
+            (i "rejected"))
+        summaries;
+      let hwm =
+        List.fold_left
+          (fun acc s ->
+            max acc
+              (Option.value
+                 (Option.bind (S.member "queue_hwm" s) S.int_value)
+                 ~default:0))
+          0 summaries
+      in
+      Printf.printf "queue depth high-water mark = %d\n" hwm
+    end;
+    (* overall quantiles recomputed from the raw per-query events, across
+       every phase in the file — the summaries only carry per-phase ones *)
+    let lat = Array.of_list !serve_latencies in
+    if Array.length lat > 0 then begin
+      let p = Serve.Loadgen.percentile lat in
+      Printf.printf
+        "all %d served queries: p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  max \
+         %.2f ms\n"
+        (Array.length lat) (p 50.0) (p 95.0) (p 99.0)
+        (Array.fold_left Float.max 0.0 lat)
+    end;
+    Printf.printf
+      "server counters: %d accepted, %d rejected, %d batches, %d pool steals\n"
+      (c "serve.accepted") (c "serve.rejected") (c "serve.batches")
+      (c "exec.pool.steals")
+  end;
   (* fault-injection activity, if any faulty Network.run was recorded *)
   let fault_runs = c "faults.runs" in
   if fault_runs > 0 then
@@ -514,6 +614,41 @@ let mincut_cmd =
     (Cmd.info "mincut" ~doc:"Approximate min-cut; exact verification on small inputs.")
     Term.(const mincut $ no_cache_arg $ edge_list_arg $ file_arg $ trees $ seed_arg $ trials_arg $ jobs_arg $ trace_arg)
 
+let serve_bench_cmd =
+  let rate =
+    Arg.(
+      value & opt float 400.0
+      & info [ "rate" ] ~doc:"Offered load in queries per second.")
+  in
+  let queries =
+    Arg.(
+      value & opt int 160
+      & info [ "queries" ] ~doc:"Queries per phase (cold, then warm).")
+  in
+  let depth =
+    Arg.(
+      value & opt int 256
+      & info [ "depth" ]
+          ~doc:"Admission queue depth; arrivals beyond it are shed and \
+                counted as rejected.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 64
+      & info [ "batch" ] ~doc:"Maximum queries per served batch.")
+  in
+  Cmd.v
+    (Cmd.info "serve-bench"
+       ~doc:
+         "Open-loop load benchmark of the batched query server: a \
+          deterministic Poisson schedule over the built-in graph fleet, run \
+          cold then warm, reporting throughput, latency quantiles \
+          (p50/p95/p99 against scheduled arrival times), cache hit rates \
+          and shed load.  Inspect a --trace file with $(b,report).")
+    Term.(
+      const serve_bench $ no_cache_arg $ rate $ queries $ depth $ batch
+      $ seed_arg $ jobs_arg $ trace_arg)
+
 let report_cmd =
   let chrome_arg =
     Arg.(
@@ -543,5 +678,5 @@ let report_cmd =
 
 let () =
   let doc = "low-congestion shortcuts on excluded-minor networks" in
-  let main = Cmd.group (Cmd.info "shortcuts-cli" ~doc) [ gen_cmd; info_cmd; quality_cmd; mst_cmd; mincut_cmd; report_cmd ] in
+  let main = Cmd.group (Cmd.info "shortcuts-cli" ~doc) [ gen_cmd; info_cmd; quality_cmd; mst_cmd; mincut_cmd; serve_bench_cmd; report_cmd ] in
   exit (Cmd.eval' main)

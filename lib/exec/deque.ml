@@ -1,0 +1,49 @@
+(* Chase–Lev deque, fixed capacity, int items.  See deque.mli for the
+   usage restrictions that let this stay this small: the buffer is written
+   only by pre-share owner pushes, so the shared-phase data race surface is
+   exactly the two Atomic counters. *)
+
+type t = {
+  buf : int array; (* read-only while shared; see mli *)
+  bottom : int Atomic.t; (* next owner slot; owner writes, thieves read *)
+  top : int Atomic.t; (* next thief slot; CAS by thieves and final pop *)
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Deque.create: capacity < 1";
+  { buf = Array.make capacity 0; bottom = Atomic.make 0; top = Atomic.make 0 }
+
+let push q x =
+  let b = Atomic.get q.bottom in
+  if b - Atomic.get q.top >= Array.length q.buf then
+    invalid_arg "Deque.push: full";
+  q.buf.(b mod Array.length q.buf) <- x;
+  Atomic.set q.bottom (b + 1)
+
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if t > b then begin
+    (* empty: restore the canonical bottom = top state *)
+    Atomic.set q.bottom (b + 1);
+    None
+  end
+  else if t = b then begin
+    (* last item: race thieves for it via the top counter *)
+    let won = Atomic.compare_and_set q.top t (t + 1) in
+    Atomic.set q.bottom (b + 1);
+    if won then Some q.buf.(b mod Array.length q.buf) else None
+  end
+  else Some q.buf.(b mod Array.length q.buf)
+
+let steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if t >= b then `Empty
+  else begin
+    let x = q.buf.(t mod Array.length q.buf) in
+    if Atomic.compare_and_set q.top t (t + 1) then `Stolen x else `Retry
+  end
+
+let size_hint q = max 0 (Atomic.get q.bottom - Atomic.get q.top)

@@ -1,0 +1,43 @@
+(** Chase–Lev work-stealing deque over cell indices.
+
+    One deque per pool slice: the owning domain pushes and pops at the
+    bottom (LIFO for the owner), thieves steal single items from the top
+    with a CAS on the [top] counter.  The classic algorithm, specialized to
+    the pool's usage:
+
+    - items are plain [int] cell indices;
+    - capacity is fixed at creation — {!push} never grows the buffer.  The
+      pool seeds each deque with its whole contiguous chunk before any
+      other domain can observe it, and nobody pushes after dispatch, so the
+      circular-buffer growth path of the general algorithm is dead code
+      here and is omitted;
+    - {!push} is owner-only and must not race with {!pop}/{!steal}.  In the
+      pool, seeding happens before the worker handoff (the mailbox mutex
+      publishes the seeded buffer), which makes the buffer contents
+      read-only while the deque is shared — only [bottom]/[top] move.
+
+    Seeding a chunk \[lo, hi) by pushing indices from [hi - 1] down to [lo]
+    makes the owner {!pop} cells in increasing index order (matching the
+    old static-chunk sweep) while thieves {!steal} from the high end. *)
+
+type t
+
+val create : capacity:int -> t
+(** An empty deque holding at most [capacity] items ([capacity >= 1]). *)
+
+val push : t -> int -> unit
+(** Owner-only, and only before the deque is shared.  @raise Invalid_argument
+    when full. *)
+
+val pop : t -> int option
+(** Owner takes from the bottom; [None] when empty.  Safe against
+    concurrent {!steal}s: the last remaining item is resolved by a CAS race
+    that exactly one side wins. *)
+
+val steal : t -> [ `Stolen of int | `Empty | `Retry ]
+(** Thief takes from the top.  [`Retry] means the CAS lost to a concurrent
+    {!pop}/{!steal} — the caller may try again; [`Empty] is a stable answer
+    for the observed snapshot. *)
+
+val size_hint : t -> int
+(** Racy size estimate (bottom - top clamped at 0); exact when quiescent. *)

@@ -1,19 +1,30 @@
-(* Fixed-size domain pool, stdlib-only (Domain + Mutex + Condition).
+(* Fixed-size domain pool, stdlib-only (Domain + Mutex + Condition + Atomic).
 
    Workers are spawned once at [create] and parked on a condition variable;
-   each [map_cells] hands every worker at most one closure (its whole
-   contiguous chunk), so scheduling is static and deterministic — no work
-   stealing, no atomics on the data path.  The mailbox mutex provides the
-   happens-before edges both ways: everything the caller wrote before
-   submitting (cell array, obs enable flags, installed sink) is visible to
-   the worker, and everything the worker wrote (results, captured obs
-   state) is visible to the caller after the join. *)
+   each [map_cells] seeds one work-stealing deque per slice with a
+   contiguous chunk of cell indices and hands every worker one closure (its
+   slice loop).  A slice drains its own deque bottom-up — increasing cell
+   index, like the old static chunk sweep — and then forages: it steals
+   single cells from the top (high-index end) of other slices' deques until
+   a full scan finds them all empty.  Skewed per-cell costs therefore
+   rebalance dynamically, while determinism is untouched because results
+   land in an index-addressed array and every observable merge is either
+   commutative (counters, histograms, span tables) or rank-resolved
+   (gauges, via [Obs.Metrics.set_merge_rank]).
+
+   The mailbox mutex provides the happens-before edges both ways:
+   everything the caller wrote before submitting (cell array, seeded
+   deques, obs enable flags, installed sink) is visible to the worker, and
+   everything the worker wrote (results, captured obs state, a crash
+   report) is visible to the caller after the join. *)
 
 type mailbox = {
   m : Mutex.t;
   cv : Condition.t;
   mutable work : (unit -> unit) option;
   mutable stop : bool;
+  mutable crashed : (exn * Printexc.raw_backtrace) option;
+      (* a task that escaped its closure; the worker survives it *)
 }
 
 type t = {
@@ -21,9 +32,12 @@ type t = {
   boxes : mailbox array; (* length jobs - 1 *)
   domains : unit Domain.t array;
   mutable live : bool;
+  steals : int Atomic.t;
 }
 
+let steals_c = Obs.Metrics.counter "exec.pool.steals"
 let jobs t = t.jobs
+let steal_count t = Atomic.get t.steals
 
 let worker_loop box =
   let rec loop () =
@@ -36,8 +50,18 @@ let worker_loop box =
     in
     match task with
     | Some f ->
-        f ();
+        (* run outside the lock; a task that raises must still clear the
+           mailbox and wake the caller, or the pool deadlocks with every
+           other domain parked — the crash is published for the caller to
+           re-raise after the join *)
+        let crash =
+          try
+            f ();
+            None
+          with e -> Some (e, Printexc.get_raw_backtrace ())
+        in
         Mutex.protect box.m (fun () ->
+            (match crash with Some c -> box.crashed <- Some c | None -> ());
             box.work <- None;
             Condition.broadcast box.cv);
         loop ()
@@ -54,12 +78,13 @@ let create ~jobs =
           cv = Condition.create ();
           work = None;
           stop = false;
+          crashed = None;
         })
   in
   let domains =
     Array.map (fun box -> Domain.spawn (fun () -> worker_loop box)) boxes
   in
-  { jobs; boxes; domains; live = true }
+  { jobs; boxes; domains; live = true; steals = Atomic.make 0 }
 
 let shutdown t =
   if t.live then begin
@@ -70,7 +95,18 @@ let shutdown t =
             box.stop <- true;
             Condition.broadcast box.cv))
       t.boxes;
-    Array.iter Domain.join t.domains
+    (* join every domain before re-raising anything: bailing out on the
+       first failed join would leak still-running domains *)
+    let first = ref None in
+    Array.iter
+      (fun d ->
+        try Domain.join d
+        with e ->
+          if !first = None then first := Some (e, Printexc.get_raw_backtrace ()))
+      t.domains;
+    match !first with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
   end
 
 let with_pool ~jobs f =
@@ -111,32 +147,92 @@ let map_cells (type b) t ~f (cells : 'a array) : b array =
       in
       let snaps : Obs.domain_state option array = Array.make slices None in
       let ctx = Obs.Span.fork_context () in
-      let run_chunk s =
-        let lo = chunk_offset n slices s and hi = chunk_offset n slices (s + 1) in
-        let i = ref lo in
-        (try
-           while !i < hi do
-             results.(!i) <- Some (f !i cells.(!i));
-             incr i
-           done
-         with e ->
-           fails.(s) <- Some (!i, e, Printexc.get_raw_backtrace ()));
+      let steals0 = Atomic.get t.steals in
+      Obs.Metrics.reset_merge_ranks ();
+      (* seed slice [s] with its chunk pushed high-to-low: the owner pops
+         cells in increasing index order, thieves steal from the high end *)
+      let deques =
+        Array.init slices (fun s ->
+            let lo = chunk_offset n slices s
+            and hi = chunk_offset n slices (s + 1) in
+            let d = Deque.create ~capacity:(hi - lo) in
+            for i = hi - 1 downto lo do
+              Deque.push d i
+            done;
+            d)
+      in
+      (* slice [s] executes cell [i]: the failure slot is per-slice (only
+         domain [s] writes it) and keeps the lowest raising cell index, so
+         the global minimum over slices is exactly the cell a sequential
+         sweep would have raised from *)
+      let exec s i =
+        Obs.Metrics.set_merge_rank i;
+        try results.(i) <- Some (f i cells.(i))
+        with e -> (
+          let bt = Printexc.get_raw_backtrace () in
+          match fails.(s) with
+          | Some (j, _, _) when j <= i -> ()
+          | _ -> fails.(s) <- Some (i, e, bt))
+      in
+      let run_slice s =
+        let own = deques.(s) in
+        let rec drain () =
+          match Deque.pop own with
+          | Some i ->
+              exec s i;
+              drain ()
+          | None -> ()
+        in
+        drain ();
+        (* forage until a full scan of the other deques comes back empty;
+           a lost CAS ([`Retry]) means someone else just took an item, so
+           progress is global and the rescan terminates *)
+        let misses = ref 0 and v = ref ((s + 1) mod slices) in
+        while !misses < slices - 1 do
+          if !v = s then v := (!v + 1) mod slices
+          else
+            match Deque.steal deques.(!v) with
+            | `Stolen i ->
+                Atomic.incr t.steals;
+                exec s i;
+                misses := 0 (* same victim may have more *)
+            | `Retry ->
+                misses := 0;
+                Domain.cpu_relax ();
+                v := (!v + 1) mod slices
+            | `Empty ->
+                incr misses;
+                v := (!v + 1) mod slices
+        done;
+        Obs.Metrics.clear_merge_rank ();
         if s > 0 then snaps.(s) <- Some (Obs.capture_domain ())
       in
-      (* dispatch chunks 1.. to the workers, run chunk 0 here *)
+      (* dispatch slices 1.. to the workers, run slice 0 here *)
       for s = 1 to slices - 1 do
         let box = t.boxes.(s - 1) in
         submit box (fun () ->
             Obs.Span.adopt ctx;
-            run_chunk s)
+            run_slice s)
       done;
-      run_chunk 0;
+      run_slice 0;
       for s = 1 to slices - 1 do
         await t.boxes.(s - 1)
       done;
-      (* merge worker obs state in chunk order: deterministic, and equal to
-         the sequential accumulation order *)
+      (* merge worker obs state in slice order: deterministic, and (with
+         gauge ranks) equal to the sequential accumulation *)
       Array.iter (Option.iter Obs.absorb_domain) snaps;
+      let stolen = Atomic.get t.steals - steals0 in
+      if stolen > 0 then Obs.Metrics.add steals_c stolen;
+      (* an infrastructure crash (a slice loop escaping, not a cell): keep
+         the boxes clean and remember the lowest-slice one *)
+      let crash = ref None in
+      for s = 1 to slices - 1 do
+        let box = t.boxes.(s - 1) in
+        (match box.crashed with
+        | Some c when !crash = None -> crash := Some c
+        | _ -> ());
+        box.crashed <- None
+      done;
       (* re-raise the failure of the lowest-indexed raising cell, matching
          what a sequential left-to-right loop would have thrown *)
       let first_fail =
@@ -148,9 +244,10 @@ let map_cells (type b) t ~f (cells : 'a array) : b array =
             | acc, _ -> acc)
           None fails
       in
-      match first_fail with
-      | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
-      | None ->
+      match (first_fail, !crash) with
+      | Some (_, e, bt), _ | None, Some (e, bt) ->
+          Printexc.raise_with_backtrace e bt
+      | None, None ->
           Array.map
             (function
               | Some r -> r

@@ -1,25 +1,35 @@
-(** Fixed-size domain pool with deterministic chunked scheduling.
+(** Fixed-size domain pool with deterministic work-stealing scheduling.
 
     The experiment fabric: a sweep is a list of independent cells (one
-    graph/parameter/seed combination each); {!map_cells} slices the cell
-    array into [jobs] contiguous, balanced chunks, runs chunk 0 on the
-    calling domain and the rest on persistent worker domains, and returns
-    results indexed exactly like the input.  Determinism contract: every
-    cell computes from its own inputs (its own seed, no shared mutable
-    state), so the result array — and anything the caller prints from it in
-    index order — is byte-identical whatever the job count.
+    graph/parameter/seed combination each); {!map_cells} seeds one
+    Chase–Lev deque per slice with a contiguous, balanced chunk of cell
+    indices, runs slice 0 on the calling domain and the rest on persistent
+    worker domains, and returns results indexed exactly like the input.
+    A slice drains its own deque in increasing cell order and then steals
+    single cells from the high-index end of other slices' deques, so
+    skewed per-cell costs rebalance dynamically instead of serializing on
+    the slowest static chunk.
+
+    Determinism contract: every cell computes from its own inputs (its own
+    seed, no shared mutable state) and every result lands in an
+    index-addressed slot, so the result array — and anything the caller
+    prints from it in index order — is byte-identical whatever the job
+    count and whatever the steal schedule.
 
     Observability integrates at the join: workers adopt the caller's open
     span context before running ({!Obs.Span.adopt}) and their span tables,
-    metric stores, and buffered sink lines are captured when their chunk
-    ends and absorbed into the calling domain in chunk order
-    ({!Obs.capture_domain}/{!Obs.absorb_domain}), so counters, histograms
-    and last-writer gauges merge to the same values sequential execution
-    produces.
+    metric stores, and buffered sink lines are captured when their slice
+    ends and absorbed into the calling domain in slice order
+    ({!Obs.capture_domain}/{!Obs.absorb_domain}).  Counters, histograms and
+    span tables merge commutatively; gauges — last-writer-wins, the one
+    order-sensitive merge — are ranked by cell index
+    ({!Obs.Metrics.set_merge_rank} brackets every cell), so the merged
+    value is the highest-indexed writing cell's, identical to sequential
+    execution no matter which domain stole which cell.
 
-    With [jobs = 1] (or a single cell) no domain is ever involved: the
-    cells run inline on the calling domain, making [-j 1] bit-identical to
-    code that never heard of the pool. *)
+    With [jobs = 1] (or a single cell) no domain and no deque is ever
+    involved: the cells run inline on the calling domain, making [-j 1]
+    bit-identical to code that never heard of the pool. *)
 
 type t
 
@@ -30,8 +40,17 @@ val create : jobs:int -> t
 
 val jobs : t -> int
 
+val steal_count : t -> int
+(** Total cells executed by a slice other than the one they were seeded
+    into, over the pool's lifetime.  Timing-dependent (any value from 0 to
+    the number of dispatched cells is legal); also accumulated into the
+    ["exec.pool.steals"] metrics counter per sweep. *)
+
 val shutdown : t -> unit
-(** Stop and join the worker domains.  Idempotent; the pool must not be
+(** Stop and join the worker domains — all of them, even when a join
+    re-raises a worker's uncaught exception; the first (lowest-index)
+    exception is re-raised after every domain is joined, so no domain is
+    ever leaked parked on its mailbox.  Idempotent; the pool must not be
     used afterwards. *)
 
 val with_pool : jobs:int -> (t -> 'a) -> 'a
@@ -41,15 +60,19 @@ val with_pool : jobs:int -> (t -> 'a) -> 'a
 val map_cells : t -> f:(int -> 'a -> 'b) -> 'a array -> 'b array
 (** [map_cells t ~f cells] computes [f i cells.(i)] for every [i] and
     returns the results in input order.  [f] runs on the calling domain for
-    chunk 0 and on worker domains otherwise; it must not touch mutable
-    state shared with other cells (print, grow caller-side refs, use the
-    global [Random] state, ...) — return data instead and let the caller
-    emit it in order.  Observability (spans, metrics, sink events) is safe
-    anywhere.
+    slice 0 and on worker domains otherwise (any cell may migrate to any
+    slice by stealing); it must not touch mutable state shared with other
+    cells (print, grow caller-side refs, use the global [Random] state,
+    ...) — return data instead and let the caller emit it in order.
+    Observability (spans, metrics, sink events) is safe anywhere.
 
-    If cells raise, the exception of the lowest-indexed raising cell is
-    re-raised (with its backtrace) after all chunks finish and worker
-    observability state is absorbed. *)
+    If cells raise, every remaining cell still runs, and the exception of
+    the lowest-indexed raising cell is re-raised (with its backtrace) after
+    all slices finish and worker observability state is absorbed.  A task
+    closure that fails outside any cell (infrastructure failure) is
+    re-raised only when no cell failed, and can never leave worker domains
+    parked: the mailbox is always cleared and the crash published to the
+    caller. *)
 
 val map_list : t -> f:('a -> 'b) -> 'a list -> 'b list
 (** List-flavored {!map_cells} (cell index dropped), for callers whose

@@ -64,15 +64,27 @@ type store = {
   mutable counts : int array; (* indexed by cid; 0 beyond length *)
   mutable gvals : float array; (* indexed by gid *)
   mutable gtouched : bool array;
+  mutable gseq : int array; (* merge rank of the last write; -1 = unranked *)
   mutable hists : hstate option array; (* indexed by hid *)
 }
 
 type snapshot = store
 
 let fresh_store () =
-  { counts = [||]; gvals = [||]; gtouched = [||]; hists = [||] }
+  { counts = [||]; gvals = [||]; gtouched = [||]; gseq = [||]; hists = [||] }
 
 let store_key = Domain.DLS.new_key fresh_store
+
+(* Merge rank of the cell this domain is currently running for [Exec.Pool],
+   or -1 outside any cell.  With work stealing, which domain runs which cell
+   is timing-dependent; ranking every gauge write by its cell index (and
+   letting the highest rank win at [absorb]) reproduces the last-writer-wins
+   outcome of a sequential left-to-right sweep no matter where each cell
+   actually ran. *)
+let rank_key = Domain.DLS.new_key (fun () -> ref (-1))
+
+let set_merge_rank i = Domain.DLS.get rank_key := i
+let clear_merge_rank () = Domain.DLS.get rank_key := -1
 
 let grown len old fill =
   let b = Array.make (max len ((2 * Array.length old) + 8)) fill in
@@ -85,7 +97,8 @@ let ensure_counter s id =
 let ensure_gauge s id =
   if Array.length s.gvals <= id then begin
     s.gvals <- grown (id + 1) s.gvals 0.0;
-    s.gtouched <- grown (id + 1) s.gtouched false
+    s.gtouched <- grown (id + 1) s.gtouched false;
+    s.gseq <- grown (id + 1) s.gseq (-1)
   end
 
 let ensure_hist s id =
@@ -122,8 +135,19 @@ let count c =
 let set g v =
   let s = Domain.DLS.get store_key in
   ensure_gauge s g.gid;
-  s.gvals.(g.gid) <- v;
-  s.gtouched.(g.gid) <- true
+  let rank = !(Domain.DLS.get rank_key) in
+  if rank < 0 then begin
+    (* unranked write (outside any pool cell): unconditional, and it clears
+       any lingering rank so later pool sweeps start from a clean slate *)
+    s.gvals.(g.gid) <- v;
+    s.gtouched.(g.gid) <- true;
+    s.gseq.(g.gid) <- -1
+  end
+  else if (not s.gtouched.(g.gid)) || rank >= s.gseq.(g.gid) then begin
+    s.gvals.(g.gid) <- v;
+    s.gtouched.(g.gid) <- true;
+    s.gseq.(g.gid) <- rank
+  end
 
 let gauge_value g =
   let s = Domain.DLS.get store_key in
@@ -161,6 +185,13 @@ let bucket_counts h =
 
 let reset () = Domain.DLS.set store_key (fresh_store ())
 
+(* called by [Exec.Pool] on the owning domain before a parallel sweep:
+   ranks are meaningful within one sweep only, so stale ranks from an
+   earlier sweep must not outrank the new sweep's cells *)
+let reset_merge_ranks () =
+  let s = Domain.DLS.get store_key in
+  Array.fill s.gseq 0 (Array.length s.gseq) (-1)
+
 (* ---------------- capture / absorb (pool-join merge) ---------------- *)
 
 let capture () =
@@ -177,14 +208,20 @@ let absorb (snap : snapshot) =
         s.counts.(i) <- s.counts.(i) + v
       end)
     snap.counts;
-  (* a touched gauge overrides: absorbing snapshots in canonical slice order
-     reproduces the last-writer-wins outcome of sequential execution *)
+  (* a touched gauge overrides iff its merge rank is >= the one already
+     held: ranked (per-cell) writes resolve by cell index, so the highest
+     cell index wins whatever domain ran it — the last-writer-wins outcome
+     of sequential execution.  Unranked-vs-unranked ties (both -1) keep the
+     override-in-absorb-order behavior of the pre-rank code. *)
   Array.iteri
     (fun i touched ->
       if touched then begin
         ensure_gauge s i;
-        s.gvals.(i) <- snap.gvals.(i);
-        s.gtouched.(i) <- true
+        if (not s.gtouched.(i)) || snap.gseq.(i) >= s.gseq.(i) then begin
+          s.gvals.(i) <- snap.gvals.(i);
+          s.gtouched.(i) <- true;
+          s.gseq.(i) <- snap.gseq.(i)
+        end
       end)
     snap.gtouched;
   Array.iteri

@@ -48,6 +48,29 @@ val reset : unit -> unit
 (** Zero the calling domain's values; registrations (and handles held by
     instrumented modules) stay valid. *)
 
+(** {1 Gauge merge ranks}
+
+    Used by [Exec.Pool]'s work-stealing scheduler.  Counters and histograms
+    merge commutatively, but a gauge is last-writer-wins — the one merge
+    whose outcome depends on execution order.  The pool brackets every cell
+    with {!set_merge_rank} (the cell's index) so each gauge write carries
+    the rank of the cell that made it; {!absorb} then lets the highest rank
+    win, reproducing the sequential left-to-right outcome regardless of
+    which domain ran which cell.  Writes made outside any cell are unranked
+    and behave exactly as before ranks existed. *)
+
+val set_merge_rank : int -> unit
+(** Rank every subsequent gauge write on this domain with cell index [i]
+    (must be [>= 0]) until {!clear_merge_rank}. *)
+
+val clear_merge_rank : unit -> unit
+(** Back to unranked writes on this domain. *)
+
+val reset_merge_ranks : unit -> unit
+(** Forget the ranks stored in the calling domain's gauge values (values
+    are kept).  The pool calls this before each parallel sweep: ranks only
+    order writes within one sweep. *)
+
 (** {1 Pool-join merge}
 
     Used by [Exec.Pool]; see {!Obs.capture_domain}. *)

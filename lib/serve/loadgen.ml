@@ -1,0 +1,178 @@
+type event = { at_ms : float; query : Workload.query }
+
+let schedule ~rate ~queries ~seed ~fleet =
+  if rate <= 0.0 then invalid_arg "Loadgen.schedule: rate <= 0";
+  if Array.length fleet = 0 then invalid_arg "Loadgen.schedule: empty fleet";
+  let arrivals = Faults.Rng.named ~seed "serve.arrivals" in
+  let mix = Faults.Rng.named ~seed "serve.mix" in
+  let t = ref 0.0 in
+  let rec build i acc =
+    if i = queries then List.rev acc
+    else begin
+      (* exponential gap: -ln(1-u)/rate seconds at [rate] qps *)
+      let u = Random.State.float arrivals 1.0 in
+      t := !t +. (-.log (1.0 -. u) /. rate *. 1000.0);
+      let spec = fleet.(Random.State.int mix (Array.length fleet)) in
+      let kind =
+        match Random.State.int mix 10 with
+        | 0 | 1 | 2 | 3 -> Workload.Bfs
+        | 4 | 5 | 6 -> Workload.Sssp
+        | 7 | 8 -> Workload.Mst
+        | _ -> Workload.Mincut
+      in
+      let qseed = Random.State.int mix 4 in
+      build (i + 1)
+        ({ at_ms = !t; query = { Workload.spec; kind; qseed } } :: acc)
+    end
+  in
+  build 0 []
+
+type phase_stats = {
+  phase : string;
+  submitted : int;
+  accepted : int;
+  rejected : int;
+  completed : int;
+  wall_ms : float;
+  qps : float;
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  cache_hits : int;
+  cache_misses : int;
+  cache_hit_rate : float;
+  queue_hwm : int;
+  steals : int;
+  per_kind : (string * int * int * float) list;
+}
+
+let percentile values p =
+  let n = Array.length values in
+  if n = 0 then 0.0
+  else begin
+    let sorted = Array.copy values in
+    Array.sort compare sorted;
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let per_kind_totals completions =
+  List.fold_left
+    (fun acc (c : Server.completion) ->
+      let k = Workload.kind_name c.Server.query.Workload.kind in
+      let q, r, v =
+        match List.assoc_opt k acc with Some t -> t | None -> (0, 0, 0.0)
+      in
+      (k, (q + 1, r + c.Server.response.Workload.rounds, v +. c.Server.response.Workload.value))
+      :: List.remove_assoc k acc)
+    [] completions
+  |> List.sort compare
+  |> List.map (fun (k, (q, r, v)) -> (k, q, r, v))
+
+let phase_json s =
+  Obs.Sink.Obj
+    [
+      ("phase", Obs.Sink.String s.phase);
+      ("submitted", Obs.Sink.Int s.submitted);
+      ("accepted", Obs.Sink.Int s.accepted);
+      ("rejected", Obs.Sink.Int s.rejected);
+      ("completed", Obs.Sink.Int s.completed);
+      ("wall_ms", Obs.Sink.Float s.wall_ms);
+      ("qps", Obs.Sink.Float s.qps);
+      ("mean_ms", Obs.Sink.Float s.mean_ms);
+      ("p50_ms", Obs.Sink.Float s.p50_ms);
+      ("p95_ms", Obs.Sink.Float s.p95_ms);
+      ("p99_ms", Obs.Sink.Float s.p99_ms);
+      ("max_ms", Obs.Sink.Float s.max_ms);
+      ("cache_hits", Obs.Sink.Int s.cache_hits);
+      ("cache_misses", Obs.Sink.Int s.cache_misses);
+      ("cache_hit_rate", Obs.Sink.Float s.cache_hit_rate);
+      ("queue_hwm", Obs.Sink.Int s.queue_hwm);
+      ("steals", Obs.Sink.Int s.steals);
+      ( "per_kind",
+        Obs.Sink.List
+          (List.map
+             (fun (k, q, r, v) ->
+               Obs.Sink.Obj
+                 [
+                   ("kind", Obs.Sink.String k);
+                   ("queries", Obs.Sink.Int q);
+                   ("rounds", Obs.Sink.Int r);
+                   ("value", Obs.Sink.Float v);
+                 ])
+             s.per_kind) );
+    ]
+
+let run_phase ~name ~server ~events =
+  let s0 = Server.stats server in
+  let m0 = Memo.stats () in
+  let steals0 = Exec.Pool.steal_count (Server.pool server) in
+  let batch_max = (Server.config server).Server.batch_max in
+  let t0 = Obs.Clock.now_ns () in
+  let completions = ref [] in
+  let collect cs = if cs <> [] then completions := cs :: !completions in
+  List.iter
+    (fun ev ->
+      let target = Int64.add t0 (Int64.of_float (ev.at_ms *. 1e6)) in
+      if Int64.compare target (Obs.Clock.now_ns ()) > 0 then begin
+        (* ahead of schedule: serve what's queued, then sleep the rest *)
+        if Server.pending server > 0 then collect (Server.drain server);
+        let ahead_s =
+          Int64.to_float (Int64.sub target (Obs.Clock.now_ns ())) /. 1e9
+        in
+        if ahead_s > 0.0 then Unix.sleepf ahead_s
+      end;
+      ignore (Server.submit ~arrival_ns:target server ev.query);
+      if Server.pending server >= batch_max then collect (Server.drain server))
+    events;
+  collect (Server.drain server);
+  let wall_ms = Obs.Clock.ns_to_ms (Int64.sub (Obs.Clock.now_ns ()) t0) in
+  let completions =
+    List.concat (List.rev !completions)
+    |> List.sort (fun (a : Server.completion) b ->
+           compare a.Server.seq b.Server.seq)
+  in
+  let s1 = Server.stats server in
+  let m1 = Memo.stats () in
+  let latencies =
+    Array.of_list
+      (List.map (fun (c : Server.completion) -> c.Server.latency_ms) completions)
+  in
+  let completed = Array.length latencies in
+  let hits = m1.Memo.hits - m0.Memo.hits
+  and misses = m1.Memo.misses - m0.Memo.misses in
+  let stats =
+    {
+      phase = name;
+      submitted = List.length events;
+      accepted = s1.Server.accepted - s0.Server.accepted;
+      rejected = s1.Server.rejected - s0.Server.rejected;
+      completed;
+      wall_ms;
+      qps = (if wall_ms > 0.0 then float_of_int completed /. (wall_ms /. 1e3) else 0.0);
+      mean_ms =
+        (if completed > 0 then
+           Array.fold_left ( +. ) 0.0 latencies /. float_of_int completed
+         else 0.0);
+      p50_ms = percentile latencies 50.0;
+      p95_ms = percentile latencies 95.0;
+      p99_ms = percentile latencies 99.0;
+      max_ms = Array.fold_left Float.max 0.0 latencies;
+      cache_hits = hits;
+      cache_misses = misses;
+      cache_hit_rate =
+        (if hits + misses > 0 then
+           float_of_int hits /. float_of_int (hits + misses)
+         else 0.0);
+      queue_hwm = s1.Server.queue_hwm;
+      steals = Exec.Pool.steal_count (Server.pool server) - steals0;
+      per_kind = per_kind_totals completions;
+    }
+  in
+  (if Obs.Sink.enabled () then
+     match phase_json stats with
+     | Obs.Sink.Obj fields -> Obs.Sink.emit ~type_:"serve_summary" fields
+     | _ -> ());
+  (stats, completions)

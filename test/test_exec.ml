@@ -63,6 +63,124 @@ let test_map_list () =
       let r = Pool.map_list p ~f:(fun x -> x * x) cells in
       check "map_list order" true (r = List.map (fun x -> x * x) cells))
 
+(* ---------- work-stealing ---------- *)
+
+(* heavily skewed per-cell cost: one slice's chunk does almost all the
+   work, so at jobs > 1 the other workers drain their own deques and then
+   steal — the schedule varies, the results must not *)
+let test_skewed_determinism () =
+  let cells = Array.init 41 (fun i -> i) in
+  let f i x =
+    let spins = if i < 4 then 60_000 else 50 in
+    let st = Random.State.make [| x + 1 |] in
+    let acc = ref 0 in
+    for _ = 1 to spins do
+      acc := (!acc * 17) + Random.State.int st 256
+    done;
+    (i, !acc land 0xFFFFF)
+  in
+  let seq = Pool.with_pool ~jobs:1 (fun p -> Pool.map_cells p ~f cells) in
+  List.iter
+    (fun jobs ->
+      let par = Pool.with_pool ~jobs (fun p -> Pool.map_cells p ~f cells) in
+      check
+        (Printf.sprintf "skewed costs, jobs=%d matches jobs=1" jobs)
+        true (par = seq))
+    [ 2; 4 ]
+
+let test_steal_count_sanity () =
+  Pool.with_pool ~jobs:3 (fun p ->
+      check_int "fresh pool has no steals" 0 (Pool.steal_count p);
+      let cells = Array.init 30 (fun i -> i) in
+      ignore (Pool.map_cells p ~f:(fun i x -> i + x) cells);
+      let after_one = Pool.steal_count p in
+      (* each steal executes one cell, so a sweep can add at most one steal
+         per cell; the count never decreases *)
+      check "steals bounded by cells" true
+        (after_one >= 0 && after_one <= Array.length cells);
+      ignore (Pool.map_cells p ~f:(fun i x -> i * x) cells);
+      let after_two = Pool.steal_count p in
+      check "steal count monotone" true (after_two >= after_one);
+      check "steals bounded across sweeps" true
+        (after_two <= 2 * Array.length cells))
+
+(* ---------- deque ---------- *)
+
+let test_deque_owner_order () =
+  let d = Exec.Deque.create ~capacity:8 in
+  check "new deque empty" true (Exec.Deque.pop d = None);
+  check "new deque empty for thief" true (Exec.Deque.steal d = `Empty);
+  (* seed a chunk [3, 8) the way the pool does: hi-1 downto lo *)
+  for i = 7 downto 3 do
+    Exec.Deque.push d i
+  done;
+  check_int "size_hint" 5 (Exec.Deque.size_hint d);
+  (* owner pops in increasing index order *)
+  for i = 3 to 7 do
+    check
+      (Printf.sprintf "pop %d" i)
+      true
+      (Exec.Deque.pop d = Some i)
+  done;
+  check "drained" true (Exec.Deque.pop d = None)
+
+let test_deque_steal_order () =
+  let d = Exec.Deque.create ~capacity:8 in
+  for i = 7 downto 3 do
+    Exec.Deque.push d i
+  done;
+  (* thief takes from the top: the high end of the chunk first *)
+  check "steal 7" true (Exec.Deque.steal d = `Stolen 7);
+  check "steal 6" true (Exec.Deque.steal d = `Stolen 6);
+  check "owner still gets the low end" true (Exec.Deque.pop d = Some 3)
+
+let test_deque_capacity () =
+  let d = Exec.Deque.create ~capacity:2 in
+  Exec.Deque.push d 1;
+  Exec.Deque.push d 2;
+  check "push beyond capacity raises" true
+    (try
+       Exec.Deque.push d 3;
+       false
+     with Invalid_argument _ -> true);
+  check "capacity >= 1 enforced" true
+    (try
+       ignore (Exec.Deque.create ~capacity:0);
+       false
+     with Invalid_argument _ -> true)
+
+(* owner popping concurrently with two thieves: every pushed item is taken
+   exactly once (no loss, no duplication) *)
+let test_deque_concurrent () =
+  let n = 10_000 in
+  let d = Exec.Deque.create ~capacity:n in
+  for i = n - 1 downto 0 do
+    Exec.Deque.push d i
+  done;
+  let thief () =
+    let got = ref [] in
+    let continue = ref true in
+    while !continue do
+      match Exec.Deque.steal d with
+      | `Stolen x -> got := x :: !got
+      | `Retry -> Domain.cpu_relax ()
+      | `Empty -> continue := false
+    done;
+    !got
+  in
+  let t1 = Domain.spawn thief and t2 = Domain.spawn thief in
+  let own = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Exec.Deque.pop d with
+    | Some x -> own := x :: !own
+    | None -> continue := false
+  done;
+  let all = !own @ Domain.join t1 @ Domain.join t2 in
+  check_int "every item taken exactly once" n (List.length all);
+  let sorted = List.sort compare all in
+  check "items are 0..n-1" true (sorted = List.init n (fun i -> i))
+
 (* ---------- exception propagation ---------- *)
 
 exception Boom of int
@@ -85,6 +203,17 @@ let test_exception_propagation () =
         true
         (got = Some 5))
     [ 1; 2; 4; 7 ]
+
+(* a sweep that raised must leave the pool serviceable: workers survive the
+   exception and the next sweep runs normally *)
+let test_pool_reusable_after_exception () =
+  Pool.with_pool ~jobs:3 (fun p ->
+      let cells = Array.init 17 (fun i -> i) in
+      (try ignore (Pool.map_cells p ~f:(fun _ x -> if x = 9 then raise (Boom x) else x) cells)
+       with Boom 9 -> ());
+      let r = Pool.map_cells p ~f:(fun i x -> i + x) cells in
+      check "pool serves the next sweep after an exception" true
+        (r = Array.mapi (fun i x -> i + x) cells))
 
 let test_shutdown () =
   let p = Pool.create ~jobs:3 in
@@ -117,15 +246,29 @@ let test_inline_bypass () =
 let test_workers_used () =
   let main = Domain.self () in
   let cells = Array.init 8 (fun i -> i) in
+  (* with work-stealing the caller may legitimately run every cell of a
+     trivial sweep before the workers wake, so cell 0 (always popped first
+     by the caller) spins until some other domain has proven it executes
+     cells — guaranteeing off-caller execution instead of hoping for it *)
+  let seen_off_main = Atomic.make false in
   let doms =
     Pool.with_pool ~jobs:4 (fun p ->
-        Pool.map_cells p ~f:(fun _ _ -> Domain.self ()) cells)
+        Pool.map_cells p
+          ~f:(fun i _ ->
+            let d = Domain.self () in
+            if d <> main then Atomic.set seen_off_main true;
+            if i = 0 then
+              while not (Atomic.get seen_off_main) do
+                Domain.cpu_relax ()
+              done;
+            d)
+          cells)
   in
   let off_main =
     Array.fold_left (fun n d -> if d = main then n else n + 1) 0 doms
   in
   check "some cells ran off the caller domain" true (off_main > 0);
-  (* chunk 0 always runs on the caller *)
+  (* the caller always pops its own chunk's first cell *)
   check "cell 0 on caller" true (doms.(0) = main)
 
 (* ---------- observability merge at pool join ---------- *)
@@ -220,8 +363,25 @@ let () =
           Alcotest.test_case "map_list preserves order" `Quick test_map_list;
           Alcotest.test_case "lowest-index exception propagates" `Quick
             test_exception_propagation;
+          Alcotest.test_case "pool reusable after a raising sweep" `Quick
+            test_pool_reusable_after_exception;
           Alcotest.test_case "shutdown is idempotent and final" `Quick
             test_shutdown;
+        ] );
+      ( "stealing",
+        [
+          Alcotest.test_case "skewed costs stay deterministic" `Quick
+            test_skewed_determinism;
+          Alcotest.test_case "steal counter sane and monotone" `Quick
+            test_steal_count_sanity;
+          Alcotest.test_case "deque owner pops in index order" `Quick
+            test_deque_owner_order;
+          Alcotest.test_case "deque thief steals the high end" `Quick
+            test_deque_steal_order;
+          Alcotest.test_case "deque capacity is enforced" `Quick
+            test_deque_capacity;
+          Alcotest.test_case "deque concurrent pop/steal loses nothing" `Quick
+            test_deque_concurrent;
         ] );
       ( "domains",
         [

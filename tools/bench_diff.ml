@@ -3,6 +3,7 @@
      bench_diff BENCH_LEDGER.jsonl             compare latest vs baseline
      bench_diff --baseline REV LEDGER          pin the baseline by rev
      bench_diff --bless LEDGER                 mark the latest entry blessed
+     bench_diff --trim LEDGER                  drop stale unblessed entries
 
    The latest ledger entry is compared against the most recent *earlier*
    entry with "blessed": true (migrated historical entries are never
@@ -31,7 +32,22 @@
      make bench-record && ./_build/default/tools/bench_diff.exe --bless \
        BENCH_LEDGER.jsonl
 
-   (wrapped as `make bench-bless`; see DESIGN.md section 13). *)
+   (wrapped as `make bench-bless`; see DESIGN.md section 13).
+
+   --trim keeps the ledger from growing without bound: it rewrites the
+   file keeping only the most recent blessed baseline plus the last two
+   entries (original order, no duplicates) — everything the gate can ever
+   consult.  `make bench-record` runs it after appending, so the checked-in
+   ledger stays ~3 lines.
+
+   When both the baseline and the current entry carry a "serve" section
+   (the SV1 open-loop serving benchmark), its SLOs are gated too: qps and
+   cache_hit_rate may not drop, reject_rate may not climb, and the p50/p99
+   latency quantiles get wide 50% bounds — tail latency of an open-loop
+   run on a shared container is the noisiest metric in the ledger, so the
+   bound only catches order-of-magnitude serving regressions, not drift.
+   Latency quantiles are wall-clock measurements and get the same
+   calibration normalization as the other time metrics. *)
 
 let j_member = Obs.Sink.member
 let j_str name j = Option.bind (j_member name j) Obs.Sink.string_value
@@ -101,6 +117,43 @@ let bless file =
         (Option.value ~default:"?" (j_str "rev" last))
         (Option.value ~default:"?" (j_str "date" last))
         file
+
+(* ---------------- trim ---------------- *)
+
+(* keep the most recent blessed entry plus the last two entries, in their
+   original order; everything else is history the gate never reads *)
+let trim file =
+  let entries = read_ledger file in
+  let n = List.length entries in
+  let last_blessed =
+    List.fold_left
+      (fun (i, found) (_, j) ->
+        ( i + 1,
+          if (match j with
+              | Obs.Sink.Obj _ -> j_bool "blessed" j = Some true
+              | _ -> false)
+          then Some i
+          else found ))
+      (0, None) entries
+    |> snd
+  in
+  let keep i = i >= n - 2 || last_blessed = Some i in
+  let kept =
+    List.filteri (fun i _ -> keep i) entries |> List.map (fun (line, _) -> line)
+  in
+  if List.length kept = n then
+    Printf.printf "bench_diff: %s: %d entries, nothing to trim\n" file n
+  else begin
+    let oc = open_out file in
+    List.iter
+      (fun line ->
+        output_string oc line;
+        output_char oc '\n')
+      kept;
+    close_out oc;
+    Printf.printf "bench_diff: trimmed %s: %d -> %d entries\n" file n
+      (List.length kept)
+  end
 
 (* ---------------- compare ---------------- *)
 
@@ -220,7 +273,50 @@ let compare_entries v ~speed ~baseline ~current =
                 ~metric:(Printf.sprintf "alloc[%s].words_per_round" name)
                 ~rel:0.05 ~eps:100.0 ~baseline:b ~current:c
           | _ -> ()))
-    (probes_by_name current)
+    (probes_by_name current);
+  (* serve SLOs: only when both entries actually ran SV1 (the member is
+     Null otherwise) *)
+  match (j_member "serve" baseline, j_member "serve" current) with
+  | Some (Obs.Sink.Obj _ as bs), Some (Obs.Sink.Obj _ as cs) ->
+      let pair name = (num name bs, num name cs) in
+      let drop metric ~abs_floor ~rel (b, c) =
+        (* throughput/hit-rate regressions are drops: fail when the current
+           value falls below baseline * (1 - rel) - abs_floor *)
+        match (b, c) with
+        | Some b, Some c ->
+            v.checked <- v.checked + 1;
+            if c < (b *. (1.0 -. rel)) -. abs_floor then
+              v.regressions <-
+                Printf.sprintf
+                  "REGRESSION serve.%s: baseline %.2f -> current %.2f \
+                   (threshold -%.0f%% - %.2f)"
+                  metric b c (100.0 *. rel) abs_floor
+                :: v.regressions
+        | _ -> ()
+      in
+      let chk_time metric ~rel ~eps (b, c) =
+        match (b, c) with
+        | Some b, Some c ->
+            check v ~metric:("serve." ^ metric) ~rel ~eps ~baseline:b
+              ~current:(c /. speed)
+        | _ -> ()
+      in
+      drop "qps" ~rel:0.15 ~abs_floor:25.0 (pair "qps");
+      drop "cache_hit_rate" ~rel:0.0 ~abs_floor:0.10 (pair "cache_hit_rate");
+      chk_time "p50_ms" ~rel:0.50 ~eps:10.0 (pair "p50_ms");
+      chk_time "p99_ms" ~rel:0.50 ~eps:25.0 (pair "p99_ms");
+      (match pair "reject_rate" with
+      | Some b, Some c ->
+          v.checked <- v.checked + 1;
+          if c > b +. 0.05 then
+            v.regressions <-
+              Printf.sprintf
+                "REGRESSION serve.reject_rate: baseline %.3f -> current %.3f \
+                 (threshold +0.05 absolute)"
+                b c
+              :: v.regressions
+      | _ -> ())
+  | _ -> ()
 
 let mode_key j =
   match j_member "mode" j with
@@ -232,21 +328,24 @@ let mode_key j =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse bless baseline_rev file = function
-    | "--bless" :: rest -> parse true baseline_rev file rest
-    | "--baseline" :: rev :: rest -> parse bless (Some rev) file rest
-    | f :: rest -> parse bless baseline_rev (Some f) rest
-    | [] -> (bless, baseline_rev, file)
+  let rec parse bless trim baseline_rev file = function
+    | "--bless" :: rest -> parse true trim baseline_rev file rest
+    | "--trim" :: rest -> parse bless true baseline_rev file rest
+    | "--baseline" :: rev :: rest -> parse bless trim (Some rev) file rest
+    | f :: rest -> parse bless trim baseline_rev (Some f) rest
+    | [] -> (bless, trim, baseline_rev, file)
   in
-  let do_bless, baseline_rev, file = parse false None None args in
+  let do_bless, do_trim, baseline_rev, file = parse false false None None args in
   let file =
     match file with
     | Some f -> f
     | None ->
-        prerr_endline "usage: bench_diff [--bless] [--baseline REV] LEDGER";
+        prerr_endline
+          "usage: bench_diff [--bless] [--trim] [--baseline REV] LEDGER";
         exit 2
   in
-  if do_bless then bless file
+  if do_trim then trim file
+  else if do_bless then bless file
   else begin
     let entries = List.map snd (read_ledger file) in
     match List.rev entries with

@@ -13,11 +13,43 @@
 
      jsonl_check --ledger BENCH_LEDGER.jsonl
 
-   Exit status 0 iff all checks hold; wired into `make bench-smoke` and
-   `make bench-regress-check`. *)
+   With --serve the event stream must additionally carry valid serving
+   records: well-formed "serve_query" latency events (non-negative seq and
+   latency, graph/kind labels) and at least one "serve_summary" whose
+   quantiles are ordered; --max-p99 MS bounds every summary's p99 (the
+   sanity bound of `make bench-serve-check`, sized far above steady-state
+   so only a pathological server trips it).  In ledger mode,
+   --require-serve demands a "serve" section with numeric qps and
+   p50/p99 in the latest entry (earlier entries may predate serving).
+
+     jsonl_check --serve --max-p99 5000 serve.jsonl
+     jsonl_check --ledger --require-serve BENCH_LEDGER.jsonl
+
+   Exit status 0 iff all checks hold; wired into `make bench-smoke`,
+   `make bench-serve-check` and `make bench-regress-check`. *)
 
 let default_required = [ "span"; "metrics"; "quality"; "trace_summary" ]
 let ledger_schema = "bench-ledger/v2"
+
+let numeric name j =
+  match Obs.Sink.member name j with
+  | Some (Obs.Sink.Float f) -> Some f
+  | Some (Obs.Sink.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+(* the serve section / serve_summary payload share a shape; [where] labels
+   the error messages; [fail] consumes one pre-formatted message *)
+let check_serve_shape ~fail ~where j =
+  (match numeric "qps" j with
+  | Some q when q > 0.0 -> ()
+  | Some q -> fail (Printf.sprintf "%s: qps %g not positive" where q)
+  | None -> fail (Printf.sprintf "%s: no numeric \"qps\"" where));
+  match (numeric "p50_ms" j, numeric "p99_ms" j) with
+  | Some p50, Some p99 ->
+      if p50 < 0.0 then fail (Printf.sprintf "%s: negative p50_ms" where);
+      if p99 < p50 then
+        fail (Printf.sprintf "%s: p99_ms %g below p50_ms %g" where p99 p50)
+  | _ -> fail (Printf.sprintf "%s: missing numeric p50_ms/p99_ms" where)
 
 let is_iso_date s =
   String.length s = 10
@@ -25,12 +57,13 @@ let is_iso_date s =
   && s.[4] = '-'
   && s.[7] = '-'
 
-let check_ledger file =
+let check_ledger ~require_serve file =
   let ic = open_in file in
   let lineno = ref 0 in
   let entries = ref 0 in
   let errors = ref 0 in
   let last_date = ref "" in
+  let last_had_serve = ref false in
   let err fmt =
     Printf.ksprintf
       (fun msg ->
@@ -77,13 +110,32 @@ let check_ledger file =
                      else if Obs.Sink.member "wall_ms" e = None then
                        err "experiments[%d] has no \"wall_ms\"" i)
                    exps
-             | _ -> err "entry without an \"experiments\" list")
+             | _ -> err "entry without an \"experiments\" list");
+             (* "serve" is optional (entries predating the query server, or
+                runs whose --only filter skipped SV1, carry Null) but must be
+                well-formed when present *)
+             (match Obs.Sink.member "serve" j with
+             | Some (Obs.Sink.Obj _ as sv) ->
+                 last_had_serve := true;
+                 check_serve_shape ~fail:(fun m -> err "%s" m)
+                   ~where:"serve section" sv;
+                 (match numeric "reject_rate" sv with
+                 | Some r when r >= 0.0 && r <= 1.0 -> ()
+                 | Some r -> err "serve section: reject_rate %g outside [0,1]" r
+                 | None -> err "serve section: no numeric \"reject_rate\"")
+             | _ -> last_had_serve := false)
      done
    with End_of_file -> ());
   close_in ic;
   if !entries = 0 then begin
     incr errors;
     Printf.eprintf "%s: empty ledger\n" file
+  end
+  else if require_serve && not !last_had_serve then begin
+    incr errors;
+    Printf.eprintf "%s: latest entry has no \"serve\" section (SV1 did not \
+                    run?)\n"
+      file
   end;
   if !errors = 0 then begin
     Printf.printf "%s: OK — %d ledger entries, schema %s, dates monotone\n"
@@ -96,32 +148,53 @@ let check_ledger file =
   end
 
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse required min_spans ledger file = function
+  let required = ref default_required in
+  let min_spans = ref 4 in
+  let ledger = ref false in
+  let serve = ref false in
+  let require_serve = ref false in
+  let max_p99 = ref infinity in
+  let file = ref None in
+  let rec parse = function
     | "--require" :: v :: rest ->
-        parse (String.split_on_char ',' v) min_spans ledger file rest
+        required := String.split_on_char ',' v;
+        parse rest
     | "--min-spans" :: v :: rest ->
-        parse required (int_of_string v) ledger file rest
-    | "--ledger" :: rest -> parse required min_spans true file rest
-    | f :: rest -> parse required min_spans ledger (Some f) rest
-    | [] -> (required, min_spans, ledger, file)
+        min_spans := int_of_string v;
+        parse rest
+    | "--ledger" :: rest ->
+        ledger := true;
+        parse rest
+    | "--serve" :: rest ->
+        serve := true;
+        parse rest
+    | "--require-serve" :: rest ->
+        require_serve := true;
+        parse rest
+    | "--max-p99" :: v :: rest ->
+        max_p99 := float_of_string v;
+        parse rest
+    | f :: rest ->
+        file := Some f;
+        parse rest
+    | [] -> ()
   in
-  let required, min_spans, ledger, file =
-    parse default_required 4 false None args
-  in
+  parse (Array.to_list Sys.argv |> List.tl);
+  let required = !required and min_spans = !min_spans in
   let file =
-    match file with
+    match !file with
     | Some f -> f
     | None ->
         prerr_endline
-          "usage: jsonl_check [--require t1,t2] [--min-spans N] [--ledger] \
-           FILE";
+          "usage: jsonl_check [--require t1,t2] [--min-spans N] [--serve] \
+           [--max-p99 MS] [--ledger] [--require-serve] FILE";
         exit 2
   in
-  if ledger then check_ledger file;
+  if !ledger then check_ledger ~require_serve:!require_serve file;
   let ic = open_in file in
   let seen_types = Hashtbl.create 8 in
   let span_names = Hashtbl.create 16 in
+  let summaries = ref 0 in
   let lineno = ref 0 in
   let errors = ref 0 in
   let err fmt =
@@ -130,6 +203,34 @@ let () =
         incr errors;
         Printf.eprintf "%s:%d: %s\n" file !lineno msg)
       fmt
+  in
+  let check_serve_query j =
+    (match Obs.Sink.member "seq" j with
+    | Some (Obs.Sink.Int s) when s >= 0 -> ()
+    | _ -> err "serve_query without a non-negative int \"seq\"");
+    (match numeric "latency_ms" j with
+    | Some l when l >= 0.0 -> ()
+    | Some l -> err "serve_query with negative latency_ms %g" l
+    | None -> err "serve_query without a numeric \"latency_ms\"");
+    List.iter
+      (fun k ->
+        match Option.bind (Obs.Sink.member k j) Obs.Sink.string_value with
+        | Some _ -> ()
+        | None -> err "serve_query without a string %S" k)
+      [ "graph"; "kind" ]
+  in
+  let check_serve_summary j =
+    incr summaries;
+    let where =
+      match Option.bind (Obs.Sink.member "phase" j) Obs.Sink.string_value with
+      | Some p -> Printf.sprintf "serve_summary %S" p
+      | None -> "serve_summary"
+    in
+    check_serve_shape ~fail:(fun m -> err "%s" m) ~where j;
+    match numeric "p99_ms" j with
+    | Some p99 when p99 > !max_p99 ->
+        err "%s: p99_ms %g exceeds --max-p99 %g" where p99 !max_p99
+    | _ -> ()
   in
   (try
      while true do
@@ -151,10 +252,17 @@ let () =
                        Obs.Sink.string_value
                    with
                    | Some name -> Hashtbl.replace span_names name ()
-                   | None -> err "span event without a \"name\" field"))
+                   | None -> err "span event without a \"name\" field");
+                 if !serve then
+                   if t = "serve_query" then check_serve_query j
+                   else if t = "serve_summary" then check_serve_summary j)
      done
    with End_of_file -> ());
   close_in ic;
+  if !serve && !summaries = 0 then begin
+    incr errors;
+    Printf.eprintf "%s: --serve given but no \"serve_summary\" events\n" file
+  end;
   List.iter
     (fun t ->
       if not (Hashtbl.mem seen_types t) then begin
