@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check bench bench-record bench-bless bench-regress-check bench-smoke bench-par-check bench-cache-check bench-fault-check bench-scale-check bench-serve bench-serve-check clean
+.PHONY: all build test fmt lint-polycompare check bench bench-record bench-bless bench-regress-check bench-smoke bench-par-check bench-cache-check bench-fault-check bench-scale-check bench-serve bench-serve-check clean
 
 all: build
 
@@ -13,10 +13,16 @@ test:
 fmt:
 	dune fmt
 
-# the one gate to run before pushing: formatting, full build, full test
-# suite, and a smoke run of the observability pipeline
+# grep-based lint: the hot-path directories must stay free of polymorphic
+# compare (see tools/lint_polycompare.sh and DESIGN.md section 15)
+lint-polycompare:
+	sh tools/lint_polycompare.sh
+
+# the one gate to run before pushing: formatting, lint, full build, full
+# test suite, and a smoke run of the observability pipeline
 check:
 	dune build @fmt
+	$(MAKE) lint-polycompare
 	dune build
 	dune runtest
 	$(MAKE) bench-smoke
@@ -141,17 +147,24 @@ bench-fault-check:
 	  --require span,metrics,robustness,fault_summary /tmp/r1-fault.jsonl
 
 # scale gate for the CSR substrate: the S1 experiment must finish both a
-# 10^6-node grid and a 10^6-node RMAT (build + BFS + Kruskal) inside a
-# 10-minute / 8 GiB budget, and the JSONL stream must carry valid scale
-# events with the build/BFS/MST timings and peak RSS
+# 10^6-node grid and a 10^6-node RMAT (build + BFS + MST) inside a
+# 10-minute / 8 GiB budget, the JSONL stream must carry valid scale
+# events with the build/BFS/MST timings and peak RSS, and the ledger
+# entry it writes must validate with a well-formed "scale" section
 bench-scale-check:
 	dune build bench/main.exe tools/jsonl_check.exe
+	rm -f /tmp/s1-ledger.jsonl
 	sh -c 'ulimit -v 8388608; exec timeout 600 ./_build/default/bench/main.exe \
-	  --only S1 --no-timing --no-breakdown --jsonl /tmp/s1-scale.jsonl' \
+	  --only S1 --no-timing --no-breakdown --jsonl /tmp/s1-scale.jsonl \
+	  --ledger /tmp/s1-ledger.jsonl \
+	  --rev $$(git rev-parse --short HEAD 2>/dev/null || echo unknown) \
+	  --date $$(date -u +%Y-%m-%d)' \
 	  > /tmp/s1-scale.out
 	grep -q "all experiments completed." /tmp/s1-scale.out
 	./_build/default/tools/jsonl_check.exe --require span,metrics,scale \
 	  --min-spans 3 /tmp/s1-scale.jsonl
+	./_build/default/tools/jsonl_check.exe --ledger --require-scale \
+	  /tmp/s1-ledger.jsonl
 
 clean:
 	dune clean

@@ -1294,6 +1294,20 @@ let r1 () =
 
 (* ------------------------------------------------------------------ *)
 
+(* process CPU time (user + system, all domains) in ms.  Less noisy than
+   wall clock on a shared machine, though memory-bound experiments still
+   wobble with co-tenant bandwidth contention — bench_diff sizes its time
+   thresholds to that residual noise. *)
+let cpu_ms_now () =
+  let t = Unix.times () in
+  (t.Unix.tms_utime +. t.Unix.tms_stime) *. 1000.0
+
+(* the ledger's top-level "scale" section: per-family build/BFS/MST wall
+   plus cpu, minor words and peak RSS for the S1 run, filled when S1
+   runs; Null when it didn't, and bench_diff gates the section only when
+   both entries carry it (mirrors the serve section) *)
+let scale_section : Obs.Sink.json ref = ref Obs.Sink.Null
+
 let s1 () =
   section "S1 (scale): million-node substrate, CSR build + BFS + MST";
   Printf.printf
@@ -1307,8 +1321,11 @@ let s1 () =
   in
   Printf.printf "%-16s %9s %9s | %5s %9s | %9s %14s\n" "family" "n" "m" "ecc"
     "reached" "mst edges" "mst weight";
+  let scale_families = ref [] in
   List.iter
     (fun (name, which) ->
+      let cpu0 = cpu_ms_now () in
+      let words0 = Gc.minor_words () in
       let t0 = Obs.Clock.now_ns () in
       let g =
         Obs.Span.with_ "s1.build" (fun () ->
@@ -1337,13 +1354,19 @@ let s1 () =
       in
       let w = G.random_weights g in
       let t2 = Obs.Clock.now_ns () in
-      let mst = Obs.Span.with_ "s1.mst" (fun () -> Sp.kruskal g w) in
+      (* Boruvka and Kruskal return the identical unique forest under
+         (weight, edge id) order — the strategy swap is a stdout no-op *)
+      let mst =
+        Obs.Span.with_ "s1.mst" (fun () -> Sp.mst ~strategy:Sp.Boruvka g w)
+      in
       let mst_ms = Obs.Clock.ns_to_ms (Int64.sub (Obs.Clock.now_ns ()) t2) in
       let mst_weight = Sp.total_weight w mst in
       let rss_kb = Option.value (Obs.Rusage.max_rss_kb ()) ~default:0 in
+      let cpu_ms = cpu_ms_now () -. cpu0 in
+      let minor_words = Gc.minor_words () -. words0 in
       Printf.printf "%-16s %9d %9d | %5d %9d | %9d %14.2f\n" name (G.n g)
         (G.m g) ecc reached (List.length mst) mst_weight;
-      record ~type_:"scale"
+      let fields =
         [
           ("family", Obs.Sink.String name);
           ("n", Obs.Sink.Int (G.n g));
@@ -1352,12 +1375,24 @@ let s1 () =
           ("reached", Obs.Sink.Int reached);
           ("mst_edges", Obs.Sink.Int (List.length mst));
           ("mst_weight", Obs.Sink.Float mst_weight);
+          ("mst_strategy", Obs.Sink.String "boruvka");
           ("build_ms", Obs.Sink.Float build_ms);
           ("bfs_ms", Obs.Sink.Float bfs_ms);
           ("mst_ms", Obs.Sink.Float mst_ms);
+          ("cpu_ms", Obs.Sink.Float cpu_ms);
+          ("minor_words", Obs.Sink.Float minor_words);
           ("max_rss_kb", Obs.Sink.Int rss_kb);
-        ])
-    families
+        ]
+      in
+      record ~type_:"scale" fields;
+      scale_families := Obs.Sink.Obj fields :: !scale_families)
+    families;
+  scale_section :=
+    Obs.Sink.Obj
+      [
+        ("mst_strategy", Obs.Sink.String "boruvka");
+        ("families", Obs.Sink.List (List.rev !scale_families));
+      ]
 
 (* ------------------------------------------------------------------ *)
 (* SV1: shortcut-as-a-service — batched query serving, open-loop load  *)
@@ -1532,14 +1567,6 @@ let synth_slowdown =
   | Some s -> (
       match float_of_string_opt s with Some f when f > 0.0 -> f | _ -> 0.0)
   | None -> 0.0
-
-(* process CPU time (user + system, all domains) in ms.  Less noisy than
-   wall clock on a shared machine, though memory-bound experiments still
-   wobble with co-tenant bandwidth contention — bench_diff sizes its time
-   thresholds to that residual noise. *)
-let cpu_ms_now () =
-  let t = Unix.times () in
-  (t.Unix.tms_utime +. t.Unix.tms_stime) *. 1000.0
 
 (* burn roughly [ms] the way a real regression would: extra CPU work
    (arithmetic, not sleep — sleep would evade the CPU metrics) *and*
@@ -1803,6 +1830,7 @@ let () =
               ("alloc_probes", Obs.Sink.List probes);
               ("memo", Memo.stats_json ());
               ("serve", !serve_section);
+              ("scale", !scale_section);
             ]
         in
         let oc = open_out path in
@@ -1848,6 +1876,7 @@ let () =
               ("alloc_probes", Obs.Sink.List probes);
               ("memo", Memo.stats_json ());
               ("serve", !serve_section);
+              ("scale", !scale_section);
             ]
         in
         let oc =

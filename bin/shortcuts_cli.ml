@@ -169,10 +169,34 @@ let quality no_cache edge_list file nparts seed trials jobs trace_out =
 
 (* ---------- mst ---------- *)
 
+(* sequential MST over the integer kernels (Spanning.mst): no CONGEST
+   simulation, no rounds — the fast path for big --edge-list inputs where
+   the answer matters more than the distributed round count.  Both
+   strategies return the identical unique (weight, edge id) forest. *)
+let mst_local strategy g w =
+  let w =
+    match w with
+    | Some w -> w
+    | None -> Core.Graph.random_weights ~state:(Random.State.make [| 42 |]) g
+  in
+  let t0 = Unix.gettimeofday () in
+  let edges = Core.Spanning.mst ~strategy g w in
+  let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  Printf.printf "algorithm = local-%s\nedges = %d\nweight = %.6f\n"
+    (match strategy with Core.Spanning.Kruskal -> "kruskal" | Core.Spanning.Boruvka -> "boruvka")
+    (List.length edges)
+    (Core.Spanning.total_weight w edges);
+  Printf.printf "wall_ms = %.1f\n" ms;
+  0
+
 let mst no_cache edge_list file algo trials jobs trace_out =
   if no_cache then Memo.set_enabled false;
   with_obs trace_out @@ fun () ->
   let g, w = read_graph ~edge_list file in
+  match algo with
+  | "local-kruskal" -> mst_local Core.Spanning.Kruskal g w
+  | "local-boruvka" -> mst_local Core.Spanning.Boruvka g w
+  | _ ->
   let results =
     Exec.Pool.with_pool ~jobs @@ fun pool ->
     Exec.Pool.map_list pool
@@ -601,8 +625,13 @@ let mst_cmd =
   let algo =
     Arg.(
       value
-      & opt (enum [ ("shortcut", "shortcut"); ("flooding", "flooding"); ("pipelined", "pipelined"); ("full", "full") ]) "shortcut"
-      & info [ "algo" ] ~doc:"MST algorithm.")
+      & opt (enum [ ("shortcut", "shortcut"); ("flooding", "flooding"); ("pipelined", "pipelined"); ("full", "full"); ("local-kruskal", "local-kruskal"); ("local-boruvka", "local-boruvka") ]) "shortcut"
+      & info [ "algo" ]
+          ~doc:
+            "MST algorithm.  The CONGEST simulations (shortcut, flooding, \
+             pipelined, full) report distributed round counts; \
+             local-kruskal / local-boruvka run the sequential integer \
+             kernels directly — same forest, no simulation.")
   in
   Cmd.v
     (Cmd.info "mst" ~doc:"Run a distributed MST and report simulated rounds.")

@@ -283,7 +283,9 @@ let run ?(bandwidth = 4) ?(max_rounds = 1_000_000) ?trace ?faults g algo =
               let w = Graph.adj_dst g (lo + i) in
               (w, dir_of (Graph.adj_eid g (lo + i)) w))
         in
-        Array.sort compare a;
+        (* neighbor ids are unique per segment, so ordering on the id
+           alone is total and matches the old polymorphic pair order *)
+        Array.sort (fun (x, _) (y, _) -> Int.compare x y) a;
         a)
   in
   let in_nbr = Array.map (Array.map fst) in_pairs in

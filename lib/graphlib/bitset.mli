@@ -1,0 +1,30 @@
+(** Flat byte-backed bitset over a fixed universe [0, n).
+
+    The visited-set primitive for BFS/DFS frontiers on the scale path:
+    one byte per 8 vertices (a 2^20-vertex set fits in 128 KiB), every
+    operation two shifts and a mask, no per-element allocation.
+    Out-of-range indices raise [Invalid_argument]. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe [0, n). *)
+
+val length : t -> int
+(** Universe size [n]. *)
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+
+val add_new : t -> int -> bool
+(** [add_new t i] adds [i] and returns [true] iff it was absent — the
+    BFS "visit if new" step in a single probe. *)
+
+val clear : t -> unit
+(** Remove all elements (constant-ish: one [Bytes.fill]). *)
+
+val cardinal : t -> int
+
+val iter : (int -> unit) -> t -> unit
+(** [iter f t] applies [f] to members in increasing order. *)

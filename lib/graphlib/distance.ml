@@ -36,13 +36,19 @@ let farthest g v =
     dist;
   (!best, !bd)
 
+(* the n-sweep scans reuse one dist/work buffer pair across all n BFS
+   runs via [Traversal.bfs_into]: same distances, no per-vertex arrays *)
 let diameter_exact g =
   let n = Graph.n g in
   if n < 2 then 0
   else begin
+    let dist = Array.make n (-1) and work = Array.make n 0 in
     let d = ref 0 in
     for v = 0 to n - 1 do
-      d := max !d (eccentricity g v)
+      Traversal.bfs_into ~dist ~work g v;
+      for u = 0 to n - 1 do
+        if dist.(u) > !d then d := dist.(u)
+      done
     done;
     !d
   end
@@ -65,11 +71,16 @@ let radius_center g =
   let n = Graph.n g in
   if n = 0 then (0, 0)
   else begin
+    let dist = Array.make n (-1) and work = Array.make n 0 in
     let center = ref 0 and radius = ref max_int in
     for v = 0 to n - 1 do
-      let e = eccentricity g v in
-      if e < !radius then begin
-        radius := e;
+      Traversal.bfs_into ~dist ~work g v;
+      let e = ref 0 in
+      for u = 0 to n - 1 do
+        if dist.(u) > !e then e := dist.(u)
+      done;
+      if !e < !radius then begin
+        radius := !e;
         center := v
       end
     done;

@@ -105,3 +105,8 @@ val rmat :
     Deterministic in [seed] and memoized; pass [state] (e.g. a
     [Faults.Rng] stream) to drive sampling from an external stream
     instead, which bypasses the cache. *)
+
+val rmat_fast_sampler_active : unit -> bool
+(** Diagnostics: whether RMAT sampling runs on the unboxed
+    [Fastrand.draw53] path (stream-identical to the boxed stdlib path —
+    the generated graphs never differ; only allocation and speed do). *)

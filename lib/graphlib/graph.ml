@@ -231,12 +231,46 @@ let seal n m esrc edst =
     Ba.unsafe_set cursor v (pv + 1)
   done;
   let srt = ints (2 * m) in
-  for p = 0 to (2 * m) - 1 do
-    Ba.unsafe_set srt p p
-  done;
-  for v = 0 to n - 1 do
-    sort_segment srt dst (Ba.unsafe_get seg v) (Ba.unsafe_get seg (v + 1))
-  done;
+  if 2 * m <= 1 lsl 16 then begin
+    (* small graphs: identity permutation + per-segment heapsort *)
+    for p = 0 to (2 * m) - 1 do
+      Ba.unsafe_set srt p p
+    done;
+    for v = 0 to n - 1 do
+      sort_segment srt dst (Ba.unsafe_get seg v) (Ba.unsafe_get seg (v + 1))
+    done
+  end
+  else begin
+    (* scale path: one global stable radix sort of positions by neighbor
+       id, then a stable counting scatter by segment owner (reusing seg as
+       the histogram via cursor).  Stability keeps positions of each
+       segment in ascending-dst order after the scatter, and neighbor ids
+       are unique per segment, so the result is the same unique sorted
+       permutation the heapsort produces — at O(2m) passes instead of
+       O(d log d) per hub segment. *)
+    let keys = ints (2 * m) and pos = ints (2 * m) in
+    Ba.blit dst keys;
+    for p = 0 to (2 * m) - 1 do
+      Ba.unsafe_set pos p p
+    done;
+    Sort.sort_pairs keys pos;
+    let owner = ints (2 * m) in
+    for v = 0 to n - 1 do
+      for p = Ba.unsafe_get seg v to Ba.unsafe_get seg (v + 1) - 1 do
+        Ba.unsafe_set owner p v
+      done
+    done;
+    for v = 0 to n - 1 do
+      Ba.unsafe_set cursor v (Ba.unsafe_get seg v)
+    done;
+    for i = 0 to (2 * m) - 1 do
+      let p = Ba.unsafe_get pos i in
+      let v = Ba.unsafe_get owner p in
+      let c = Ba.unsafe_get cursor v in
+      Ba.unsafe_set srt c p;
+      Ba.unsafe_set cursor v (c + 1)
+    done
+  end;
   { n; m; esrc; edst; seg; dst; eid; srt; fp = 0L }
 
 module Builder = struct
@@ -365,6 +399,17 @@ let unit_weights g = Array.make (m g) 1.0
 
 let random_weights ?state g =
   let st = match state with Some s -> s | None -> Random.State.make [| 42 |] in
-  Array.init (m g) (fun _ -> Random.State.float st 1.0 +. 1e-9)
+  let m = m g in
+  if Fastrand.active () then begin
+    (* same stream, same values: [Random.State.float st 1.0] is
+       rawfloat *. 1.0, and [draw53] is that rawfloat's mantissa — but
+       the draw stays unboxed, which matters at m ~ 10^7 *)
+    let w = Array.make m 0.0 in
+    for e = 0 to m - 1 do
+      w.(e) <- (float_of_int (Fastrand.draw53 st) *. 0x1.p-53) +. 1e-9
+    done;
+    w
+  end
+  else Array.init m (fun _ -> Random.State.float st 1.0 +. 1e-9)
 
 let pp ppf g = Fmt.pf ppf "graph(n=%d, m=%d)" g.n (m g)

@@ -1,0 +1,155 @@
+(* LSD radix sort over int keys in Bigarrays (DESIGN.md §15).
+
+   Keys are ordered as unsigned 63-bit values: digit d of key k is
+   [(k lsr (8*d)) land 0xff] for d = 0..7, and [lsr] on OCaml's tagged
+   ints shifts the 63-bit pattern logically, so a "negative" int (bit 62
+   set) sorts after all non-negative ints.  That is exactly the order
+   needed by [float_key] below, and it coincides with ordinary int order
+   on non-negative keys.
+
+   One histogram pass counts all eight digit positions at once
+   (8 x 256 counters), then each pass whose key digit is constant across
+   the input is skipped — for keys below 2^k only ceil(k/8) scatter
+   passes run.  Scatter passes ping-pong between the caller's arrays and
+   scratch buffers owned by a [scratch] record, so steady-state sorting
+   allocates nothing.  The scatter is stable, which gives (key, payload)
+   sorts deterministic payload order on equal keys — Kruskal's edge-id
+   tie-breaking depends on this. *)
+
+module Ba = Bigarray.Array1
+
+type int_bigarray = (int, Bigarray.int_elt, Bigarray.c_layout) Ba.t
+
+let ints len : int_bigarray = Ba.create Bigarray.int Bigarray.c_layout len
+
+type scratch = {
+  mutable sk : int_bigarray; (* spill keys *)
+  mutable sp : int_bigarray; (* spill payloads *)
+  hist : int array; (* 8 x 256 digit counts, one combined pass *)
+  offs : int array; (* 256 running scatter offsets for the active pass *)
+}
+
+let create_scratch () =
+  { sk = ints 0; sp = ints 0; hist = Array.make (8 * 256) 0; offs = Array.make 256 0 }
+
+let ensure (a : int_bigarray) len =
+  if Ba.dim a >= len then a
+  else begin
+    let cap = ref (max 16 (Ba.dim a)) in
+    while !cap < len do cap := !cap * 2 done;
+    ints !cap
+  end
+
+(* Count every digit position of every key in one pass over the input. *)
+let fill_hist (s : scratch) (keys : int_bigarray) len =
+  Array.fill s.hist 0 (8 * 256) 0;
+  let h = s.hist in
+  for i = 0 to len - 1 do
+    let k = Ba.unsafe_get keys i in
+    h.((k land 0xff)) <- h.((k land 0xff)) + 1;
+    let d1 = 256 + ((k lsr 8) land 0xff) in
+    h.(d1) <- h.(d1) + 1;
+    let d2 = 512 + ((k lsr 16) land 0xff) in
+    h.(d2) <- h.(d2) + 1;
+    let d3 = 768 + ((k lsr 24) land 0xff) in
+    h.(d3) <- h.(d3) + 1;
+    let d4 = 1024 + ((k lsr 32) land 0xff) in
+    h.(d4) <- h.(d4) + 1;
+    let d5 = 1280 + ((k lsr 40) land 0xff) in
+    h.(d5) <- h.(d5) + 1;
+    let d6 = 1536 + ((k lsr 48) land 0xff) in
+    h.(d6) <- h.(d6) + 1;
+    let d7 = 1792 + ((k lsr 56) land 0xff) in
+    h.(d7) <- h.(d7) + 1
+  done
+
+(* A pass is trivial when one bucket holds every element. *)
+let pass_trivial (s : scratch) ~pass ~len =
+  let base = pass * 256 in
+  let trivial = ref false in
+  for b = 0 to 255 do
+    if s.hist.(base + b) = len then trivial := true
+  done;
+  !trivial
+
+let prefix_offsets (s : scratch) ~pass =
+  let base = pass * 256 in
+  let acc = ref 0 in
+  for b = 0 to 255 do
+    s.offs.(b) <- !acc;
+    acc := !acc + s.hist.(base + b)
+  done
+
+let sort ?scratch:(s = create_scratch ()) ?len (keys : int_bigarray) =
+  let len = match len with Some l -> l | None -> Ba.dim keys in
+  if len > Ba.dim keys then invalid_arg "Sort.sort: len exceeds array";
+  if len > 1 then begin
+    s.sk <- ensure s.sk len;
+    fill_hist s keys len;
+    let src = ref keys and dst = ref s.sk in
+    for pass = 0 to 7 do
+      if not (pass_trivial s ~pass ~len) then begin
+        prefix_offsets s ~pass;
+        let sa = !src and da = !dst and offs = s.offs in
+        let shift = pass * 8 in
+        for i = 0 to len - 1 do
+          let k = Ba.unsafe_get sa i in
+          let b = (k lsr shift) land 0xff in
+          Ba.unsafe_set da offs.(b) k;
+          offs.(b) <- offs.(b) + 1
+        done;
+        let t = !src in
+        src := !dst;
+        dst := t
+      end
+    done;
+    if !src != keys then Ba.blit (Ba.sub !src 0 len) (Ba.sub keys 0 len)
+  end
+
+let sort_pairs ?scratch:(s = create_scratch ()) ?len (keys : int_bigarray)
+    (payload : int_bigarray) =
+  let len = match len with Some l -> l | None -> Ba.dim keys in
+  if len > Ba.dim keys || len > Ba.dim payload then
+    invalid_arg "Sort.sort_pairs: len exceeds array";
+  if len > 1 then begin
+    s.sk <- ensure s.sk len;
+    s.sp <- ensure s.sp len;
+    fill_hist s keys len;
+    let ksrc = ref keys and kdst = ref s.sk in
+    let psrc = ref payload and pdst = ref s.sp in
+    for pass = 0 to 7 do
+      if not (pass_trivial s ~pass ~len) then begin
+        prefix_offsets s ~pass;
+        let ksa = !ksrc and kda = !kdst and psa = !psrc and pda = !pdst in
+        let offs = s.offs in
+        let shift = pass * 8 in
+        for i = 0 to len - 1 do
+          let k = Ba.unsafe_get ksa i in
+          let b = (k lsr shift) land 0xff in
+          let o = offs.(b) in
+          Ba.unsafe_set kda o k;
+          Ba.unsafe_set pda o (Ba.unsafe_get psa i);
+          offs.(b) <- o + 1
+        done;
+        let t = !ksrc in
+        ksrc := !kdst;
+        kdst := t;
+        let t = !psrc in
+        psrc := !pdst;
+        pdst := t
+      end
+    done;
+    if !ksrc != keys then begin
+      Ba.blit (Ba.sub !ksrc 0 len) (Ba.sub keys 0 len);
+      Ba.blit (Ba.sub !psrc 0 len) (Ba.sub payload 0 len)
+    end
+  end
+
+(* IEEE-754 doubles >= 0 are ordered like their bit patterns; dropping the
+   (zero) sign bit into an OCaml int keeps that order under the
+   unsigned-63 radix order above, even when bit 62 (set for magnitudes
+   >= 2.0) lands on the int's sign bit. *)
+let float_key f = Int64.to_int (Int64.bits_of_float f)
+
+let unsigned_compare a b =
+  Int.compare (a lxor min_int) (b lxor min_int)

@@ -1,0 +1,42 @@
+(** LSD radix sort over int keys in flat Bigarrays.
+
+    The integer kernel under the million-node scale path: stable
+    byte-digit radix passes with a one-shot combined histogram,
+    constant-digit pass skipping, and ping-pong scratch buffers that are
+    reused across calls.  Keys are ordered as {e unsigned} 63-bit
+    values, which coincides with ordinary int order on non-negative keys
+    and makes [float_key] order-preserving for non-negative floats. *)
+
+type int_bigarray = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val ints : int -> int_bigarray
+(** [ints len] allocates an uninitialised int Bigarray of length [len]. *)
+
+type scratch
+(** Reusable spill buffers and histograms.  Not thread-safe: use one
+    [scratch] per domain.  Buffers grow geometrically and are retained,
+    so steady-state sorting allocates nothing. *)
+
+val create_scratch : unit -> scratch
+
+val sort : ?scratch:scratch -> ?len:int -> int_bigarray -> unit
+(** [sort keys] sorts [keys.(0 .. len-1)] (default: the whole array) in
+    place, ascending in unsigned-63 order.  Without [?scratch], a
+    temporary one is allocated. *)
+
+val sort_pairs : ?scratch:scratch -> ?len:int -> int_bigarray -> int_bigarray -> unit
+(** [sort_pairs keys payload] sorts both arrays in place by [keys],
+    applying the same permutation to [payload].  Stable: payloads of
+    equal keys keep their input order, so (weight-key, edge-id) sorts
+    tie-break deterministically on insertion order. *)
+
+val float_key : float -> int
+(** Order-preserving injection of non-negative floats into unsigned-63
+    key order: for [a, b >= 0.], [a < b] iff
+    [unsigned_compare (float_key a) (float_key b) < 0].  Negative floats
+    are NOT ordered correctly — callers must check the sign and fall
+    back to a comparison sort. *)
+
+val unsigned_compare : int -> int -> int
+(** The unsigned-63 key order used by [sort], as a comparator (for
+    oracles and small fallbacks). *)

@@ -49,7 +49,25 @@ val check : tree -> (unit, string) result
 (** {1 Minimum spanning trees} *)
 
 val kruskal : Graph.t -> Graph.weights -> int list
-(** Edge ids of a minimum spanning forest. *)
+(** Edge ids of the minimum spanning forest under (weight, edge id)
+    order — ties break on the lower edge id, making the forest unique
+    and the result deterministic.  Ascending in that order.  The sort is
+    a stable LSD radix over float-bit keys (see [Sort]); negative
+    weights fall back to a monomorphic comparison sort. *)
+
+val boruvka : Graph.t -> Graph.weights -> int list
+(** The same unique minimum spanning forest as [kruskal] (identical edge
+    list), computed sort-free: per-component minimum-edge scans over a
+    geometrically shrinking live-edge list, contracted through a
+    path-halving union-find.  Wins at scale where the global edge sort
+    no longer fits in cache. *)
+
+type strategy = Kruskal | Boruvka
+
+val mst : ?strategy:strategy -> Graph.t -> Graph.weights -> int list
+(** [mst ?strategy g w] dispatches to [kruskal] (default) or [boruvka];
+    both return the identical unique forest, so the choice only affects
+    speed. *)
 
 val prim : Graph.t -> Graph.weights -> int list
 (** Edge ids of an MST of the component of vertex 0. *)

@@ -43,7 +43,7 @@ let quotient g cls =
   if Array.length cls <> n then invalid_arg "Subgraph.quotient: bad labelling";
   let tbl = Hashtbl.create 16 in
   let labels = Array.copy cls in
-  Array.sort compare labels;
+  Array.sort Int.compare labels;
   let count = ref 0 in
   Array.iter
     (fun l ->

@@ -1,33 +1,59 @@
+(* Flat-worklist traversals (DESIGN.md §15).
+
+   Every BFS here replaces the old [Queue.t] (a boxed cell per push) with
+   a flat int array scanned by two cursors: for FIFO BFS, push order
+   equals pop order, so the worklist IS the visit order and the results
+   are byte-identical to the Queue versions — same distances, same
+   parents, same owner tie-breaking — with zero per-vertex allocation.
+   Membership tests ride on the dist/label arrays where one exists and on
+   a [Bitset] where one does not. *)
+
+let bfs_into ~dist ~work g src =
+  let n = Graph.n g in
+  if Array.length dist < n || Array.length work < n then
+    invalid_arg "Traversal.bfs_into: buffers shorter than n";
+  if src < 0 || src >= n then invalid_arg "Traversal.bfs_into: src out of range";
+  Array.fill dist 0 n (-1);
+  dist.(src) <- 0;
+  work.(0) <- src;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let v = work.(!head) in
+    incr head;
+    let dv = dist.(v) + 1 in
+    Graph.iter_adj g v (fun w _ ->
+        if dist.(w) < 0 then begin
+          dist.(w) <- dv;
+          work.(!tail) <- w;
+          incr tail
+        end)
+  done
+
 let bfs g src =
   let n = Graph.n g in
   let dist = Array.make n (-1) in
-  let q = Queue.create () in
-  dist.(src) <- 0;
-  Queue.push src q;
-  while not (Queue.is_empty q) do
-    let v = Queue.pop q in
-    Graph.iter_adj g v (fun w _ ->
-        if dist.(w) < 0 then begin
-          dist.(w) <- dist.(v) + 1;
-          Queue.push w q
-        end)
-  done;
+  let work = Array.make n 0 in
+  bfs_into ~dist ~work g src;
   dist
 
 let bfs_tree g src =
   let n = Graph.n g in
   let dist = Array.make n (-1) in
   let parent = Array.make n (-1) in
-  let q = Queue.create () in
+  let work = Array.make n 0 in
   dist.(src) <- 0;
-  Queue.push src q;
-  while not (Queue.is_empty q) do
-    let v = Queue.pop q in
+  work.(0) <- src;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let v = work.(!head) in
+    incr head;
+    let dv = dist.(v) + 1 in
     Graph.iter_adj g v (fun w _ ->
         if dist.(w) < 0 then begin
-          dist.(w) <- dist.(v) + 1;
+          dist.(w) <- dv;
           parent.(w) <- v;
-          Queue.push w q
+          work.(!tail) <- w;
+          incr tail
         end)
   done;
   (parent, dist)
@@ -36,22 +62,29 @@ let multi_source_bfs g srcs =
   let n = Graph.n g in
   let dist = Array.make n (-1) in
   let owner = Array.make n (-1) in
-  let q = Queue.create () in
+  let work = Array.make n 0 in
+  let tail = ref 0 in
+  (* seeds enter in [srcs] order, which is the tie-breaking contract *)
   Array.iteri
     (fun i s ->
       if dist.(s) < 0 then begin
         dist.(s) <- 0;
         owner.(s) <- i;
-        Queue.push s q
+        work.(!tail) <- s;
+        incr tail
       end)
     srcs;
-  while not (Queue.is_empty q) do
-    let v = Queue.pop q in
+  let head = ref 0 in
+  while !head < !tail do
+    let v = work.(!head) in
+    incr head;
+    let dv = dist.(v) + 1 in
     Graph.iter_adj g v (fun w _ ->
         if dist.(w) < 0 then begin
-          dist.(w) <- dist.(v) + 1;
+          dist.(w) <- dv;
           owner.(w) <- owner.(v);
-          Queue.push w q
+          work.(!tail) <- w;
+          incr tail
         end)
   done;
   (owner, dist)
@@ -61,15 +94,19 @@ let restricted_bfs g ~allowed src =
   let dist = Array.make n (-1) in
   if not allowed.(src) then dist
   else begin
-    let q = Queue.create () in
+    let work = Array.make n 0 in
     dist.(src) <- 0;
-    Queue.push src q;
-    while not (Queue.is_empty q) do
-      let v = Queue.pop q in
+    work.(0) <- src;
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let v = work.(!head) in
+      incr head;
+      let dv = dist.(v) + 1 in
       Graph.iter_adj g v (fun w _ ->
           if allowed.(w) && dist.(w) < 0 then begin
-            dist.(w) <- dist.(v) + 1;
-            Queue.push w q
+            dist.(w) <- dv;
+            work.(!tail) <- w;
+            incr tail
           end)
     done;
     dist
@@ -78,18 +115,21 @@ let restricted_bfs g ~allowed src =
 let components g =
   let n = Graph.n g in
   let label = Array.make n (-1) in
+  let work = Array.make n 0 in
   let c = ref 0 in
-  let q = Queue.create () in
   for s = 0 to n - 1 do
     if label.(s) < 0 then begin
       label.(s) <- !c;
-      Queue.push s q;
-      while not (Queue.is_empty q) do
-        let v = Queue.pop q in
+      work.(0) <- s;
+      let head = ref 0 and tail = ref 1 in
+      while !head < !tail do
+        let v = work.(!head) in
+        incr head;
         Graph.iter_adj g v (fun w _ ->
             if label.(w) < 0 then begin
               label.(w) <- !c;
-              Queue.push w q
+              work.(!tail) <- w;
+              incr tail
             end)
       done;
       incr c
@@ -107,18 +147,20 @@ let component_of g allowed seed =
   if not allowed.(seed) then []
   else begin
     let n = Graph.n g in
-    let seen = Array.make n false in
+    let seen = Bitset.create n in
+    let work = Array.make n 0 in
     let acc = ref [] in
-    let q = Queue.create () in
-    seen.(seed) <- true;
-    Queue.push seed q;
-    while not (Queue.is_empty q) do
-      let v = Queue.pop q in
+    Bitset.add seen seed;
+    work.(0) <- seed;
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let v = work.(!head) in
+      incr head;
       acc := v :: !acc;
       Graph.iter_adj g v (fun w _ ->
-          if allowed.(w) && not seen.(w) then begin
-            seen.(w) <- true;
-            Queue.push w q
+          if allowed.(w) && Bitset.add_new seen w then begin
+            work.(!tail) <- w;
+            incr tail
           end)
     done;
     !acc
@@ -135,25 +177,37 @@ let is_connected_subset g vs =
 
 let dfs_order g src =
   let n = Graph.n g in
-  let seen = Array.make n false in
+  let seen = Bitset.create n in
   let acc = ref [] in
-  let stack = ref [ src ] in
-  while !stack <> [] do
-    match !stack with
-    | [] -> ()
-    | v :: rest ->
-        stack := rest;
-        if not seen.(v) then begin
-          seen.(v) <- true;
-          acc := v :: !acc;
-          (* push incident edges in reverse CSR order so the first-inserted
-             edge is explored first: the preorder of a recursive DFS that
-             scans adjacency in edge-insertion order *)
-          let lo = Graph.adj_offset g v and hi = Graph.adj_offset g (v + 1) in
-          for p = hi - 1 downto lo do
-            let w = Graph.adj_dst g p in
-            if not seen.(w) then stack := w :: !stack
-          done
-        end
+  (* growable int stack: a vertex may be pushed once per incident edge
+     before it is first seen, so the stack is bounded by 2m but usually
+     tiny — grow geometrically instead of preallocating it *)
+  let stack = ref (Array.make 16 0) in
+  let top = ref 0 in
+  let push v =
+    if !top = Array.length !stack then begin
+      let bigger = Array.make (2 * Array.length !stack) 0 in
+      Array.blit !stack 0 bigger 0 !top;
+      stack := bigger
+    end;
+    !stack.(!top) <- v;
+    incr top
+  in
+  push src;
+  while !top > 0 do
+    decr top;
+    let v = !stack.(!top) in
+    if not (Bitset.mem seen v) then begin
+      Bitset.add seen v;
+      acc := v :: !acc;
+      (* push incident edges in reverse CSR order so the first-inserted
+         edge is explored first: the preorder of a recursive DFS that
+         scans adjacency in edge-insertion order *)
+      let lo = Graph.adj_offset g v and hi = Graph.adj_offset g (v + 1) in
+      for p = hi - 1 downto lo do
+        let w = Graph.adj_dst g p in
+        if not (Bitset.mem seen w) then push w
+      done
+    end
   done;
   Array.of_list (List.rev !acc)

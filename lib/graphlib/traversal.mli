@@ -4,6 +4,12 @@ val bfs : Graph.t -> int -> int array
 (** [bfs g src] returns unweighted distances from [src]; unreachable vertices
     get [-1]. *)
 
+val bfs_into : dist:int array -> work:int array -> Graph.t -> int -> unit
+(** In-place [bfs]: fills [dist] (resetting it to [-1] first) using
+    [work] as the flat frontier worklist.  Both buffers must have length
+    at least [n].  The allocation-free kernel for all-pairs-style loops
+    (eccentricity sweeps, diameter scans) that run n traversals. *)
+
 val bfs_tree : Graph.t -> int -> int array * int array
 (** [bfs_tree g src] returns [(parent, dist)]: [parent.(src) = -1] and
     [parent.(v) = -1] for unreachable [v]. *)

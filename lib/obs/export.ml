@@ -214,7 +214,7 @@ let folded events =
         | None -> ())
     events;
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   |> List.map (fun (k, v) ->
          Printf.sprintf "%s %d" k (int_of_float (Float.round v)))
   |> fun lines -> String.concat "\n" lines ^ if lines = [] then "" else "\n"

@@ -261,7 +261,7 @@ let top_counters ?(limit = 10) () =
       if v > 0 then (c.cname, v) :: acc else acc)
     counters []
   |> List.sort (fun (na, a) (nb, b) ->
-         match compare b a with 0 -> compare na nb | c -> c)
+         match Int.compare b a with 0 -> String.compare na nb | c -> c)
   |> List.filteri (fun i _ -> i < limit)
 
 let to_json () =
@@ -274,7 +274,7 @@ let to_json () =
         in
         (c.cname, Sink.Int v) :: acc)
       counters []
-    |> List.sort compare
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   let gauge_fields =
     Hashtbl.fold
@@ -283,7 +283,7 @@ let to_json () =
           (g.gname, Sink.Float s.gvals.(g.gid)) :: acc
         else acc)
       gauges []
-    |> List.sort compare
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   let histogram_fields =
     Hashtbl.fold
@@ -310,7 +310,7 @@ let to_json () =
             ] )
         :: acc)
       histograms []
-    |> List.sort compare
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   Sink.Obj
     [

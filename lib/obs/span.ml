@@ -255,7 +255,7 @@ let absorb (snap : snapshot) =
 let stats () =
   let ds = Domain.DLS.get key in
   Hashtbl.fold (fun _ st acc -> st :: acc) ds.table []
-  |> List.sort (fun a b -> compare a.path b.path)
+  |> List.sort (fun a b -> String.compare a.path b.path)
 
 (* sorting by path yields tree order: "a" < "a/child" < "ab" because
    '/' sorts below every path character we use *)

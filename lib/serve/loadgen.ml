@@ -53,7 +53,7 @@ let percentile values p =
   if n = 0 then 0.0
   else begin
     let sorted = Array.copy values in
-    Array.sort compare sorted;
+    Array.sort Float.compare sorted;
     let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
     sorted.(max 0 (min (n - 1) (rank - 1)))
   end
@@ -68,7 +68,7 @@ let per_kind_totals completions =
       (k, (q + 1, r + c.Server.response.Workload.rounds, v +. c.Server.response.Workload.value))
       :: List.remove_assoc k acc)
     [] completions
-  |> List.sort compare
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   |> List.map (fun (k, (q, r, v)) -> (k, q, r, v))
 
 let phase_json s =
@@ -132,7 +132,7 @@ let run_phase ~name ~server ~events =
   let completions =
     List.concat (List.rev !completions)
     |> List.sort (fun (a : Server.completion) b ->
-           compare a.Server.seq b.Server.seq)
+           Int.compare a.Server.seq b.Server.seq)
   in
   let s1 = Server.stats server in
   let m1 = Memo.stats () in

@@ -177,7 +177,7 @@ let drain (t : t) =
       |> List.concat_map (fun (spec, group) ->
              chunks t.cfg.batch_max group
              |> List.concat_map (fun b -> serve_batch t spec b))
-      |> List.sort (fun a b -> compare a.seq b.seq)
+      |> List.sort (fun a b -> Int.compare a.seq b.seq)
     in
     let count = List.length completions in
     t.completed <- t.completed + count;

@@ -213,7 +213,7 @@ let build g ~coords ~cells =
               if not (List.mem v !extra) then extra := v :: !extra
             end
           end);
-      let extra = List.sort_uniq compare !extra in
+      let extra = List.sort_uniq Int.compare !extra in
       (* vertices adjacent to a patched-in vertex inside the gate must also be
          fenced if they were interior before (their boundary status changed is
          impossible: adding vertices only adds boundary) — re-derive the fence
@@ -221,7 +221,7 @@ let build g ~coords ~cells =
          the gate *)
       let gate_vs = extra @ gate_vs in
       let fence =
-        List.sort_uniq compare
+        List.sort_uniq Int.compare
           (extra @ fence
           @ List.filter
               (fun v ->
@@ -274,7 +274,7 @@ let check g ~cells gates =
       not
         (List.for_all
            (fun gt ->
-             let cs = List.sort_uniq compare (List.map (fun v -> cell_of.(v)) gt.gate) in
+             let cs = List.sort_uniq Int.compare (List.map (fun v -> cell_of.(v)) gt.gate) in
              List.length cs <= 2)
            gates)
     then fail "property 4: a gate intersects more than two cells"

@@ -33,7 +33,7 @@ let prune policy steiner parts kappa =
         (fun e is ->
           let sorted =
             List.sort
-              (fun a b -> compare (Part.size parts b) (Part.size parts a))
+              (fun a b -> Int.compare (Part.size parts b) (Part.size parts a))
               is
           in
           let kept = List.filteri (fun i _ -> i < kappa) sorted in
@@ -117,7 +117,7 @@ let construct_with_stats ?(policy = Keep_kappa) ?kappas tree parts =
       Hashtbl.iter
         (fun e is ->
           let sorted =
-            List.sort (fun a b -> compare (Part.size parts b) (Part.size parts a)) is
+            List.sort (fun a b -> Int.compare (Part.size parts b) (Part.size parts a)) is
           in
           List.iteri (fun r i -> Hashtbl.replace rank (e, i) r) sorted)
         users);

@@ -8,7 +8,7 @@ type t = {
 }
 
 let dedupe l =
-  let l = List.sort_uniq compare l in
+  let l = List.sort_uniq Int.compare l in
   Array.of_list l
 
 let make tree parts assigned =

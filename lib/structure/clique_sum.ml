@@ -113,11 +113,11 @@ let compose ~seed ~k ?(drop_prob = 0.0) ~shape pieces =
     Array.map
       (fun map ->
         let b = Array.copy map in
-        Array.sort compare b;
+        Array.sort Int.compare b;
         b)
       bag_map
   in
-  Array.iter (fun s -> Array.sort compare s) separators;
+  Array.iter (fun s -> Array.sort Int.compare s) separators;
   { graph; bags; parent; separators; k }
 
 let of_tree_decomposition g td =
@@ -188,7 +188,7 @@ let check t =
           Array.to_list t.bags.(i) |> List.filter (Hashtbl.mem bag_sets.(p))
         in
         let sep = Array.to_list t.separators.(i) in
-        if List.sort compare inter <> List.sort compare sep then sep_ok := false
+        if List.sort Int.compare inter <> List.sort Int.compare sep then sep_ok := false
       end
     done;
     if not !sep_ok then fail "separator mismatch or oversize"

@@ -29,7 +29,10 @@ let of_coords g coords =
               let wx, wy = coords.(w) in
               (atan2 (wy -. vy) (wx -. vx), dart_of g e v))
         in
-        Array.sort compare darts;
+        Array.sort
+          (fun (a, da) (b, db) ->
+            match Float.compare a b with 0 -> Int.compare da db | c -> c)
+          darts;
         Array.map snd darts)
   in
   { graph = g; rot }

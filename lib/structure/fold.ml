@@ -61,7 +61,7 @@ let fold ~parent =
       else begin
         let mid = (lo + hi) / 2 in
         let members =
-          List.sort_uniq compare [ chain.(lo); chain.(mid); chain.(hi) ]
+          List.sort_uniq Int.compare [ chain.(lo); chain.(mid); chain.(hi) ]
         in
         let gid = new_group members fp in
         ignore (fold_interval chain (lo + 1) (mid - 1) gid);

@@ -68,7 +68,7 @@ let decompose_with_vortices g vortices =
   let bags =
     Array.mapi
       (fun b members ->
-        let all = List.sort_uniq compare (extra.(b) @ members) in
+        let all = List.sort_uniq Int.compare (extra.(b) @ members) in
         Array.of_list all)
       bags
   in

@@ -155,11 +155,11 @@ let planar_biconnected g =
               end
             done;
             let atts = Hashtbl.fold (fun v () acc -> v :: acc) att [] in
-            frags := (List.sort compare atts, Some !seed) :: !frags
+            frags := (List.sort Int.compare atts, Some !seed) :: !frags
           done;
           Graph.iter_edges g (fun e u v ->
               if (not emb_e.(e)) && emb_v.(u) && emb_v.(v) then
-                frags := (List.sort compare [ u; v ], None) :: !frags);
+                frags := (List.sort Int.compare [ u; v ], None) :: !frags);
           if !frags = [] then continue_ := false
           else begin
             let face_has f v = Array.exists (fun x -> x = v) f in

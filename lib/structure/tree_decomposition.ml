@@ -92,7 +92,7 @@ let of_elimination_order g order =
       Hashtbl.fold (fun u () acc -> if pos.(u) > i then u :: acc else acc) adj.(v) []
     in
     bags.(i) <- Array.of_list (v :: later);
-    Array.sort compare bags.(i);
+    Array.sort Int.compare bags.(i);
     (* fill in among later neighbors *)
     List.iter
       (fun a ->

@@ -47,7 +47,12 @@
    run on a shared container is the noisiest metric in the ledger, so the
    bound only catches order-of-magnitude serving regressions, not drift.
    Latency quantiles are wall-clock measurements and get the same
-   calibration normalization as the other time metrics. *)
+   calibration normalization as the other time metrics.
+
+   When both entries carry a "scale" section (the S1 million-node run),
+   its per-family build/BFS/MST phase walls and cpu are gated at the
+   15% time bound with calibration normalization, and the family's
+   minor_words / max_rss_kb at the usual tight allocation bounds. *)
 
 let j_member = Obs.Sink.member
 let j_str name j = Option.bind (j_member name j) Obs.Sink.string_value
@@ -274,6 +279,44 @@ let compare_entries v ~speed ~baseline ~current =
                 ~rel:0.05 ~eps:100.0 ~baseline:b ~current:c
           | _ -> ()))
     (probes_by_name current);
+  (* scale section: per-family S1 build/BFS/MST phases, gated only when
+     both entries actually ran S1 (the member is Null otherwise).  Phase
+     walls are memory-bound and get the wide 15% time bound; allocation
+     is deterministic and keeps the tight 5% bound. *)
+  (match (j_member "scale" baseline, j_member "scale" current) with
+  | Some (Obs.Sink.Obj _ as bs), Some (Obs.Sink.Obj _ as cs) ->
+      let families j =
+        match j_member "families" j with
+        | Some (Obs.Sink.List l) ->
+            List.filter_map
+              (fun f -> Option.map (fun name -> (name, f)) (j_str "family" f))
+              l
+        | _ -> []
+      in
+      let base_fams = families bs in
+      List.iter
+        (fun (name, cur) ->
+          match List.assoc_opt name base_fams with
+          | None -> ()
+          | Some base ->
+              let pair metric = (num metric base, num metric cur) in
+              let chk ?(time = false) metric ~rel ~eps (b, c) =
+                match (b, c) with
+                | Some b, Some c ->
+                    (if time then check_time else check)
+                      v
+                      ~metric:(Printf.sprintf "scale[%s].%s" name metric)
+                      ~rel ~eps ~baseline:b ~current:c
+                | _ -> ()
+              in
+              chk ~time:true "build_ms" ~rel:0.15 ~eps:250.0 (pair "build_ms");
+              chk ~time:true "bfs_ms" ~rel:0.15 ~eps:250.0 (pair "bfs_ms");
+              chk ~time:true "mst_ms" ~rel:0.15 ~eps:250.0 (pair "mst_ms");
+              chk ~time:true "cpu_ms" ~rel:0.15 ~eps:250.0 (pair "cpu_ms");
+              chk "minor_words" ~rel:0.05 ~eps:1e6 (pair "minor_words");
+              chk "max_rss_kb" ~rel:0.25 ~eps:51200.0 (pair "max_rss_kb"))
+        (families cs)
+  | _ -> ());
   (* serve SLOs: only when both entries actually ran SV1 (the member is
      Null otherwise) *)
   match (j_member "serve" baseline, j_member "serve" current) with

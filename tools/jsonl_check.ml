@@ -25,6 +25,13 @@
      jsonl_check --serve --max-p99 5000 serve.jsonl
      jsonl_check --ledger --require-serve BENCH_LEDGER.jsonl
 
+   In ledger mode, --require-scale demands a "scale" section (the S1
+   million-node run) in the latest entry, and any entry carrying one must
+   have a families list whose members carry the family name plus numeric
+   build/BFS/MST phase walls, cpu, minor words and peak RSS.
+
+     jsonl_check --ledger --require-scale /tmp/s1-ledger.jsonl
+
    Exit status 0 iff all checks hold; wired into `make bench-smoke`,
    `make bench-serve-check` and `make bench-regress-check`. *)
 
@@ -57,13 +64,42 @@ let is_iso_date s =
   && s.[4] = '-'
   && s.[7] = '-'
 
-let check_ledger ~require_serve file =
+(* one S1 family record inside the ledger's scale section *)
+let check_scale_family ~fail ~where j =
+  (match Option.bind (Obs.Sink.member "family" j) Obs.Sink.string_value with
+  | Some _ -> ()
+  | None -> fail (Printf.sprintf "%s: no string \"family\"" where));
+  List.iter
+    (fun k ->
+      match numeric k j with
+      | Some v when v >= 0.0 -> ()
+      | Some v -> fail (Printf.sprintf "%s: negative %s %g" where k v)
+      | None -> fail (Printf.sprintf "%s: no numeric %S" where k))
+    [ "build_ms"; "bfs_ms"; "mst_ms"; "cpu_ms"; "minor_words"; "max_rss_kb" ]
+
+let check_scale_section ~fail j =
+  (match Option.bind (Obs.Sink.member "mst_strategy" j) Obs.Sink.string_value with
+  | Some _ -> ()
+  | None -> fail "scale section: no string \"mst_strategy\"");
+  match Obs.Sink.member "families" j with
+  | Some (Obs.Sink.List fams) ->
+      if fams = [] then fail "scale section: empty families list";
+      List.iteri
+        (fun i f ->
+          check_scale_family ~fail
+            ~where:(Printf.sprintf "scale.families[%d]" i)
+            f)
+        fams
+  | _ -> fail "scale section: no \"families\" list"
+
+let check_ledger ~require_serve ~require_scale file =
   let ic = open_in file in
   let lineno = ref 0 in
   let entries = ref 0 in
   let errors = ref 0 in
   let last_date = ref "" in
   let last_had_serve = ref false in
+  let last_had_scale = ref false in
   let err fmt =
     Printf.ksprintf
       (fun msg ->
@@ -123,7 +159,15 @@ let check_ledger ~require_serve file =
                  | Some r when r >= 0.0 && r <= 1.0 -> ()
                  | Some r -> err "serve section: reject_rate %g outside [0,1]" r
                  | None -> err "serve section: no numeric \"reject_rate\"")
-             | _ -> last_had_serve := false)
+             | _ -> last_had_serve := false);
+             (* "scale" is likewise optional (runs whose --only filter
+                skipped S1 carry Null) but must be well-formed when
+                present *)
+             (match Obs.Sink.member "scale" j with
+             | Some (Obs.Sink.Obj _ as sc) ->
+                 last_had_scale := true;
+                 check_scale_section ~fail:(fun m -> err "%s" m) sc
+             | _ -> last_had_scale := false)
      done
    with End_of_file -> ());
   close_in ic;
@@ -131,11 +175,19 @@ let check_ledger ~require_serve file =
     incr errors;
     Printf.eprintf "%s: empty ledger\n" file
   end
-  else if require_serve && not !last_had_serve then begin
-    incr errors;
-    Printf.eprintf "%s: latest entry has no \"serve\" section (SV1 did not \
-                    run?)\n"
-      file
+  else begin
+    if require_serve && not !last_had_serve then begin
+      incr errors;
+      Printf.eprintf "%s: latest entry has no \"serve\" section (SV1 did \
+                      not run?)\n"
+        file
+    end;
+    if require_scale && not !last_had_scale then begin
+      incr errors;
+      Printf.eprintf "%s: latest entry has no \"scale\" section (S1 did \
+                      not run?)\n"
+        file
+    end
   end;
   if !errors = 0 then begin
     Printf.printf "%s: OK — %d ledger entries, schema %s, dates monotone\n"
@@ -153,6 +205,7 @@ let () =
   let ledger = ref false in
   let serve = ref false in
   let require_serve = ref false in
+  let require_scale = ref false in
   let max_p99 = ref infinity in
   let file = ref None in
   let rec parse = function
@@ -171,6 +224,9 @@ let () =
     | "--require-serve" :: rest ->
         require_serve := true;
         parse rest
+    | "--require-scale" :: rest ->
+        require_scale := true;
+        parse rest
     | "--max-p99" :: v :: rest ->
         max_p99 := float_of_string v;
         parse rest
@@ -187,10 +243,13 @@ let () =
     | None ->
         prerr_endline
           "usage: jsonl_check [--require t1,t2] [--min-spans N] [--serve] \
-           [--max-p99 MS] [--ledger] [--require-serve] FILE";
+           [--max-p99 MS] [--ledger] [--require-serve] [--require-scale] \
+           FILE";
         exit 2
   in
-  if !ledger then check_ledger ~require_serve:!require_serve file;
+  if !ledger then
+    check_ledger ~require_serve:!require_serve ~require_scale:!require_scale
+      file;
   let ic = open_in file in
   let seen_types = Hashtbl.create 8 in
   let span_names = Hashtbl.create 16 in
@@ -276,7 +335,7 @@ let () =
     Printf.eprintf "%s: only %d distinct span names (need >= %d): %s\n" file
       distinct_spans min_spans
       (Hashtbl.fold (fun k () acc -> k :: acc) span_names []
-      |> List.sort compare |> String.concat ", ")
+      |> List.sort String.compare |> String.concat ", ")
   end;
   if !errors = 0 then begin
     Printf.printf
