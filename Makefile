@@ -1,4 +1,4 @@
-.PHONY: all build test fmt lint-polycompare check bench bench-record bench-bless bench-regress-check bench-smoke bench-par-check bench-cache-check bench-fault-check bench-scale-check bench-serve bench-serve-check clean
+.PHONY: all build test fmt lint-polycompare check bench bench-record bench-bless bench-regress-check bench-smoke bench-par-check bench-cache-check bench-fault-check bench-scale-check bench-serve bench-serve-check bench-asynch bench-asynch-check clean
 
 all: build
 
@@ -30,6 +30,7 @@ check:
 	$(MAKE) bench-fault-check
 	$(MAKE) bench-scale-check
 	$(MAKE) bench-serve-check
+	$(MAKE) bench-asynch-check
 	$(MAKE) bench-regress-check
 
 bench:
@@ -131,6 +132,35 @@ bench-serve-check:
 	  --serve --max-p99 5000 /tmp/sv1-serve.jsonl
 	./_build/default/tools/jsonl_check.exe --ledger --require-serve \
 	  /tmp/sv1-ledger.jsonl
+
+bench-asynch:
+	dune build bench/main.exe tools/jsonl_check.exe
+	rm -f /tmp/as1.jsonl /tmp/as1-ledger.jsonl
+	./_build/default/bench/main.exe --only AS1 --no-timing --no-breakdown \
+	  --jsonl /tmp/as1.jsonl --ledger /tmp/as1-ledger.jsonl \
+	  --rev $$(git rev-parse --short HEAD 2>/dev/null || echo unknown) \
+	  --date $$(date -u +%Y-%m-%d)
+
+# asynchronous-executor gate: AS1's simulated times and message counts are
+# pure functions of (graph, algorithm, latency seed), so the run must be
+# byte-deterministic across --jobs settings, the JSONL stream must carry
+# well-formed asynch_summary events, and the ledger entry must validate
+# with a well-formed "asynch" section
+bench-asynch-check:
+	$(MAKE) bench-asynch
+	./_build/default/bench/main.exe --only AS1 --no-timing --no-breakdown \
+	  --jobs 1 > /tmp/as1-j1.out
+	./_build/default/bench/main.exe --only AS1 --no-timing --no-breakdown \
+	  --jobs 2 > /tmp/as1-j2.out
+	./_build/default/bench/main.exe --only AS1 --no-timing --no-breakdown \
+	  --jobs 4 > /tmp/as1-j4.out
+	diff /tmp/as1-j1.out /tmp/as1-j2.out
+	diff /tmp/as1-j1.out /tmp/as1-j4.out
+	./_build/default/tools/jsonl_check.exe \
+	  --require span,metrics,asynch_summary --min-spans 2 \
+	  --asynch /tmp/as1.jsonl
+	./_build/default/tools/jsonl_check.exe --ledger --require-asynch \
+	  /tmp/as1-ledger.jsonl
 
 # fault-injection determinism gate: the R-series robustness experiment runs
 # its whole fault schedule from named seeded streams, so two runs at the

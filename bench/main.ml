@@ -1511,6 +1511,143 @@ let sv1 () =
       ]
 
 (* ------------------------------------------------------------------ *)
+(* AS1: asynchronous executor — rounds vs simulated time               *)
+(* ------------------------------------------------------------------ *)
+
+module Lat = Core.Latency
+module Synch = Core.Synchronizer
+module Nat = Core.Asynch.Native
+
+(* the ledger's top-level "asynch" section: per-cell rounds / simulated
+   time / message counts for the latency-model sweep (all deterministic,
+   gated tight by bench_diff) plus the sweep's wall time (gated loose);
+   Null when AS1 didn't run *)
+let asynch_section : Obs.Sink.json ref = ref Obs.Sink.Null
+
+let as1 () =
+  section "AS1 (asynch): rounds vs simulated time under latency models";
+  Printf.printf
+    "every cell runs the unmodified synchronous algorithm on the\n\
+     event-driven fabric behind an alpha-synchronizer, under four latency\n\
+     distributions normalized to mean 1 (pareto: alpha 2, infinite\n\
+     variance).  Simulated time is a pure function of (graph, algorithm,\n\
+     latency seed), so the table is byte-deterministic; time/round > 1\n\
+     is the price of lock-step, ctrl/data is the synchronizer's message\n\
+     overhead (acks + safes per algorithm message).\n";
+  let t0 = Obs.Clock.now_ns () in
+  let families =
+    [
+      ("grid-16x16", (Gen.grid 16 16).Gen.graph);
+      ("torus-12x12", Gen.torus_grid 12 12);
+      ("apollonian-150", (Gen.apollonian ~seed:3 150).Gen.graph);
+    ]
+  in
+  let models =
+    [
+      ("const", Lat.Constant 1.0);
+      ("uniform", Lat.Uniform (0.5, 1.5));
+      ("exp", Lat.Exponential 1.0);
+      ("pareto", Lat.Pareto { alpha = 2.0; xmin = 0.5 });
+    ]
+  in
+  let rows = ref [] in
+  subsection "BFS under the alpha-synchronizer (sim time in latency units)";
+  Printf.printf "%-15s %-8s %7s %10s %8s %9s %9s %10s %7s %6s\n" "family"
+    "model" "rounds" "sim_time" "t/round" "data_msg" "ctrl_msg" "ctrl/data"
+    "events" "q_hwm";
+  List.iter
+    (fun (fam, g) ->
+      List.iter
+        (fun (mname, model) ->
+          let spec = Lat.make ~seed:11 model in
+          (* one showcase cell keeps its per-wave timeline: the source of
+             the simulated-time counter lanes in the Chrome export *)
+          let timeline = fam = "grid-16x16" && mname = "exp" in
+          let label = fam ^ "/bfs" in
+          let _, summary =
+            Synch.with_substrate ~timeline ~spec (fun () ->
+                Core.Dist_bfs.run g ~root:0)
+          in
+          Synch.observe ~label ~spec summary;
+          let fields =
+            ("family", Obs.Sink.String fam)
+            :: ("algo", Obs.Sink.String "bfs")
+            :: Synch.summary_fields ~label ~spec summary
+          in
+          record ~type_:"asynch" fields;
+          rows := Obs.Sink.Obj fields :: !rows;
+          let open Synch in
+          Printf.printf
+            "%-15s %-8s %7d %10.3f %8.3f %9d %9d %10.2f %7d %6d\n" fam mname
+            summary.pulses summary.sim_time
+            (summary.sim_time /. float_of_int (max 1 summary.pulses))
+            summary.data_msgs summary.ctrl_msgs
+            (float_of_int summary.ctrl_msgs
+            /. float_of_int (max 1 summary.data_msgs))
+            summary.events summary.queue_hwm)
+        models)
+    families;
+  subsection
+    "cost of synchrony: native event-driven vs synchronized (same fabric)";
+  Printf.printf "%-22s %-8s %12s %12s %9s\n" "algorithm" "model" "sync_time"
+    "native_time" "overhead";
+  let native_rows = ref [] in
+  let native_cell name model ~sync_time ~native:(rep : Nat.report) =
+    let fields =
+      [
+        ("label", Obs.Sink.String name);
+        ("model", Obs.Sink.String model);
+        ("sync_time", Obs.Sink.Float sync_time);
+        ("sim_time", Obs.Sink.Float rep.Nat.sim_time);
+        ("msgs", Obs.Sink.Int rep.Nat.msgs);
+        ("events", Obs.Sink.Int rep.Nat.events);
+        ("queue_hwm", Obs.Sink.Int rep.Nat.queue_hwm);
+      ]
+    in
+    record ~type_:"asynch_native" fields;
+    native_rows := Obs.Sink.Obj fields :: !native_rows;
+    Printf.printf "%-22s %-8s %12.3f %12.3f %8.2fx\n" name model sync_time
+      rep.Nat.sim_time
+      (sync_time /. Float.max rep.Nat.sim_time 1e-9)
+  in
+  let g16 = (Gen.grid 16 16).Gen.graph in
+  List.iter
+    (fun (mname, model) ->
+      let spec = Lat.make ~seed:11 model in
+      let _, summary =
+        Synch.with_substrate ~spec (fun () -> Core.Dist_bfs.run g16 ~root:0)
+      in
+      let _, rep = Nat.run ~spec g16 (Nat.bfs ~root:0) in
+      native_cell "bfs/grid-16x16" mname ~sync_time:summary.Synch.sim_time
+        ~native:rep)
+    models;
+  let gt8 = Gen.torus_grid 8 8 in
+  List.iter
+    (fun (mname, model) ->
+      let spec = Lat.make ~seed:11 model in
+      let _, summary =
+        Synch.with_substrate ~spec (fun () ->
+            ignore (Core.Leader.elect gt8))
+      in
+      let _, rep = Nat.run ~spec gt8 Nat.leader in
+      native_cell "leader/torus-8x8" mname ~sync_time:summary.Synch.sim_time
+        ~native:rep)
+    models;
+  Printf.printf
+    "\n\
+     (native leader is flood-max to quiescence; the synchronized column\n\
+     is the full elect + census pipeline, so the overhead compounds the\n\
+     synchronizer tax with the algorithm's extra stages.)\n";
+  let wall_ms = Obs.Clock.ns_to_ms (Int64.sub (Obs.Clock.now_ns ()) t0) in
+  asynch_section :=
+    Obs.Sink.Obj
+      [
+        ("rows", Obs.Sink.List (List.rev !rows));
+        ("native", Obs.Sink.List (List.rev !native_rows));
+        ("wall_ms", Obs.Sink.Float wall_ms);
+      ]
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1534,6 +1671,7 @@ let experiments =
     ("R1", "robustness: deterministic fault injection", r1);
     ("S1", "scale: million-node CSR substrate (build/BFS/MST)", s1);
     ("SV1", "serve: batched query serving, open-loop load", sv1);
+    ("AS1", "asynch: latency models, synchronizer overhead", as1);
   ]
 
 (* run one experiment under a root span, then print its phase breakdown from
@@ -1831,6 +1969,7 @@ let () =
               ("memo", Memo.stats_json ());
               ("serve", !serve_section);
               ("scale", !scale_section);
+              ("asynch", !asynch_section);
             ]
         in
         let oc = open_out path in
@@ -1877,6 +2016,7 @@ let () =
               ("memo", Memo.stats_json ());
               ("serve", !serve_section);
               ("scale", !scale_section);
+              ("asynch", !asynch_section);
             ]
         in
         let oc =

@@ -1,0 +1,6 @@
+(* Asynchronous & heterogeneous CONGEST (DESIGN.md §16): event-driven
+   executor, per-edge latency models, and synchronizer wrappers. *)
+
+module Latency = Latency
+module Synchronizer = Synchronizer
+module Native = Native

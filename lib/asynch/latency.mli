@@ -1,0 +1,44 @@
+(** Pluggable per-edge latency models for the asynchronous executor.
+
+    A {!spec} describes, as pure data, how long messages spend on the
+    wire: a latency distribution sampled per message, plus optional
+    per-edge bandwidth caps under which a message of [w] words occupies
+    its directed link for [w / cap] simulated time units (FIFO per
+    link).  Every sample comes from the named streams
+    [Faults.Streams.asynch_latency] / [asynch_bandwidth] derived from the
+    spec seed, so event schedules are seed-reproducible and independent
+    of fault plans and algorithm randomness. *)
+
+type model =
+  | Constant of float  (** every message takes exactly this long *)
+  | Uniform of float * float  (** uniform in [lo, hi] *)
+  | Exponential of float  (** exponential with the given mean *)
+  | Pareto of { alpha : float; xmin : float }
+      (** heavy tail: support [xmin, ∞), infinite variance for
+          [alpha <= 2], infinite mean for [alpha <= 1] *)
+
+type spec = { seed : int; model : model; bw : (float * float) option }
+
+val make : ?bw:float * float -> seed:int -> model -> spec
+(** [bw = (lo, hi)] samples one cap per undirected edge uniformly from
+    [lo, hi] words per time unit; omitted means uncapped links.
+    @raise Invalid_argument on non-positive distribution parameters. *)
+
+val model_name : model -> string
+(** ["const"] / ["uniform"] / ["exp"] / ["pareto"] — the ledger and
+    JSONL identifier. *)
+
+val mean_latency : model -> float
+(** Distribution mean ([infinity] for Pareto with [alpha <= 1]). *)
+
+type sampler
+(** A spec instantiated with its latency stream. *)
+
+val sampler : spec -> sampler
+val draw : sampler -> float
+
+val edge_caps : spec -> m:int -> float array option
+(** Per-undirected-edge caps in edge-id order, or [None] if uncapped. *)
+
+val fields : spec -> (string * Obs.Sink.json) list
+(** JSONL identity of the spec, for [asynch_summary] events. *)

@@ -72,6 +72,22 @@ type fstate = {
   mutable in_flight : int;
 }
 
+(* Hook mode (DESIGN.md section 16): an external executor owns delivery.
+   Sends still run validation, fault gauntlet and accounting here, but
+   instead of landing in the arena they are handed to [h_send] — the
+   async scheduler samples a latency, queues the message, and later blits
+   it back via [Hook.deliver] with the pulse it belongs to.  [h_sent]
+   replaces the arena round stamp for duplicate detection (the arena
+   write is deferred, as in the fault path); [h_fs] is the hook's own
+   fault state — drop/link/delay fire at send time exactly like the sync
+   gauntlet, while receiver crashes are the executor's to enforce at
+   arrival, because only it knows the delivery time. *)
+type hook_state = {
+  h_send : dir:int -> dst:int -> delay_rounds:int -> payload:int array -> unit;
+  h_sent : int array;  (* per dir: last pulse a send was accepted *)
+  h_fs : Faults.state option;
+}
+
 type ctx = {
   g : Graph.t;
   bandwidth : int;
@@ -103,6 +119,7 @@ type ctx = {
   mutable retried : int;
   trace : Trace.t option;
   faults : fstate option;
+  hook : hook_state option;
 }
 
 let node ctx = ctx.node
@@ -198,7 +215,39 @@ let deliver_faulty ctx f w dir payload =
     end
   end
 
+(* hook-mode send: validate and account exactly like the other paths,
+   then hand the surviving message to the external executor.  A crashed
+   receiver is *not* checked here — the sync gauntlet can, because it
+   knows the delivery round at send time; under the hook only the
+   executor knows when the message lands, so it performs the crash check
+   at arrival (and records the loss via [Hook.note_lost]). *)
+let deliver_hooked ctx hs w dir payload =
+  let r = ctx.round in
+  let words = Array.length payload in
+  if hs.h_sent.(dir) = r then err_duplicate ctx w words;
+  if words > ctx.bandwidth then err_bandwidth ctx w words;
+  hs.h_sent.(dir) <- r;
+  match hs.h_fs with
+  | None ->
+      account ctx dir words;
+      hs.h_send ~dir ~dst:w ~delay_rounds:0 ~payload
+  | Some fs ->
+      if Faults.link_down fs ~edge:(dir / 2) ~round:r then note_drop ctx
+      else if Faults.drop_roll fs then note_drop ctx
+      else begin
+        let extra = Faults.delay_roll fs in
+        account ctx dir words;
+        if extra > 0 then begin
+          ctx.delayed <- ctx.delayed + 1;
+          match ctx.trace with Some t -> Trace.on_delay t | None -> ()
+        end;
+        hs.h_send ~dir ~dst:w ~delay_rounds:extra ~payload
+      end
+
 let deliver ctx w dir payload =
+  match ctx.hook with
+  | Some hs -> deliver_hooked ctx hs w dir payload
+  | None ->
   match ctx.faults with
   | Some f -> deliver_faulty ctx f w dir payload
   | None ->
@@ -246,24 +295,10 @@ type 'st algo = {
   finished : 'st -> bool;
 }
 
-let run ?(bandwidth = 4) ?(max_rounds = 1_000_000) ?trace ?faults g algo =
+(* context construction shared by the synchronous engine and hook mode *)
+let make_ctx ~bandwidth ~trace ~fstate ~hook g =
   let n = Graph.n g in
   let m = Graph.m g in
-  (* a plan that can never fire stays on the fast path entirely *)
-  let fstate =
-    match faults with
-    | Some plan when not (Faults.is_zero plan) ->
-        Some
-          {
-            fs = Faults.start plan g;
-            sent_round = Array.make (2 * m) (-1);
-            last_due = Array.make (2 * m) 0;
-            buckets = Hashtbl.create 64;
-            in_flight = 0;
-          }
-    | _ -> None
-  in
-  let states = Array.init n (fun v -> algo.init g v) in
   let edge_src = Array.init (Graph.m g) (fun e -> Graph.edge_u g e) in
   let dir_of e u = if edge_src.(e) = u then 2 * e else (2 * e) + 1 in
   let out_nbr = Array.init n (fun v -> Graph.neighbors g v) in
@@ -291,10 +326,9 @@ let run ?(bandwidth = 4) ?(max_rounds = 1_000_000) ?trace ?faults g algo =
   let in_nbr = Array.map (Array.map fst) in_pairs in
   let in_dir = Array.map (Array.map snd) in_pairs in
   let maxdeg = Array.fold_left (fun acc a -> max acc (Array.length a)) 0 out_nbr in
-  let ctx =
-    {
-      g;
-      bandwidth;
+  {
+    g;
+    bandwidth;
       edge_src;
       out_nbr;
       out_dir;
@@ -321,8 +355,48 @@ let run ?(bandwidth = 4) ?(max_rounds = 1_000_000) ?trace ?faults g algo =
       retried = 0;
       trace;
       faults = fstate;
-    }
+      hook;
+  }
+
+(* the stepped node's inbox view: scan the incoming dirs end-to-start for
+   slots stamped with the current round, so the indexed inbox comes out
+   in descending sender order (the delivery order every recorded
+   experiment depends on).  Shared verbatim by the synchronous engine and
+   hook-mode pulses. *)
+let fill_inbox ctx v =
+  let nbrs = ctx.in_nbr.(v) and dirs = ctx.in_dir.(v) in
+  let mr = ctx.msg_round.(ctx.round land 1) in
+  let k = ref 0 in
+  for i = Array.length nbrs - 1 downto 0 do
+    let dir = dirs.(i) in
+    if mr.(dir) = ctx.round then begin
+      ctx.ibx_sender.(!k) <- nbrs.(i);
+      ctx.ibx_dir.(!k) <- dir;
+      incr k
+    end
+  done;
+  ctx.ibx_n <- !k
+
+let run_sync ~bandwidth ~max_rounds ~trace ~faults g algo =
+  let n = Graph.n g in
+  let m = Graph.m g in
+  (* a plan that can never fire stays on the fast path entirely *)
+  let fstate =
+    match faults with
+    | Some plan when not (Faults.is_zero plan) ->
+        Some
+          {
+            fs = Faults.start plan g;
+            sent_round = Array.make (2 * m) (-1);
+            last_due = Array.make (2 * m) 0;
+            buckets = Hashtbl.create 64;
+            in_flight = 0;
+          }
+    | _ -> None
   in
+  let states = Array.init n (fun v -> algo.init g v) in
+  let ctx = make_ctx ~bandwidth ~trace ~fstate ~hook:None g in
+  let bandwidth = ctx.bandwidth in
   let spare_recv = ref (Array.make n 0) in
   (* awake worklists: double-buffered int stacks, no per-round consing.
      Both stacks (and the receiver stack) are pushed in discovery order and
@@ -388,21 +462,7 @@ let run ?(bandwidth = 4) ?(max_rounds = 1_000_000) ?trace ?faults g algo =
     let na = !next_awake in
     let step_node v with_mail =
       ctx.node <- v;
-      (if with_mail then begin
-         let nbrs = in_nbr.(v) and dirs = in_dir.(v) in
-         let mr = ctx.msg_round.(p) in
-         let k = ref 0 in
-         for i = Array.length nbrs - 1 downto 0 do
-           let dir = dirs.(i) in
-           if mr.(dir) = !round then begin
-             ctx.ibx_sender.(!k) <- nbrs.(i);
-             ctx.ibx_dir.(!k) <- dir;
-             incr k
-           end
-         done;
-         ctx.ibx_n <- !k
-       end
-       else ctx.ibx_n <- 0);
+      if with_mail then fill_inbox ctx v else ctx.ibx_n <- 0;
       incr active_steps;
       let st = algo.step ctx states.(v) in
       states.(v) <- st;
@@ -488,3 +548,179 @@ let run ?(bandwidth = 4) ?(max_rounds = 1_000_000) ?trace ?faults g algo =
       delayed = ctx.delayed;
       retried = ctx.retried;
     } )
+
+(* ---------- substrate override ----------
+
+   [run] consults a per-domain runner before falling back to the
+   synchronous engine.  An alternative substrate (the α-synchronizer in
+   lib/asynch) installs itself with [with_runner] around a thunk, and
+   every [run] call inside — including the ones buried in Bfs/Mst/...
+   entry points — executes on it, with the algorithm code untouched.
+   The slot is domain-local so parallel bench cells cannot observe each
+   other's substrate. *)
+
+type runner = {
+  run_algo :
+    'st.
+    bandwidth:int ->
+    max_rounds:int ->
+    trace:Trace.t option ->
+    faults:Faults.plan option ->
+    Graph.t ->
+    'st algo ->
+    'st array * stats;
+}
+
+let runner_key : runner option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let with_runner r f =
+  let prev = Domain.DLS.get runner_key in
+  Domain.DLS.set runner_key (Some r);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set runner_key prev) f
+
+let run ?(bandwidth = 4) ?(max_rounds = 1_000_000) ?trace ?faults g algo =
+  match Domain.DLS.get runner_key with
+  | Some r -> r.run_algo ~bandwidth ~max_rounds ~trace ~faults g algo
+  | None -> run_sync ~bandwidth ~max_rounds ~trace ~faults g algo
+
+(* ---------- delivery hooks ----------
+
+   An externally-driven engine instance: the executor owns time and
+   delivery order, the hook owns everything the synchronous engine knows
+   about the fabric — ctx construction, send validation and accounting,
+   the parity arenas, the inbox view, and the algorithm states.  The
+   α-synchronizer's invariant (at most two pulses of undelivered messages
+   per directed edge, because pulse p + 2 sends require the safe(p + 1)
+   handshake, which happens after the pulse p + 1 consumption) is exactly
+   what the two parity-indexed arenas need to stay collision-free. *)
+module Hook = struct
+  type t = {
+    hctx : ctx;
+    hstate : hook_state;
+    plan : Faults.plan option;
+    step_fn : int -> unit;
+    awake_fn : int -> bool;
+    mutable steps : int;
+  }
+
+  let create ?(bandwidth = 4) ?trace ?faults ~on_send g algo =
+    let fs =
+      match faults with
+      | Some plan when not (Faults.is_zero plan) -> Some (Faults.start plan g)
+      | _ -> None
+    in
+    let m = Graph.m g in
+    let hstate =
+      { h_send = on_send; h_sent = Array.make (2 * m) (-1); h_fs = fs }
+    in
+    let hctx = make_ctx ~bandwidth ~trace ~fstate:None ~hook:(Some hstate) g in
+    let states = Array.init (Graph.n g) (fun v -> algo.init g v) in
+    let finished = Array.map algo.finished states in
+    let step_fn v =
+      let st = algo.step hctx states.(v) in
+      states.(v) <- st;
+      finished.(v) <- algo.finished st
+    in
+    let t =
+      {
+        hctx;
+        hstate;
+        plan = faults;
+        step_fn;
+        awake_fn = (fun v -> not finished.(v));
+        steps = 0;
+      }
+    in
+    (t, fun () -> states)
+
+  let n t = Graph.n t.hctx.g
+  let graph t = t.hctx.g
+  let awake t v = t.awake_fn v
+  let out_nbr t v = t.hctx.out_nbr.(v)
+  let out_dir t v = t.hctx.out_dir.(v)
+
+  let dir_dst t dir =
+    let e = dir / 2 in
+    let u = Graph.edge_u t.hctx.g e and v = Graph.edge_v t.hctx.g e in
+    if dir land 1 = 0 then v else u
+
+  let dir_src t dir = dir_dst t (dir lxor 1)
+
+  let crash_round t v =
+    match t.hstate.h_fs with Some fs -> Faults.crash_round fs v | None -> -1
+
+  let deliver t ~dir ~pulse payload =
+    let ctx = t.hctx in
+    let p = pulse land 1 in
+    let words = Array.length payload in
+    ctx.msg_round.(p).(dir) <- pulse;
+    ctx.msg_len.(p).(dir) <- words;
+    Array.blit payload 0 ctx.arena.(p) (dir * ctx.bandwidth) words
+
+  let has_mail t ~node ~pulse =
+    let ctx = t.hctx in
+    let dirs = ctx.in_dir.(node) in
+    let mr = ctx.msg_round.(pulse land 1) in
+    let found = ref false in
+    for i = 0 to Array.length dirs - 1 do
+      if mr.(dirs.(i)) = pulse then found := true
+    done;
+    !found
+
+  let step t ~node ~pulse =
+    let ctx = t.hctx in
+    ctx.round <- pulse;
+    ctx.node <- node;
+    fill_inbox ctx node;
+    t.steps <- t.steps + 1;
+    t.step_fn node
+
+  let note_lost t = note_drop t.hctx
+  let wave_end t = match t.hctx.trace with Some tr -> Trace.on_round_end tr | None -> ()
+
+  let finish t ~rounds ~converged =
+    let ctx = t.hctx in
+    (match t.hstate.h_fs with
+    | Some fs ->
+        Obs.Metrics.add (Obs.Metrics.counter "faults.dropped") ctx.dropped;
+        Obs.Metrics.add (Obs.Metrics.counter "faults.delayed") ctx.delayed;
+        Obs.Metrics.add (Obs.Metrics.counter "faults.retried") ctx.retried;
+        let crashed_n =
+          let c = ref 0 in
+          for v = 0 to Graph.n ctx.g - 1 do
+            let cr = Faults.crash_round fs v in
+            if cr >= 0 && cr <= rounds then incr c
+          done;
+          !c
+        in
+        Obs.Metrics.add (Obs.Metrics.counter "faults.crashed") crashed_n;
+        Obs.Metrics.incr (Obs.Metrics.counter "faults.runs");
+        if Obs.Sink.enabled () then
+          Obs.Sink.emit ~type_:"fault_summary"
+            ((match t.plan with
+             | Some plan -> Faults.plan_fields plan
+             | None -> [])
+            @ [
+                ("rounds", Obs.Sink.Int rounds);
+                ("messages", Obs.Sink.Int ctx.messages);
+                ("dropped", Obs.Sink.Int ctx.dropped);
+                ("delayed", Obs.Sink.Int ctx.delayed);
+                ("retried", Obs.Sink.Int ctx.retried);
+                ("undelivered", Obs.Sink.Int 0);
+                ("crashed", Obs.Sink.Int crashed_n);
+                ("converged", Obs.Sink.Bool converged);
+              ])
+    | None -> ());
+    {
+      rounds;
+      messages = ctx.messages;
+      words = ctx.words;
+      max_words = ctx.max_words;
+      max_edge_load = ctx.max_load;
+      active_steps = t.steps;
+      converged;
+      dropped = ctx.dropped;
+      delayed = ctx.delayed;
+      retried = ctx.retried;
+    }
+end

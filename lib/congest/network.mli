@@ -142,6 +142,107 @@ val run :
     trace — to a run with no plan; a run with no plan (or a zero plan)
     stays on the allocation-free fast path. *)
 
+type runner = {
+  run_algo :
+    'st.
+    bandwidth:int ->
+    max_rounds:int ->
+    trace:Trace.t option ->
+    faults:Faults.plan option ->
+    Graphlib.Graph.t ->
+    'st algo ->
+    'st array * stats;
+}
+(** An alternative execution substrate for step-API algorithms, e.g. the
+    α-synchronizer over the event-driven executor (lib/asynch). *)
+
+val with_runner : runner -> (unit -> 'a) -> 'a
+(** [with_runner r f] installs [r] as this domain's substrate for the
+    duration of [f]: every {!run} call inside — including the ones buried
+    in the [Bfs]/[Sssp]/[Leader]/[Mst]/[Mincut]/[Aggregate] entry points —
+    is delegated to [r.run_algo] with the algorithm unchanged.  The slot
+    is domain-local (parallel bench cells cannot observe each other's
+    substrate) and restored on exit, exceptions included. *)
+
+(** Delivery hooks: an externally-driven engine instance for event-driven
+    executors (DESIGN.md section 16).  The hook owns what the synchronous
+    engine knows about the fabric — send validation, fault gauntlet,
+    accounting, parity arenas, inbox views, algorithm states — while the
+    caller owns time: it receives every accepted send through [on_send],
+    decides when it arrives, blits it back with {!Hook.deliver}, and runs
+    node steps with {!Hook.step}.  Correct use requires the caller to
+    keep at most two pulses of undelivered messages per directed edge
+    (the α-synchronizer guarantees this structurally), matching the two
+    parity-indexed arenas. *)
+module Hook : sig
+  type t
+
+  val create :
+    ?bandwidth:int ->
+    ?trace:Trace.t ->
+    ?faults:Faults.plan ->
+    on_send:
+      (dir:int -> dst:int -> delay_rounds:int -> payload:int array -> unit) ->
+    Graphlib.Graph.t ->
+    'st algo ->
+    t * (unit -> 'st array)
+  (** Build the engine instance and return it with a reader for the live
+      states array.  [on_send] fires for every message that passes
+      validation and the fault gauntlet, while the sender's step is
+      running: [dir] is the directed-edge slot, [dst] the receiver,
+      [delay_rounds] the fault plan's delay roll (0 without one), and
+      [payload] a live scratch buffer the callee must copy.  Drop/link
+      faults are consumed here at send time, in send order, from the same
+      named streams as the synchronous engine; receiver crashes are the
+      caller's to enforce at arrival (see {!crash_round}, {!note_lost}). *)
+
+  val n : t -> int
+  val graph : t -> Graphlib.Graph.t
+
+  val awake : t -> int -> bool
+  (** [true] iff the node's state is not finished — the same predicate
+      the synchronous worklist uses. *)
+
+  val out_nbr : t -> int -> int array
+  (** Neighbors of a node, adjacency order (shared, do not mutate). *)
+
+  val out_dir : t -> int -> int array
+  (** Directed-edge slot towards each neighbor, parallel to {!out_nbr}. *)
+
+  val dir_dst : t -> int -> int
+  (** Receiver of directed slot [dir]. *)
+
+  val dir_src : t -> int -> int
+  (** Sender of directed slot [dir]; the reverse slot is [dir lxor 1]. *)
+
+  val crash_round : t -> int -> int
+  (** First pulse the node is dead per the fault plan, or [-1]. *)
+
+  val deliver : t -> dir:int -> pulse:int -> int array -> unit
+  (** Blit a payload into the arena slot for [dir], stamped for
+      consumption by the receiver's step at [pulse]. *)
+
+  val has_mail : t -> node:int -> pulse:int -> bool
+  (** Does the node have at least one delivered message stamped [pulse]? *)
+
+  val step : t -> node:int -> pulse:int -> unit
+  (** Fill the node's inbox view from the messages stamped [pulse] (in
+      descending sender order, as the synchronous engine does) and run
+      the algorithm's step with [round ctx = pulse]. *)
+
+  val note_lost : t -> unit
+  (** Record a message lost at arrival (receiver crashed) into the run's
+      drop telemetry. *)
+
+  val wave_end : t -> unit
+  (** Mark a round boundary on the attached trace, if any. *)
+
+  val finish : t -> rounds:int -> converged:bool -> stats
+  (** Close the run: emit the fault telemetry the synchronous engine
+      emits (counters + [fault_summary], when a plan is live) and return
+      the stats with the caller's round count and convergence flag. *)
+end
+
 val empty_stats : stats
 (** All-zero, [converged = true] — the unit for {!add_stats}. *)
 

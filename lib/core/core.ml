@@ -64,6 +64,11 @@ module Faults = Faults
 module Rng = Faults.Rng
 module Degrade = Faults.Degrade
 
+(* asynchronous CONGEST (DESIGN.md section 16) *)
+module Asynch = Asynch
+module Latency = Asynch.Latency
+module Synchronizer = Asynch.Synchronizer
+
 (* CONGEST *)
 module Network = Congest.Network
 module Resilient = Congest.Resilient

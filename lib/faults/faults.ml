@@ -9,6 +9,7 @@
 
 module Graph = Graphlib.Graph
 module Rng = Rng
+module Streams = Streams
 module Degrade = Degrade
 
 type link_failure = { u : int; v : int; from_round : int; to_round : int }
@@ -81,8 +82,8 @@ let start plan g =
     plan.links;
   {
     plan;
-    drop_st = Rng.named ~seed:plan.seed "faults.drop";
-    delay_st = Rng.named ~seed:plan.seed "faults.delay";
+    drop_st = Rng.named ~seed:plan.seed Streams.faults_drop;
+    delay_st = Rng.named ~seed:plan.seed Streams.faults_delay;
     crash_at;
     link_spans;
     any_links = plan.links <> [];

@@ -16,6 +16,7 @@
     [Congest.Resilient] (ack/retry combinator), and the bench R-series. *)
 
 module Rng = Rng
+module Streams = Streams
 module Degrade = Degrade
 
 type link_failure = {

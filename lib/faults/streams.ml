@@ -1,0 +1,37 @@
+(* Central registry of named Rng stream identifiers.
+
+   Every deterministic subsystem draws its randomness from Rng.named
+   streams; the stream *name* is the namespace.  Before this registry the
+   names were stringly scattered across lib/faults, lib/serve and the
+   async executor, and nothing stopped two subsystems from silently
+   sharing a stream (same seed + same name = same bits, a determinism
+   bug that looks like correlated noise).  Registration is the collision
+   check: every well-known name is registered here at module init, and a
+   duplicate registration raises immediately. *)
+
+let table : (string, unit) Hashtbl.t = Hashtbl.create 16
+let mu = Mutex.create ()
+
+let register name =
+  Mutex.lock mu;
+  let dup = Hashtbl.mem table name in
+  if not dup then Hashtbl.add table name ();
+  Mutex.unlock mu;
+  if dup then
+    invalid_arg
+      (Printf.sprintf "Faults.Streams.register: duplicate stream name %S" name);
+  name
+
+let registered name = Hashtbl.mem table name
+
+let all () =
+  let names = Hashtbl.fold (fun k () acc -> k :: acc) table [] in
+  List.sort String.compare names
+
+(* the well-known streams, one line per subsystem draw site *)
+let faults_drop = register "faults.drop"
+let faults_delay = register "faults.delay"
+let serve_arrivals = register "serve.arrivals"
+let serve_mix = register "serve.mix"
+let asynch_latency = register "asynch.latency"
+let asynch_bandwidth = register "asynch.bandwidth"

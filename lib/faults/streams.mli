@@ -1,0 +1,37 @@
+(** Central registry of named {!Rng} stream identifiers.
+
+    A stream name is a namespace: [Rng.named ~seed name] derives an
+    independent generator per (seed, name) pair, so two subsystems that
+    accidentally share a name share bits.  Every well-known stream is
+    registered here — use the constants below at the draw site instead of
+    a string literal — and {!register} rejects duplicates at registration
+    time, turning a silent determinism hazard into an immediate error. *)
+
+val register : string -> string
+(** Register a stream name and return it (so a constant can be defined as
+    [let mine = register "sub.purpose"]).
+    @raise Invalid_argument if the name is already registered. *)
+
+val registered : string -> bool
+(** Has this name been registered? *)
+
+val all : unit -> string list
+(** Every registered name, sorted. *)
+
+val faults_drop : string
+(** Bernoulli message-drop rolls, consumed by {!Faults.drop_roll}. *)
+
+val faults_delay : string
+(** Delivery-delay rolls, consumed by {!Faults.delay_roll}. *)
+
+val serve_arrivals : string
+(** Poisson arrival gaps in the serving load generator. *)
+
+val serve_mix : string
+(** Query-mix choices (graph, kind, seed) in the load generator. *)
+
+val asynch_latency : string
+(** Per-message link-latency samples in the async executor. *)
+
+val asynch_bandwidth : string
+(** Per-edge bandwidth-cap samples in the async executor. *)

@@ -51,6 +51,118 @@ let push q prio x =
 
 let peek q = if q.len = 0 then None else Some (q.prio.(0), q.data.(0))
 
+(* Event-queue variant: the same parallel-array min-heap, but keyed by
+   the composite (time, a, b) compared lexicographically with monomorphic
+   comparators, and carrying an immediate int payload.  A discrete-event
+   scheduler keys on (delivery_time, edge_id, seq): float time alone
+   cannot break ties deterministically (two messages can arrive at the
+   same instant), and boxing the key as a tuple would allocate on every
+   push.  Four parallel arrays — one float, three int — keep a push
+   allocation-free once the backing stores have grown.  decrease_key is
+   deliberately absent: an event, once scheduled, never reschedules. *)
+module Event = struct
+  type t = {
+    mutable time : float array;
+    mutable ka : int array;
+    mutable kb : int array;
+    mutable pay : int array;
+    mutable len : int;
+    mutable hwm : int;
+  }
+
+  let create () =
+    { time = [||]; ka = [||]; kb = [||]; pay = [||]; len = 0; hwm = 0 }
+
+  let is_empty q = q.len = 0
+  let size q = q.len
+  let high_water q = q.hwm
+
+  (* strict lexicographic (time, a, b) less-than *)
+  let lt q i j =
+    let c = Float.compare q.time.(i) q.time.(j) in
+    if c <> 0 then c < 0
+    else
+      let c = Int.compare q.ka.(i) q.ka.(j) in
+      if c <> 0 then c < 0 else Int.compare q.kb.(i) q.kb.(j) < 0
+
+  let grow q =
+    let cap = Array.length q.pay in
+    if q.len = cap then begin
+      let ncap = max 8 (2 * cap) in
+      let nt = Array.make ncap 0.0 in
+      let na = Array.make ncap 0 in
+      let nb = Array.make ncap 0 in
+      let np = Array.make ncap 0 in
+      Array.blit q.time 0 nt 0 q.len;
+      Array.blit q.ka 0 na 0 q.len;
+      Array.blit q.kb 0 nb 0 q.len;
+      Array.blit q.pay 0 np 0 q.len;
+      q.time <- nt;
+      q.ka <- na;
+      q.kb <- nb;
+      q.pay <- np
+    end
+
+  let swap q i j =
+    let t = q.time.(i) and a = q.ka.(i) and b = q.kb.(i) and p = q.pay.(i) in
+    q.time.(i) <- q.time.(j);
+    q.ka.(i) <- q.ka.(j);
+    q.kb.(i) <- q.kb.(j);
+    q.pay.(i) <- q.pay.(j);
+    q.time.(j) <- t;
+    q.ka.(j) <- a;
+    q.kb.(j) <- b;
+    q.pay.(j) <- p
+
+  let push q ~time ~a ~b payload =
+    grow q;
+    let i = ref q.len in
+    q.time.(!i) <- time;
+    q.ka.(!i) <- a;
+    q.kb.(!i) <- b;
+    q.pay.(!i) <- payload;
+    q.len <- q.len + 1;
+    if q.len > q.hwm then q.hwm <- q.len;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let p = (!i - 1) / 2 in
+      if lt q !i p then begin
+        swap q p !i;
+        i := p
+      end
+      else continue := false
+    done
+
+  let peek_time q = if q.len = 0 then None else Some q.time.(0)
+
+  let pop q =
+    if q.len = 0 then None
+    else begin
+      let top = (q.time.(0), q.pay.(0)) in
+      q.len <- q.len - 1;
+      if q.len > 0 then begin
+        q.time.(0) <- q.time.(q.len);
+        q.ka.(0) <- q.ka.(q.len);
+        q.kb.(0) <- q.kb.(q.len);
+        q.pay.(0) <- q.pay.(q.len);
+        let i = ref 0 in
+        let continue = ref true in
+        while !continue do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let smallest = ref !i in
+          if l < q.len && lt q l !smallest then smallest := l;
+          if r < q.len && lt q r !smallest then smallest := r;
+          if !smallest <> !i then begin
+            swap q !smallest !i;
+            i := !smallest
+          end
+          else continue := false
+        done
+      end;
+      Some top
+    end
+end
+
 let pop q =
   if q.len = 0 then None
   else begin

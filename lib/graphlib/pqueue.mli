@@ -10,3 +10,28 @@ val pop : 'a t -> (float * 'a) option
 (** Removes and returns the minimum-priority element. *)
 
 val peek : 'a t -> (float * 'a) option
+
+(** Event-queue min-heap for discrete-event simulation: entries are keyed
+    by the lexicographic composite [(time, a, b)] — for the async CONGEST
+    executor, [(delivery_time, edge_id, seq)] — so same-instant events pop
+    in a replay-exact deterministic order.  Payloads are immediate ints
+    (indices into a caller-owned event arena); a push allocates nothing
+    once the backing stores have grown.  There is no [decrease_key]: a
+    scheduled event never reschedules. *)
+module Event : sig
+  type t
+
+  val create : unit -> t
+  val is_empty : t -> bool
+  val size : t -> int
+
+  val high_water : t -> int
+  (** Max [size] ever observed — the event-queue depth gauge. *)
+
+  val push : t -> time:float -> a:int -> b:int -> int -> unit
+
+  val pop : t -> (float * int) option
+  (** Minimum-key event as [(time, payload)]. *)
+
+  val peek_time : t -> float option
+end

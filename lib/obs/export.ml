@@ -151,11 +151,18 @@ let span_events spans =
 
 (* ---------------- counter series ---------------- *)
 
+(* counter tracks are namespaced per subsystem ("congest.messages",
+   "serve.…", "asynch.queue_depth", …); the emitting event names its
+   subsystem in a "subsystem" field, defaulting to "congest" for the
+   original trace_summary producers *)
 let counter_events j =
   match Sink.member "per_round" j with
   | Some (Sink.Obj series) ->
+      let subsystem =
+        match s_member "subsystem" j with Some s -> s | None -> "congest"
+      in
       let label =
-        match s_member "label" j with Some l -> l | None -> "congest"
+        match s_member "label" j with Some l -> l | None -> subsystem
       in
       let ts0 = Option.value ~default:0.0 (f_member "ts" j) *. 1e6 in
       List.concat_map
@@ -168,7 +175,7 @@ let counter_events j =
                     [
                       ( "name",
                         Sink.String
-                          (Printf.sprintf "congest.%s (%s)" key label) );
+                          (Printf.sprintf "%s.%s (%s)" subsystem key label) );
                       ("ph", Sink.String "C");
                       ("ts", Sink.Float (ts0 +. float_of_int i));
                       ("pid", Sink.Int 0);
@@ -179,6 +186,55 @@ let counter_events j =
           | _ -> [])
         series
   | _ -> []
+
+(* the simulated-time pid: asynch lanes live in event time, not wall
+   time, so they get their own process row in the viewer *)
+let sim_pid = 1
+
+(* asynch_summary events carry a per-wave timeline ("times" plus a
+   "series" object); each series becomes an "asynch.<key> (<label>)"
+   counter track plotted at its *simulated* timestamp, 1 latency unit
+   rendered as 1 ms *)
+let asynch_counter_events j =
+  match (Sink.member "times" j, Sink.member "series" j) with
+  | Some (Sink.List times), Some (Sink.Obj series) ->
+      let label =
+        match s_member "label" j with Some l -> l | None -> "asynch"
+      in
+      let ts = Array.of_list times in
+      List.concat_map
+        (fun (key, v) ->
+          match v with
+          | Sink.List vs ->
+              List.filteri (fun i _ -> i < Array.length ts) vs
+              |> List.mapi (fun i v ->
+                     let t =
+                       Option.value ~default:0.0 (Sink.float_value ts.(i))
+                     in
+                     Sink.Obj
+                       [
+                         ( "name",
+                           Sink.String
+                             (Printf.sprintf "asynch.%s (%s)" key label) );
+                         ("ph", Sink.String "C");
+                         ("ts", Sink.Float (t *. 1e3));
+                         ("pid", Sink.Int sim_pid);
+                         ("tid", Sink.Int 0);
+                         ("args", Sink.Obj [ (key, v) ]);
+                       ])
+          | _ -> [])
+        series
+  | _ -> []
+
+let sim_process_metadata =
+  Sink.Obj
+    [
+      ("name", Sink.String "process_name");
+      ("ph", Sink.String "M");
+      ("pid", Sink.Int sim_pid);
+      ("tid", Sink.Int 0);
+      ("args", Sink.Obj [ ("name", Sink.String "simulated time (asynch)") ]);
+    ]
 
 (* ---------------- public API ---------------- *)
 
@@ -192,9 +248,15 @@ let chrome events =
     List.concat_map counter_events
       (List.filter (fun j -> event_type j = Some "trace_summary") events)
   in
+  let asynch_counters =
+    List.concat_map asynch_counter_events
+      (List.filter (fun j -> event_type j = Some "asynch_summary") events)
+  in
+  let meta = if asynch_counters = [] then [] else [ sim_process_metadata ] in
   Sink.Obj
     [
-      ("traceEvents", Sink.List (span_events spans @ counters));
+      ( "traceEvents",
+        Sink.List (meta @ span_events spans @ counters @ asynch_counters) );
       ("displayTimeUnit", Sink.String "ms");
     ]
 

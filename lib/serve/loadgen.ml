@@ -3,8 +3,8 @@ type event = { at_ms : float; query : Workload.query }
 let schedule ~rate ~queries ~seed ~fleet =
   if rate <= 0.0 then invalid_arg "Loadgen.schedule: rate <= 0";
   if Array.length fleet = 0 then invalid_arg "Loadgen.schedule: empty fleet";
-  let arrivals = Faults.Rng.named ~seed "serve.arrivals" in
-  let mix = Faults.Rng.named ~seed "serve.mix" in
+  let arrivals = Faults.Rng.named ~seed Faults.Streams.serve_arrivals in
+  let mix = Faults.Rng.named ~seed Faults.Streams.serve_mix in
   let t = ref 0.0 in
   let rec build i acc =
     if i = queries then List.rev acc

@@ -1,0 +1,343 @@
+(* Asynchronous executor tests: the event-queue heap, the stream-name
+   registry, the α-synchronizer's sync-equality oracle across every CSR
+   family (all six step-API algorithms, three seeds each, rotating
+   latency models), native async BFS / leader election, latency-model
+   time bounds, bandwidth serialization, and fault-plan composition. *)
+
+open Graphlib
+module N = Congest.Network
+module Lat = Asynch.Latency
+module Sync = Asynch.Synchronizer
+module Native = Asynch.Native
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------- event-queue heap ---------- *)
+
+let test_event_heap_order () =
+  let q = Pqueue.Event.create () in
+  let st = Random.State.make [| 42 |] in
+  let entries =
+    Array.init 500 (fun i ->
+        ( float_of_int (Random.State.int st 50),
+          Random.State.int st 10,
+          Random.State.int st 1000,
+          i ))
+  in
+  Array.iter (fun (t, a, b, p) -> Pqueue.Event.push q ~time:t ~a ~b p) entries;
+  check_int "size" 500 (Pqueue.Event.size q);
+  check_int "high water" 500 (Pqueue.Event.high_water q);
+  let reference =
+    let l = Array.to_list entries in
+    List.sort
+      (fun (t1, a1, b1, _) (t2, a2, b2, _) ->
+        let c = Float.compare t1 t2 in
+        if c <> 0 then c
+        else
+          let c = Int.compare a1 a2 in
+          if c <> 0 then c else Int.compare b1 b2)
+      l
+  in
+  List.iter
+    (fun (t, _, _, p) ->
+      match Pqueue.Event.pop q with
+      | Some (t', p') ->
+          check "pop time" true (Float.equal t t');
+          check_int "pop payload" p p'
+      | None -> Alcotest.fail "heap drained early")
+    reference;
+  check "empty" true (Pqueue.Event.is_empty q);
+  check_int "high water survives drain" 500 (Pqueue.Event.high_water q)
+
+(* ---------- stream registry ---------- *)
+
+let test_stream_registry () =
+  check "faults.drop registered" true
+    (Faults.Streams.registered "faults.drop");
+  check "asynch.latency registered" true
+    (Faults.Streams.registered Faults.Streams.asynch_latency);
+  check "asynch.bandwidth registered" true
+    (Faults.Streams.registered Faults.Streams.asynch_bandwidth);
+  check "serve.mix registered" true (Faults.Streams.registered "serve.mix");
+  (* a fresh name registers once, then collides *)
+  let name = "test.streams.probe" in
+  let returned = Faults.Streams.register name in
+  check "register returns the name" true (String.equal returned name);
+  check "duplicate rejected" true
+    (try
+       ignore (Faults.Streams.register name);
+       false
+     with Invalid_argument _ -> true);
+  check "all contains it" true (List.mem name (Faults.Streams.all ()))
+
+(* ---------- sync-equality oracle ---------- *)
+
+let families seed =
+  [
+    ("grid", (Generators.grid 5 6).Generators.graph);
+    ("apollonian", (Generators.apollonian ~seed:(3 + seed) 24).Generators.graph);
+    ("series-parallel", Generators.series_parallel ~seed:(5 + seed) 30);
+    ("ktree", fst (Generators.k_tree ~seed:(2 + seed) ~k:3 28));
+    ("torus", Generators.torus_grid 5 6);
+    ("wheel", Generators.cycle_with_apex 20);
+    ("erdos-renyi", Generators.erdos_renyi ~seed:(9 + seed) 24 0.2);
+    ("rmat", Generators.rmat ~seed:(11 + seed) ~scale:5 ~edge_factor:3 ());
+    ("path", Generators.path 10);
+    ("complete", Graph.complete 7);
+    ("empty", Graph.of_edges 4 []);
+    ("single", Graph.of_edges 1 []);
+  ]
+
+let spec_for seed =
+  match seed with
+  | 1 -> Lat.make ~seed:101 (Lat.Constant 1.0)
+  | 2 -> Lat.make ~seed:102 (Lat.Exponential 1.0)
+  | _ -> Lat.make ~seed:103 (Lat.Pareto { alpha = 1.5; xmin = 0.5 })
+
+let unit_weights g = Graph.unit_weights g
+
+(* BFS-style distance flood over the raw step API: the smallest complete
+   algorithm that exercises sends, inbox reads, and wake-on-mail — used by
+   every substrate-level test below.  Mirrors [Congest.Bfs]'s convergence
+   trick: unreached nodes count as finished so disconnected graphs halt. *)
+type flood = { d : int; sent : bool }
+
+let flood_algo root =
+  {
+    N.init =
+      (fun _ v ->
+        if v = root then { d = 0; sent = false } else { d = -1; sent = false });
+    step =
+      (fun ctx st ->
+        let st = ref st in
+        for i = 0 to N.inbox_size ctx - 1 do
+          let c = N.inbox_word ctx i 0 + 1 in
+          if !st.d < 0 || c < !st.d then st := { !st with d = c }
+        done;
+        let st = !st in
+        if st.d >= 0 && not st.sent then begin
+          N.send_all ctx [| st.d |];
+          { st with sent = true }
+        end
+        else st);
+    finished = (fun st -> st.sent || st.d < 0);
+  }
+
+(* run one algorithm entry point on both substrates and demand equal
+   results; [name] labels the Alcotest failure *)
+let oracle_all_six () =
+  List.iter
+    (fun seed ->
+      let spec = spec_for seed in
+      List.iter
+        (fun (fam, g) ->
+          let tag what = Printf.sprintf "%s/%s/seed%d" what fam seed in
+          let n = Graph.n g in
+          (* BFS: states and round counts *)
+          let sync_bfs = Congest.Bfs.run g ~root:0 in
+          let (async_bfs, _) =
+            Sync.with_substrate ~spec (fun () -> Congest.Bfs.run g ~root:0)
+          in
+          check (tag "bfs states") true (fst sync_bfs = fst async_bfs);
+          check_int (tag "bfs rounds") (snd sync_bfs).N.rounds
+            (snd async_bfs).N.rounds;
+          (* SSSP (unweighted flood) *)
+          let sync_sssp = Congest.Sssp.unweighted g ~source:0 in
+          let (async_sssp, _) =
+            Sync.with_substrate ~spec (fun () ->
+                Congest.Sssp.unweighted g ~source:0)
+          in
+          check (tag "sssp dist") true
+            (sync_sssp.Congest.Sssp.dist = async_sssp.Congest.Sssp.dist);
+          check (tag "sssp parent") true
+            (sync_sssp.Congest.Sssp.parent = async_sssp.Congest.Sssp.parent);
+          check_int (tag "sssp rounds") sync_sssp.Congest.Sssp.stats.N.rounds
+            async_sssp.Congest.Sssp.stats.N.rounds;
+          (* the remaining four need a connected graph of some size
+             (Leader.elect's census stage assumes every node is in the
+             leader's BFS tree) *)
+          if n >= 2 && Traversal.is_connected g then begin
+            let sync_l = Congest.Leader.elect g in
+            let (async_l, _) =
+              Sync.with_substrate ~spec (fun () -> Congest.Leader.elect g)
+            in
+            check_int (tag "leader") sync_l.Congest.Leader.leader
+              async_l.Congest.Leader.leader;
+            check_int (tag "leader n") sync_l.Congest.Leader.n_estimate
+              async_l.Congest.Leader.n_estimate;
+            check_int (tag "leader d") sync_l.Congest.Leader.d_estimate
+              async_l.Congest.Leader.d_estimate;
+            check_int (tag "leader rounds") sync_l.Congest.Leader.stats.N.rounds
+              async_l.Congest.Leader.stats.N.rounds;
+            let w = unit_weights g in
+            let mst () =
+              Congest.Mst.boruvka ~constructor:Congest.Mst.shortcut_constructor
+                g w
+            in
+            let sync_mst = mst () in
+            let (async_mst, _) = Sync.with_substrate ~spec mst in
+            check (tag "mst report") true (sync_mst = async_mst);
+            let cut () =
+              Congest.Mincut.approx ~trees:2 ~seed
+                ~constructor:Congest.Mst.shortcut_constructor g w
+            in
+            let sync_cut = cut () in
+            let (async_cut, _) = Sync.with_substrate ~spec cut in
+            check (tag "mincut report") true (sync_cut = async_cut);
+            let agg () =
+              let parts =
+                Core.Part.voronoi ~seed:(2 + seed) g ~count:(max 2 (n / 8))
+              in
+              let sc = Core.shortcut g ~parts in
+              Core.Aggregate.rounds_for_parts sc ~seed
+            in
+            let sync_agg = agg () in
+            let (async_agg, _) = Sync.with_substrate ~spec agg in
+            check_int (tag "aggregate rounds") sync_agg async_agg
+          end)
+        (families seed))
+    [ 1; 2; 3 ]
+
+(* the low-level oracle helper agrees *)
+let test_check_helper () =
+  let g = (Generators.grid 4 5).Generators.graph in
+  let spec = Lat.make ~seed:7 (Lat.Uniform (0.2, 1.8)) in
+  check "oracle" true (Sync.check ~spec g (flood_algo 0))
+
+(* ---------- native algorithms ---------- *)
+
+let test_native_bfs () =
+  List.iter
+    (fun (fam, g) ->
+      let spec = Lat.make ~seed:31 (Lat.Exponential 1.0) in
+      let states, rep = Native.run ~spec g (Native.bfs ~root:0) in
+      check (fam ^ ": quiesced") true rep.Native.quiesced;
+      let sync, _ = Congest.Bfs.run g ~root:0 in
+      Array.iteri
+        (fun v st ->
+          let expect = sync.(v).Congest.Bfs.dist in
+          let got = if st.Native.dist = max_int then -1 else st.Native.dist in
+          check_int (fam ^ ": native bfs dist") expect got)
+        states)
+    [
+      ("grid", (Generators.grid 6 7).Generators.graph);
+      ("apollonian", (Generators.apollonian ~seed:3 40).Generators.graph);
+      ("path", Generators.path 12);
+      ("erdos-renyi", Generators.erdos_renyi ~seed:9 30 0.2);
+    ]
+
+let test_native_leader () =
+  let g = Generators.torus_grid 5 5 in
+  let spec = Lat.make ~seed:33 (Lat.Pareto { alpha = 1.6; xmin = 0.4 }) in
+  let states, rep = Native.run ~spec g Native.leader in
+  check "quiesced" true rep.Native.quiesced;
+  let leaders = ref 0 in
+  Array.iteri
+    (fun v st ->
+      check_int "flood-max best" (Graph.n g - 1) st.Native.best;
+      if st.Native.is_leader then begin
+        incr leaders;
+        check_int "leader is max id" (Graph.n g - 1) v
+      end)
+    states;
+  check_int "exactly one leader" 1 !leaders
+
+(* ---------- simulated-time structure ---------- *)
+
+(* with constant latency c a pulse transition needs at least one safe hop
+   (>= c) and at most a full data -> ack -> safe handshake (<= 3c) *)
+let test_constant_latency_bounds () =
+  let g = (Generators.grid 6 6).Generators.graph in
+  let c = 2.5 in
+  let spec = Lat.make ~seed:5 (Lat.Constant c) in
+  let sync_states, sync_stats = N.run g (flood_algo 0) in
+  let states, stats, rep = Sync.run ~spec g (flood_algo 0) in
+  check "converged" true rep.Sync.converged;
+  check "states match sync" true (states = sync_states);
+  check_int "pulses = sync rounds" sync_stats.N.rounds rep.Sync.pulses;
+  check_int "stats rounds too" sync_stats.N.rounds stats.N.rounds;
+  let p = float_of_int rep.Sync.pulses in
+  check "sim_time lower bound" true
+    (rep.Sync.sim_time >= (c *. (p -. 1.0)) -. 1e-9);
+  check "sim_time upper bound" true
+    (rep.Sync.sim_time <= (3.0 *. c *. p) +. 1e-9);
+  check "control traffic exists" true (rep.Sync.ctrl_msgs > 0);
+  check "data on the wire" true (rep.Sync.data_msgs > 0);
+  check "queue high-water sane" true
+    (rep.Sync.queue_hwm > 0 && rep.Sync.events >= rep.Sync.data_msgs)
+
+(* bandwidth caps serialize messages: same results, strictly more time *)
+let test_bandwidth_caps () =
+  let g = Generators.torus_grid 4 5 in
+  let free = Lat.make ~seed:13 (Lat.Constant 1.0) in
+  let capped = Lat.make ~bw:(0.25, 0.25) ~seed:13 (Lat.Constant 1.0) in
+  let s1, st1, r1 = Sync.run ~spec:free g (flood_algo 0) in
+  let s2, st2, r2 = Sync.run ~spec:capped g (flood_algo 0) in
+  check "same states" true (s1 = s2);
+  check_int "same rounds" st1.N.rounds st2.N.rounds;
+  check "serialization costs time" true (r2.Sync.sim_time > r1.Sync.sim_time)
+
+(* a delay-only fault plan stretches simulated time but, under the
+   synchronizer, cannot change results or round counts *)
+let test_delay_plan_stretches_time () =
+  let g = (Generators.grid 5 5).Generators.graph in
+  let spec = Lat.make ~seed:17 (Lat.Constant 1.0) in
+  let plan = Faults.make ~delay:0.6 ~max_delay:4 21 in
+  let s_clean, st_clean, r_clean = Sync.run ~spec g (flood_algo 0) in
+  let s_del, st_del, r_del = Sync.run ~spec ~faults:plan g (flood_algo 0) in
+  check "delayed converged" true r_del.Sync.converged;
+  check "states unchanged by delays" true (s_clean = s_del);
+  check_int "rounds unchanged by delays" st_clean.N.rounds st_del.N.rounds;
+  check "delays never speed things up" true
+    (r_del.Sync.sim_time >= r_clean.Sync.sim_time -. 1e-9)
+
+(* drops compose: reliable links on the async substrate still deliver *)
+let test_drop_plan_with_resilient () =
+  let g = (Generators.grid 5 5).Generators.graph in
+  let spec = Lat.make ~seed:41 (Lat.Exponential 1.0) in
+  let plan = Faults.make ~drop:0.15 5 in
+  let rep, summary =
+    Sync.with_substrate ~spec (fun () ->
+        Congest.Resilient.bfs ~max_rounds:20_000 ~faults:plan g ~root:0)
+  in
+  check "resilient bfs succeeds under drops" true rep.Congest.Resilient.success;
+  check "substrate saw the run" true (summary.Sync.runs >= 1);
+  check "substrate converged" true summary.Sync.all_converged
+
+(* same spec, same graph, same algorithm: identical runs, bit for bit *)
+let test_determinism () =
+  let g = Generators.rmat ~seed:19 ~scale:5 ~edge_factor:3 () in
+  let spec = Lat.make ~seed:23 (Lat.Pareto { alpha = 1.5; xmin = 0.5 }) in
+  let once () = Sync.run ~timeline:true ~spec g (flood_algo 0) in
+  let s1, st1, r1 = once () in
+  let s2, st2, r2 = once () in
+  check "states replay" true (s1 = s2);
+  check "stats replay" true (st1 = st2);
+  check "report replays (incl. timeline)" true (r1 = r2);
+  let n1 = Native.run ~spec g (Native.bfs ~root:0) in
+  let n2 = Native.run ~spec g (Native.bfs ~root:0) in
+  check "native replay" true (n1 = n2)
+
+let suite =
+  [
+    ("event heap: deterministic (time, edge, seq) order", `Quick,
+     test_event_heap_order);
+    ("stream registry: constants + duplicate check", `Quick,
+     test_stream_registry);
+    ("oracle: six algorithms, 12 families x 3 seeds", `Slow, oracle_all_six);
+    ("oracle: Synchronizer.check helper", `Quick, test_check_helper);
+    ("native BFS matches synchronous distances", `Quick, test_native_bfs);
+    ("native flood-max elects the maximum id", `Quick, test_native_leader);
+    ("constant latency: sim-time bounds per pulse", `Quick,
+     test_constant_latency_bounds);
+    ("bandwidth caps serialize without changing results", `Quick,
+     test_bandwidth_caps);
+    ("delay plan: time stretches, results identical", `Quick,
+     test_delay_plan_stretches_time);
+    ("drop plan: resilient links converge on the substrate", `Quick,
+     test_drop_plan_with_resilient);
+    ("determinism: same spec replays bit-for-bit", `Quick, test_determinism);
+  ]
+
+let () = Alcotest.run "asynch" [ ("asynch", suite) ]

@@ -52,7 +52,14 @@
    When both entries carry a "scale" section (the S1 million-node run),
    its per-family build/BFS/MST phase walls and cpu are gated at the
    15% time bound with calibration normalization, and the family's
-   minor_words / max_rss_kb at the usual tight allocation bounds. *)
+   minor_words / max_rss_kb at the usual tight allocation bounds.
+
+   When both entries carry an "asynch" section (the AS1 latency-model
+   sweep), its per-cell rounds / simulated time / message counts are pure
+   functions of the seeds and get tight 5% bounds — they move only when
+   the executor's semantics move — while the sweep's wall_ms is a
+   wall-clock measurement gated at the 15% time bound with calibration
+   normalization. *)
 
 let j_member = Obs.Sink.member
 let j_str name j = Option.bind (j_member name j) Obs.Sink.string_value
@@ -316,6 +323,51 @@ let compare_entries v ~speed ~baseline ~current =
               chk "minor_words" ~rel:0.05 ~eps:1e6 (pair "minor_words");
               chk "max_rss_kb" ~rel:0.25 ~eps:51200.0 (pair "max_rss_kb"))
         (families cs)
+  | _ -> ());
+  (* asynch section: per-cell AS1 results, gated only when both entries
+     actually ran AS1 (the member is Null otherwise).  Everything in a
+     row is deterministic — simulated time included — so the bounds are
+     tight; only wall_ms is a measurement. *)
+  (match (j_member "asynch" baseline, j_member "asynch" current) with
+  | Some (Obs.Sink.Obj _ as bs), Some (Obs.Sink.Obj _ as cs) ->
+      let rows j =
+        match j_member "rows" j with
+        | Some (Obs.Sink.List l) ->
+            List.filter_map
+              (fun r ->
+                match (j_str "label" r, j_str "model" r) with
+                | Some lbl, Some m -> Some (lbl ^ "@" ^ m, r)
+                | _ -> None)
+              l
+        | _ -> []
+      in
+      let base_rows = rows bs in
+      List.iter
+        (fun (key, cur) ->
+          match List.assoc_opt key base_rows with
+          | None -> ()
+          | Some base ->
+              let pair metric = (num metric base, num metric cur) in
+              let chk metric ~rel ~eps (b, c) =
+                match (b, c) with
+                | Some b, Some c ->
+                    check v
+                      ~metric:(Printf.sprintf "asynch[%s].%s" key metric)
+                      ~rel ~eps ~baseline:b ~current:c
+                | _ -> ()
+              in
+              chk "rounds" ~rel:0.05 ~eps:2.0 (pair "rounds");
+              chk "sim_time" ~rel:0.05 ~eps:2.0 (pair "sim_time");
+              chk "data_msgs" ~rel:0.05 ~eps:64.0 (pair "data_msgs");
+              chk "ctrl_msgs" ~rel:0.05 ~eps:256.0 (pair "ctrl_msgs");
+              chk "events" ~rel:0.05 ~eps:256.0 (pair "events");
+              chk "queue_hwm" ~rel:0.05 ~eps:64.0 (pair "queue_hwm"))
+        (rows cs);
+      (match (num "wall_ms" bs, num "wall_ms" cs) with
+      | Some b, Some c ->
+          check_time v ~metric:"asynch.wall_ms" ~rel:0.15 ~eps:250.0
+            ~baseline:b ~current:c
+      | _ -> ())
   | _ -> ());
   (* serve SLOs: only when both entries actually ran SV1 (the member is
      Null otherwise) *)

@@ -32,6 +32,15 @@
 
      jsonl_check --ledger --require-scale /tmp/s1-ledger.jsonl
 
+   With --asynch the event stream must carry at least one well-formed
+   "asynch_summary" (string label/model, non-negative sim_time, counts),
+   and in ledger mode --require-asynch demands an "asynch" section (the
+   AS1 latency-model sweep) in the latest entry; any entry carrying one
+   must have non-empty rows with per-cell counts and a numeric wall_ms.
+
+     jsonl_check --asynch /tmp/as1.jsonl
+     jsonl_check --ledger --require-asynch /tmp/as1-ledger.jsonl
+
    Exit status 0 iff all checks hold; wired into `make bench-smoke`,
    `make bench-serve-check` and `make bench-regress-check`. *)
 
@@ -92,7 +101,45 @@ let check_scale_section ~fail j =
         fams
   | _ -> fail "scale section: no \"families\" list"
 
-let check_ledger ~require_serve ~require_scale file =
+(* shared shape of an asynch_summary event and an asynch-section row: the
+   latency-model labels plus the deterministic counters *)
+let check_asynch_shape ~fail ~where j =
+  List.iter
+    (fun k ->
+      match Option.bind (Obs.Sink.member k j) Obs.Sink.string_value with
+      | Some _ -> ()
+      | None -> fail (Printf.sprintf "%s: no string %S" where k))
+    [ "label"; "model" ];
+  (match numeric "sim_time" j with
+  | Some t when t >= 0.0 -> ()
+  | Some t -> fail (Printf.sprintf "%s: negative sim_time %g" where t)
+  | None -> fail (Printf.sprintf "%s: no numeric \"sim_time\"" where));
+  List.iter
+    (fun k ->
+      match Obs.Sink.member k j with
+      | Some (Obs.Sink.Int v) when v >= 0 -> ()
+      | Some (Obs.Sink.Int v) ->
+          fail (Printf.sprintf "%s: negative %s %d" where k v)
+      | _ -> fail (Printf.sprintf "%s: no int %S" where k))
+    [ "rounds"; "data_msgs"; "ctrl_msgs"; "events"; "queue_hwm" ]
+
+let check_asynch_section ~fail j =
+  (match numeric "wall_ms" j with
+  | Some w when w >= 0.0 -> ()
+  | Some w -> fail (Printf.sprintf "asynch section: negative wall_ms %g" w)
+  | None -> fail "asynch section: no numeric \"wall_ms\"");
+  match Obs.Sink.member "rows" j with
+  | Some (Obs.Sink.List rows) ->
+      if rows = [] then fail "asynch section: empty rows list";
+      List.iteri
+        (fun i r ->
+          check_asynch_shape ~fail
+            ~where:(Printf.sprintf "asynch.rows[%d]" i)
+            r)
+        rows
+  | _ -> fail "asynch section: no \"rows\" list"
+
+let check_ledger ~require_serve ~require_scale ~require_asynch file =
   let ic = open_in file in
   let lineno = ref 0 in
   let entries = ref 0 in
@@ -100,6 +147,7 @@ let check_ledger ~require_serve ~require_scale file =
   let last_date = ref "" in
   let last_had_serve = ref false in
   let last_had_scale = ref false in
+  let last_had_asynch = ref false in
   let err fmt =
     Printf.ksprintf
       (fun msg ->
@@ -167,7 +215,15 @@ let check_ledger ~require_serve ~require_scale file =
              | Some (Obs.Sink.Obj _ as sc) ->
                  last_had_scale := true;
                  check_scale_section ~fail:(fun m -> err "%s" m) sc
-             | _ -> last_had_scale := false)
+             | _ -> last_had_scale := false);
+             (* "asynch" is likewise optional (runs whose --only filter
+                skipped AS1 carry Null) but must be well-formed when
+                present *)
+             (match Obs.Sink.member "asynch" j with
+             | Some (Obs.Sink.Obj _ as a) ->
+                 last_had_asynch := true;
+                 check_asynch_section ~fail:(fun m -> err "%s" m) a
+             | _ -> last_had_asynch := false)
      done
    with End_of_file -> ());
   close_in ic;
@@ -187,6 +243,12 @@ let check_ledger ~require_serve ~require_scale file =
       Printf.eprintf "%s: latest entry has no \"scale\" section (S1 did \
                       not run?)\n"
         file
+    end;
+    if require_asynch && not !last_had_asynch then begin
+      incr errors;
+      Printf.eprintf "%s: latest entry has no \"asynch\" section (AS1 did \
+                      not run?)\n"
+        file
     end
   end;
   if !errors = 0 then begin
@@ -204,8 +266,10 @@ let () =
   let min_spans = ref 4 in
   let ledger = ref false in
   let serve = ref false in
+  let asynch = ref false in
   let require_serve = ref false in
   let require_scale = ref false in
+  let require_asynch = ref false in
   let max_p99 = ref infinity in
   let file = ref None in
   let rec parse = function
@@ -227,6 +291,12 @@ let () =
     | "--require-scale" :: rest ->
         require_scale := true;
         parse rest
+    | "--asynch" :: rest ->
+        asynch := true;
+        parse rest
+    | "--require-asynch" :: rest ->
+        require_asynch := true;
+        parse rest
     | "--max-p99" :: v :: rest ->
         max_p99 := float_of_string v;
         parse rest
@@ -243,13 +313,13 @@ let () =
     | None ->
         prerr_endline
           "usage: jsonl_check [--require t1,t2] [--min-spans N] [--serve] \
-           [--max-p99 MS] [--ledger] [--require-serve] [--require-scale] \
-           FILE";
+           [--asynch] [--max-p99 MS] [--ledger] [--require-serve] \
+           [--require-scale] [--require-asynch] FILE";
         exit 2
   in
   if !ledger then
     check_ledger ~require_serve:!require_serve ~require_scale:!require_scale
-      file;
+      ~require_asynch:!require_asynch file;
   let ic = open_in file in
   let seen_types = Hashtbl.create 8 in
   let span_names = Hashtbl.create 16 in
@@ -277,6 +347,24 @@ let () =
         | Some _ -> ()
         | None -> err "serve_query without a string %S" k)
       [ "graph"; "kind" ]
+  in
+  let asynch_summaries = ref 0 in
+  let check_asynch_summary j =
+    incr asynch_summaries;
+    let where =
+      match Option.bind (Obs.Sink.member "label" j) Obs.Sink.string_value with
+      | Some l -> Printf.sprintf "asynch_summary %S" l
+      | None -> "asynch_summary"
+    in
+    check_asynch_shape ~fail:(fun m -> err "%s" m) ~where j;
+    (* at least the spontaneous pulse must have been scheduled *)
+    match Obs.Sink.member "events" j with
+    | Some (Obs.Sink.Int 0) -> (
+        match Obs.Sink.member "rounds" j with
+        | Some (Obs.Sink.Int r) when r > 0 ->
+            err "%s: %d rounds but zero scheduler events" where r
+        | _ -> ())
+    | _ -> ()
   in
   let check_serve_summary j =
     incr summaries;
@@ -314,13 +402,19 @@ let () =
                    | None -> err "span event without a \"name\" field");
                  if !serve then
                    if t = "serve_query" then check_serve_query j
-                   else if t = "serve_summary" then check_serve_summary j)
+                   else if t = "serve_summary" then check_serve_summary j;
+                 if !asynch && t = "asynch_summary" then
+                   check_asynch_summary j)
      done
    with End_of_file -> ());
   close_in ic;
   if !serve && !summaries = 0 then begin
     incr errors;
     Printf.eprintf "%s: --serve given but no \"serve_summary\" events\n" file
+  end;
+  if !asynch && !asynch_summaries = 0 then begin
+    incr errors;
+    Printf.eprintf "%s: --asynch given but no \"asynch_summary\" events\n" file
   end;
   List.iter
     (fun t ->
